@@ -1,0 +1,87 @@
+"""Ablation: which KAL ingredients matter (DESIGN.md design-choice bench).
+
+Trains the transformer with each subset of the knowledge terms — none
+(plain EMD), equalities only (Φ: C1+C2), inequality only (Ψ: C3), and the
+full KAL — and reports the three consistency errors.  Shape expectation:
+the equality terms drive rows a/b down, the inequality term drives row c
+down, and full KAL gets both.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.constraints import check_constraints
+from repro.eval.report import format_table
+from repro.imputation.trainer import Trainer, TrainerConfig
+from repro.imputation.transformer_imputer import TransformerConfig, TransformerImputer
+
+
+def _train_variant(datasets, table1_config, *, use_kal, use_phi=True, use_psi=True):
+    train, val, _ = datasets
+    model = TransformerImputer(
+        TransformerConfig(
+            num_features=train.num_features,
+            num_queues=train.num_queues,
+            d_model=table1_config.d_model,
+            num_heads=table1_config.num_heads,
+            num_layers=table1_config.num_layers,
+            d_ff=table1_config.d_ff,
+        ),
+        train.scaler,
+        seed=table1_config.seed,
+    )
+    trainer = Trainer(
+        model,
+        train,
+        TrainerConfig(
+            epochs=table1_config.epochs,
+            batch_size=table1_config.batch_size,
+            learning_rate=table1_config.learning_rate,
+            use_kal=use_kal,
+            mu=table1_config.mu,
+            use_phi=use_phi,
+            use_psi=use_psi,
+            seed=table1_config.seed,
+        ),
+        val=val,
+    )
+    trainer.train()
+    return model
+
+
+def test_kal_components(benchmark, datasets, table1_config, results_dir):
+    _, _, test = datasets
+
+    def run_all():
+        return {
+            "EMD only": _train_variant(datasets, table1_config, use_kal=False),
+            "EMD+Phi (C1+C2)": _train_variant(
+                datasets, table1_config, use_kal=True, use_psi=False
+            ),
+            "EMD+Psi (C3)": _train_variant(
+                datasets, table1_config, use_kal=True, use_phi=False
+            ),
+            "EMD+KAL (full)": _train_variant(datasets, table1_config, use_kal=True),
+        }
+
+    models = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    errors = {}
+    for name, model in models.items():
+        reports = [
+            check_constraints(model.impute(s), s, test.switch_config)
+            for s in test.samples
+        ]
+        a = float(np.mean([r.max_error for r in reports]))
+        b = float(np.mean([r.periodic_error for r in reports]))
+        c = float(np.mean([r.sent_error for r in reports]))
+        errors[name] = (a, b, c)
+        rows.append([name, f"{a:.3f}", f"{b:.3f}", f"{c:.4f}"])
+
+    table = format_table(["variant", "a. max", "b. periodic", "c. sent"], rows)
+    save_result(results_dir, "ablation_kal.txt", table)
+
+    # Full KAL beats plain EMD on the consistency total.
+    total = {name: sum(v) for name, v in errors.items()}
+    assert total["EMD+KAL (full)"] < total["EMD only"]

@@ -1,0 +1,122 @@
+"""Extension benchmark: robustness to degraded telemetry.
+
+Not a paper artefact — §2.1's footnote notes that LANZ only reports queues
+above a threshold, and real SNMP polls get lost.  This bench feeds the
+trained KAL model telemetry degraded in both ways and measures how the
+full method (with CEM) degrades: imputation error should rise gracefully
+and constraint satisfaction (w.r.t. the degraded measurements the CEM is
+given) must remain exact.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.constraints import check_constraints
+from repro.eval.report import format_table
+from repro.imputation import ConstraintEnforcer
+from repro.telemetry.dataset import build_features
+from repro.telemetry.sampling import CoarseTelemetry
+
+
+def _degrade_sample(sample, scaler, lanz_threshold=0, rng=None, snmp_loss=0.0):
+    """Apply LANZ thresholding / SNMP loss to one window's measurements."""
+    m_max = sample.m_max.copy()
+    if lanz_threshold > 0:
+        suppressed = m_max <= lanz_threshold
+        m_max[suppressed] = sample.m_sample[suppressed]
+    m_sent = sample.m_sent.copy()
+    m_received = sample.m_received.copy()
+    m_dropped = sample.m_dropped.copy()
+    if snmp_loss > 0 and rng is not None:
+        lost = rng.random(m_sent.shape) < snmp_loss
+        # Operator fallback: carry the previous interval's value forward.
+        for port in range(m_sent.shape[0]):
+            for i in range(m_sent.shape[1]):
+                if lost[port, i] and i > 0:
+                    m_sent[port, i] = m_sent[port, i - 1]
+                    m_received[port, i] = m_received[port, i - 1]
+                    m_dropped[port, i] = m_dropped[port, i - 1]
+    telemetry = CoarseTelemetry(
+        interval=sample.interval,
+        qlen_sample=sample.m_sample,
+        qlen_max=m_max,
+        received=m_received,
+        sent=m_sent,
+        dropped=m_dropped,
+    )
+    features = build_features(telemetry, scaler, sample.num_bins)
+    return dataclasses.replace(
+        sample,
+        features=features,
+        m_max=m_max,
+        m_sent=m_sent,
+        m_received=m_received,
+        m_dropped=m_dropped,
+    )
+
+
+def test_degraded_telemetry(benchmark, datasets, trained_models, results_dir):
+    _, _, test = datasets
+    kal = trained_models["kal"]
+    enforcer = ConstraintEnforcer(test.switch_config)
+    rng = np.random.default_rng(0)
+
+    scenarios = {
+        "clean": dict(lanz_threshold=0, snmp_loss=0.0),
+        "LANZ thr=5": dict(lanz_threshold=5, snmp_loss=0.0),
+        "LANZ thr=20": dict(lanz_threshold=20, snmp_loss=0.0),
+        "SNMP loss 20%": dict(lanz_threshold=0, snmp_loss=0.2),
+    }
+
+    def run_all():
+        table = {}
+        for name, kwargs in scenarios.items():
+            mae = []
+            satisfied = 0
+            infeasible = 0
+            for sample in test.samples:
+                degraded = _degrade_sample(sample, test.scaler, rng=rng, **kwargs)
+                try:
+                    imputed = enforcer.enforce(kal.impute(degraded), degraded)
+                except Exception:
+                    infeasible += 1
+                    continue
+                report = check_constraints(imputed, degraded, test.switch_config)
+                satisfied += report.satisfied
+                mae.append(float(np.abs(imputed - sample.target_raw).mean()))
+            table[name] = dict(
+                mae=float(np.mean(mae)) if mae else float("nan"),
+                satisfied=satisfied,
+                infeasible=infeasible,
+            )
+        return table
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{values['mae']:.3f}",
+            f"{values['satisfied']}/{len(test)}",
+            str(values["infeasible"]),
+        ]
+        for name, values in table.items()
+    ]
+    save_result(
+        results_dir,
+        "robustness.txt",
+        format_table(["telemetry", "MAE (pkts)", "consistent", "infeasible"], rows),
+    )
+
+    # Constraint satisfaction w.r.t. the given measurements stays exact
+    # whenever enforcement is feasible, and the error degrades gracefully:
+    # every degraded variant stays within 25% of the clean MAE.  (Mild
+    # degradations can even *reduce* MAE slightly — thresholded LANZ maxima
+    # stop the CEM from raising spurious small peaks — so a strict
+    # clean-is-best ordering is not asserted.)
+    assert table["clean"]["satisfied"] == len(test)
+    for name, values in table.items():
+        if values["infeasible"] < len(test):
+            assert values["mae"] <= table["clean"]["mae"] * 1.25, (name, values)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Buffer provisioning from imputed telemetry (§2.1's operator scenario).
+
+The paper's motivating operator must decide how much on-chip buffer to
+provision, trading burst absorption against switch cost, from whatever
+queue-length visibility she has.  This example compares the provisioning
+decision made from three views of the same network:
+
+1. the coarse periodic samples alone (what she has today),
+2. the fine-grained series imputed by Transformer+KAL+CEM,
+3. the 1 ms ground truth (what she would ideally have).
+
+Run:  python examples/buffer_provisioning.py
+"""
+
+import numpy as np
+
+from repro.downstream.provisioning import (
+    burst_statistics,
+    provisioning_gap,
+    recommend_buffer,
+)
+from repro.eval import format_table, generate_dataset, quick_scenario
+from repro.imputation import ImputationPipeline, PipelineConfig
+
+
+def main() -> None:
+    scenario = quick_scenario()
+    train, val, test = generate_dataset(scenario, seed=4)
+    print(f"training the full method on {len(train)} windows...")
+    pipeline = ImputationPipeline(
+        train,
+        PipelineConfig(
+            use_kal=True,
+            use_cem=True,
+            model=dict(d_model=32, num_layers=2, d_ff=64),
+            trainer=dict(epochs=8, batch_size=8, seed=0),
+        ),
+        val=val,
+        seed=0,
+    ).fit()
+
+    # Concatenate the test windows into one longitudinal record per view.
+    truth = np.concatenate([s.target_raw for s in test.samples], axis=1)
+    imputed = np.concatenate(
+        [pipeline.impute(s) for s in test.samples], axis=1
+    )
+    coarse = np.concatenate(
+        [np.repeat(s.m_sample, s.interval, axis=1) for s in test.samples], axis=1
+    )
+
+    views = {"periodic samples": coarse, "imputed (full method)": imputed, "ground truth": truth}
+    rows = []
+    for name, series in views.items():
+        stats = burst_statistics(series, threshold=5.0)
+        total_bursts = sum(s.count for s in stats)
+        peak = max((s.p99_peak for s in stats), default=0.0)
+        rec = recommend_buffer(series, percentile=99.9, headroom=1.1)
+        rows.append([name, str(total_bursts), f"{peak:.0f}", str(rec)])
+    print()
+    print(format_table(["view", "bursts seen", "p99 burst peak", "buffer rec."], rows))
+
+    gap_coarse = provisioning_gap(coarse, truth, percentile=99.9)
+    gap_imputed = provisioning_gap(imputed, truth, percentile=99.9)
+    print(f"\nprovisioning gap vs ground truth (negative = under-provisioned):")
+    print(f"  from periodic samples: {gap_coarse * 100:+.0f}%")
+    print(f"  from imputed series:   {gap_imputed * 100:+.0f}%")
+    print("\n=> sampling misses bursts and under-provisions; imputation recovers")
+    print("   most of the fine-grained structure the decision needs (§2.1).")
+
+
+if __name__ == "__main__":
+    main()

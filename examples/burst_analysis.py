@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Downstream burst analysis on imputed series (Table 1 rows d-i).
+
+Trains the transformer variants, imputes the test set with each method,
+runs the burst-analysis tasks (detection, height, frequency, inter-arrival,
+empty-queue frequency, concurrent bursts) on the imputed series, and prints
+the normalised errors — a compact version of Table 1's lower half.
+
+Run:  python examples/burst_analysis.py
+"""
+
+from repro.downstream import DownstreamReport, evaluate_downstream
+from repro.eval import format_table, generate_dataset, quick_scenario
+from repro.imputation import (
+    ConstraintEnforcer,
+    ImputationPipeline,
+    IterativeImputer,
+    PipelineConfig,
+)
+
+
+def main() -> None:
+    scenario = quick_scenario()
+    train, val, test = generate_dataset(scenario, seed=1)
+    print(f"{len(train)} train / {len(test)} test windows")
+
+    print("training transformer (EMD) and transformer+KAL...")
+    plain = ImputationPipeline(
+        train,
+        PipelineConfig(
+            use_kal=False, use_cem=False,
+            model=dict(d_model=32, num_layers=2, d_ff=64),
+            trainer=dict(epochs=10, batch_size=8, seed=0),
+        ),
+        val=val, seed=0,
+    ).fit()
+    kal = ImputationPipeline(
+        train,
+        PipelineConfig(
+            use_kal=True, use_cem=True,
+            model=dict(d_model=32, num_layers=2, d_ff=64),
+            trainer=dict(epochs=10, batch_size=8, seed=0),
+        ),
+        val=val, seed=0,
+    ).fit()
+
+    iterative = IterativeImputer()
+    enforcer = ConstraintEnforcer(test.switch_config)
+    methods = {
+        "IterImputer": iterative.impute,
+        "Transformer": plain.impute_raw,
+        "Transformer+KAL": kal.impute_raw,
+        "Transformer+KAL+CEM": kal.impute,
+    }
+
+    print("running the burst-analysis tasks on every test window...")
+    rows = {name: [] for name in methods}
+    for sample in test.samples:
+        for name, impute in methods.items():
+            rows[name].append(evaluate_downstream(impute(sample), sample.target_raw))
+    averaged = {name: DownstreamReport.average(r) for name, r in rows.items()}
+
+    metrics = [
+        ("Burst Detection", "burst_detection"),
+        ("Burst Height", "burst_height"),
+        ("Burst Frequency", "burst_frequency"),
+        ("Burst Interarrival", "burst_interarrival"),
+        ("Empty Queue Freq", "empty_queue"),
+        ("Concurrent Bursts", "concurrent_bursts"),
+    ]
+    table = [
+        [label] + [f"{getattr(averaged[name], attr):.3f}" for name in methods]
+        for label, attr in metrics
+    ]
+    print()
+    print(format_table(["Task (normalised error)"] + list(methods), table))
+    print("\nlower is better; the full method should win or tie most rows,")
+    print("matching the 11-96% improvements the paper reports over ML alone.")
+    # The enforcer import is used indirectly through kal.impute's CEM; keep
+    # a reference so the example also demonstrates standalone composition:
+    sample = test[0]
+    corrected = enforcer.enforce(iterative.impute(sample), sample)
+    print(f"\n(bonus) CEM also composes with IterImputer: corrected window "
+          f"changes {abs(corrected - iterative.impute(sample)).sum():.1f} packet-bins")
+
+
+if __name__ == "__main__":
+    main()

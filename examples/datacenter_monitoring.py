@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The Fig.-1 story: coarse-grained monitoring hides incidents.
+
+Simulates the paper's datacenter scenario and shows, for the most bursty
+queue, what the operator sees (periodic samples every 50 ms, LANZ maxima,
+SNMP counters) versus what actually happened at 1 ms granularity — and
+how the coarse series correlate with each other, which is what makes
+imputation possible at all.
+
+Run:  python examples/datacenter_monitoring.py
+"""
+
+from repro.eval import fig1_data, generate_trace, paper_scenario, render_series
+
+
+def main() -> None:
+    scenario = paper_scenario()
+    print(f"simulating {scenario.duration_bins} ms of websearch + incast traffic...")
+    trace = generate_trace(scenario, seed=7)
+
+    # Pick the queue with the largest peak (the incast victim, usually).
+    queue = int(trace.qlen.max(axis=1).argmax())
+    data = fig1_data(trace, queue=queue, interval=scenario.interval)
+
+    # Show a 500 ms excerpt around the global peak.
+    peak_bin = int(data.fine_qlen.argmax())
+    start = max(0, (peak_bin // data.interval) * data.interval - 200)
+    stop = min(len(data.fine_qlen), start + 500)
+    excerpt = data.fine_qlen[start:stop]
+
+    print(f"\nqueue {queue}, bins {start}-{stop} (1 ms each) — the real story:")
+    print(render_series(excerpt, height=8, width=100))
+
+    first_interval = start // data.interval
+    last_interval = stop // data.interval
+    print("\nwhat the operator sees every 50 ms:")
+    header = "interval   sampled_qlen   lanz_max   port_sent   port_dropped"
+    print(header)
+    for i in range(first_interval, last_interval):
+        print(
+            f"{i:>8}   {data.periodic_samples[i]:>12.0f}   "
+            f"{data.max_per_interval[i]:>8.0f}   {data.sent_per_interval[i]:>9.0f}   "
+            f"{data.dropped_per_interval[i]:>12.0f}"
+        )
+
+    hidden = data.max_per_interval - data.periodic_samples
+    print(
+        f"\nlargest burst the periodic sampler missed: "
+        f"{hidden.max():.0f} packets (interval {int(hidden.argmax())})"
+    )
+    print(
+        "correlation(per-interval max qlen, port sent count): "
+        f"{data.correlation_sent_vs_qlen():.2f}"
+    )
+    drops = data.dropped_per_interval
+    maxes = data.max_per_interval
+    if drops.max() > 0:
+        print(
+            "mean LANZ max in drop intervals vs quiet intervals: "
+            f"{maxes[drops > 0].mean():.1f} vs {maxes[drops == 0].mean():.1f}"
+        )
+    print("\n=> the coarse series are correlated: exactly the structure the")
+    print("   transformer learns and the FM constraints encode (paper §2).")
+
+
+if __name__ == "__main__":
+    main()

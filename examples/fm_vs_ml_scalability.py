@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""FM alone vs ML+FM: the scalability cliff (§2.3 / §4).
+
+Solves the full per-time-step switch model at growing horizons with the
+SMT-lite solver and contrasts it with the Constraint Enforcement Module's
+per-window correction time.  Reproduces the paper's qualitative result:
+complete search explodes with the horizon (Z3 needed minutes for toy
+scenarios and did not finish realistic ones in 24 h), while the CEM stays
+around a second per 50 ms window regardless.
+
+Run:  python examples/fm_vs_ml_scalability.py
+"""
+
+import numpy as np
+
+from repro.eval import cem_timing, fm_scaling, format_table, generate_dataset, quick_scenario
+
+
+def main() -> None:
+    print("=== FM alone: solve time vs horizon (packet time steps) ===")
+    horizons = [8, 16, 32]
+    points = fm_scaling(horizons, steps_per_interval=8, node_limit=2_000, seed=0)
+    rows = [
+        [
+            str(p.horizon),
+            p.status,
+            f"{p.solve_seconds:.2f}s",
+            str(p.nodes_explored),
+            "yes" if p.hit_node_limit else "no",
+        ]
+        for p in points
+    ]
+    print(format_table(["horizon", "status", "time", "B&B nodes", "gave up"], rows))
+
+    print("\n=== CEM: correction time per 300 ms window ===")
+    _, _, test = generate_dataset(quick_scenario(), seed=0)
+    rng = np.random.default_rng(0)
+    noisy = [
+        np.clip(s.target_raw + rng.normal(0, 2, s.target_raw.shape), 0, None)
+        for s in test.samples
+    ]
+    timing = cem_timing(test, noisy, max_milp_windows=2, milp_intervals=1)
+    print(f"fast combinatorial CEM: {timing.greedy_seconds * 1e3:.2f} ms per 300 ms "
+          f"window ({timing.num_windows} windows)")
+    print(f"solver-based CEM (the paper's Z3 formulation): "
+          f"{timing.milp_seconds:.2f} s per 50 ms interval "
+          f"(paper: 1.47 s with Z3)")
+    print("\n=> FM-only effort grows explosively with the horizon; the CEM's")
+    print("   window-local constraints keep enforcement tractable (paper: 1.47 s")
+    print("   per 50 ms window vs >24 h for FM alone).")
+
+
+if __name__ == "__main__":
+    main()

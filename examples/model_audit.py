@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Verifying that a model learned the networking principles (§5).
+
+The paper asks: "How can we verify that an ML system has indeed learned
+networking principles?"  This example audits three imputers against the
+switch constraints C1-C3 over a held-out corpus plus perturbed variants
+(scaled measurement magnitudes), and prints satisfaction rates — the
+difference between *training with* knowledge (KAL), *enforcing* it (CEM),
+and having neither.
+
+Run:  python examples/model_audit.py
+"""
+
+from repro.eval import generate_dataset, quick_scenario
+from repro.imputation import ImputationPipeline, IterativeImputer, PipelineConfig
+from repro.imputation.base import Imputer
+from repro.verify import ConstraintVerifier
+
+
+def main() -> None:
+    scenario = quick_scenario()
+    train, val, test = generate_dataset(scenario, seed=2)
+    print(f"training on {len(train)} windows; auditing on {len(test)} + perturbations")
+
+    pipeline = ImputationPipeline(
+        train,
+        PipelineConfig(
+            use_kal=True,
+            use_cem=False,  # audited separately below
+            model=dict(d_model=32, num_layers=2, d_ff=64),
+            trainer=dict(epochs=8, batch_size=8, seed=0),
+        ),
+        val=val,
+        seed=0,
+    ).fit()
+
+    class KalOnly(Imputer):
+        def impute(self, sample):
+            return pipeline.impute_raw(sample)
+
+    class KalPlusCem(Imputer):
+        def impute(self, sample):
+            return pipeline.enforcer.enforce(pipeline.impute_raw(sample), sample)
+
+    verifier = ConstraintVerifier(test, tolerance=0.05)
+    for name, imputer in (
+        ("IterativeImputer", IterativeImputer()),
+        ("Transformer+KAL", KalOnly()),
+        ("Transformer+KAL+CEM", KalPlusCem()),
+    ):
+        report = verifier.verify(imputer, perturbations=2, seed=0)
+        print(f"\n=== {name} ===")
+        print(report.summary())
+
+    print("\n=> KAL teaches the model to *approximately* respect knowledge;")
+    print("   only enforcement (CEM) yields a 100% guarantee — the paper's")
+    print("   argument for combining both.")
+
+
+if __name__ == "__main__":
+    main()

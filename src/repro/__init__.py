@@ -1,0 +1,23 @@
+"""repro — reproduction of "Towards Integrating Formal Methods into
+ML-Based Systems for Networking" (Gong et al., HotNets '23).
+
+The package implements the paper's full case study: imputing fine-grained
+(1 ms) switch queue-length time series from coarse-grained (50 ms)
+telemetry by combining a transformer (trained with an EMD loss and a
+Knowledge-Augmented Loss) with a Constraint Enforcement Module, alongside
+the FM-only and statistical baselines the paper compares against — all on
+top of from-scratch substrates (autodiff engine, switch simulator,
+SMT-style solver).
+
+Typical entry points:
+
+* :func:`repro.eval.scenarios.generate_dataset` — simulate a datacenter
+  switch and produce the coarse/fine telemetry dataset.
+* :class:`repro.imputation.pipeline.ImputationPipeline` — the paper's full
+  Transformer + KAL + CEM method.
+* :mod:`repro.eval.table1` — regenerate Table 1.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,80 @@
+"""Composite differentiable functions built from ``Tensor`` primitives.
+
+Everything here is expressed in terms of the primitive ops in
+:mod:`repro.autodiff.tensor`, so gradients come for free and stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT)."""
+    inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis with affine parameters."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    variance = (centred * centred).mean(axis=-1, keepdims=True)
+    normalised = centred / (variance + eps).sqrt()
+    return normalised * weight + bias
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` (weight shaped in_features × out)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error over all elements."""
+    return (prediction - target).abs().mean()
+
+
+def smooth_nonempty_indicator(x: Tensor, scale: float = 10.0) -> Tensor:
+    """Differentiable surrogate for ``1[x > 0]`` used by constraint C3.
+
+    The paper (§3.1) applies a Tanh to each *scaled* queue length so that
+    the output is ~1 for positive lengths and ~0 for empty queues.  Queue
+    lengths are non-negative, so ``tanh(scale * x)`` suffices.
+    """
+    return (x * scale).tanh()

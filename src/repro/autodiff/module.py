@@ -1,0 +1,123 @@
+"""``Parameter`` / ``Module`` machinery for building neural networks.
+
+``Module`` discovers parameters and sub-modules by scanning instance
+attributes (including lists of modules), mirroring the ergonomics of the
+PyTorch API at a fraction of the surface area.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A ``Tensor`` that is always created with ``requires_grad=True``."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters must require grad even when constructed inside a
+        # no_grad() block (e.g. a model built during evaluation).
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-classes assign :class:`Parameter` and ``Module`` instances (or lists
+    of them) as attributes; :meth:`parameters` walks them recursively.
+    """
+
+    training: bool = True
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Parameter / module discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------
+    # Training mode
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Put this module and all children into training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and all children into evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Gradient and state management
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())

@@ -1,0 +1,229 @@
+"""Command-line interface: simulate, train, impute, and run experiments.
+
+Usage (installed as the console script ``repro`` or via
+``python -m repro.cli``)::
+
+    repro simulate --duration 2000 --out trace.npz
+    repro train --profile quick --epochs 10 --out model.npz
+    repro impute --model model.npz --profile quick
+    repro table1 --profile quick
+    repro scalability --horizons 8 16 32
+
+All subcommands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _scenario(args) -> "ScenarioConfig":
+    from repro.eval.scenarios import paper_scenario, quick_scenario
+
+    scenario = paper_scenario() if args.profile == "paper" else quick_scenario()
+    if getattr(args, "duration", None):
+        scenario = type(scenario)(**{**scenario.__dict__, "duration_bins": args.duration})
+    return scenario
+
+
+def cmd_simulate(args) -> int:
+    """Simulate the scenario and save the fine-grained trace as .npz."""
+    from repro.eval.scenarios import generate_trace
+    from repro.switchsim.io import save_trace
+
+    scenario = _scenario(args)
+    trace = generate_trace(scenario, seed=args.seed)
+    save_trace(trace, args.out)
+    print(
+        f"simulated {trace.num_bins} bins x {trace.num_queues} queues "
+        f"(max qlen {trace.qlen.max()}, drops {trace.dropped.sum()}) -> {args.out}"
+    )
+    return 0
+
+
+def cmd_train(args) -> int:
+    """Train the transformer (+KAL) and save its parameters."""
+    from repro.eval.scenarios import generate_dataset
+    from repro.eval.table1 import Table1Config, train_transformer
+    from repro.nn.serialization import save_module
+
+    scenario = _scenario(args)
+    train, val, test = generate_dataset(scenario, seed=args.seed)
+    config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
+    model, seconds = train_transformer(train, val, config, use_kal=not args.no_kal)
+    save_module(model, args.out)
+    print(
+        f"trained on {len(train)} windows in {seconds:.0f}s "
+        f"(KAL={'off' if args.no_kal else 'on'}) -> {args.out}"
+    )
+    print(f"val/test windows available: {len(val)}/{len(test)}")
+    return 0
+
+
+def cmd_impute(args) -> int:
+    """Load a trained model, impute the test split, report consistency."""
+    from repro.constraints import check_constraints
+    from repro.eval.scenarios import generate_dataset
+    from repro.eval.table1 import Table1Config
+    from repro.imputation import ConstraintEnforcer
+    from repro.imputation.transformer_imputer import TransformerConfig, TransformerImputer
+    from repro.nn.serialization import load_module
+
+    scenario = _scenario(args)
+    train, _, test = generate_dataset(scenario, seed=args.seed)
+    table_config = Table1Config(scenario=scenario, seed=args.seed)
+    model = TransformerImputer(
+        TransformerConfig(
+            num_features=train.num_features,
+            num_queues=train.num_queues,
+            d_model=table_config.d_model,
+            num_heads=table_config.num_heads,
+            num_layers=table_config.num_layers,
+            d_ff=table_config.d_ff,
+        ),
+        train.scaler,
+        seed=args.seed,
+    )
+    load_module(model, args.model)
+    enforcer = ConstraintEnforcer(test.switch_config)
+
+    satisfied = 0
+    mae_total = 0.0
+    for sample in test.samples:
+        imputed = enforcer.enforce(model.impute(sample), sample)
+        report = check_constraints(imputed, sample, test.switch_config)
+        satisfied += report.satisfied
+        mae_total += float(np.abs(imputed - sample.target_raw).mean())
+    print(
+        f"imputed {len(test)} windows: {satisfied}/{len(test)} constraint-"
+        f"satisfied, MAE {mae_total / max(len(test), 1):.3f} packets"
+    )
+    return 0 if satisfied == len(test) else 1
+
+
+def cmd_table1(args) -> int:
+    """Run the full Table-1 experiment and print the table."""
+    from repro.eval.table1 import Table1Config, run_table1
+
+    scenario = _scenario(args)
+    config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
+    result = run_table1(config)
+    print(result.render())
+    print()
+    for key, value in result.improvement_over_transformer().items():
+        print(f"  {key}: {value:+.1f}% vs plain transformer")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Audit a trained model against the switch constraints (C1-C3)."""
+    from repro.eval.scenarios import generate_dataset
+    from repro.eval.table1 import Table1Config
+    from repro.imputation.transformer_imputer import TransformerConfig, TransformerImputer
+    from repro.nn.serialization import load_module
+    from repro.verify import ConstraintVerifier
+
+    scenario = _scenario(args)
+    train, _, test = generate_dataset(scenario, seed=args.seed)
+    table_config = Table1Config(scenario=scenario, seed=args.seed)
+    model = TransformerImputer(
+        TransformerConfig(
+            num_features=train.num_features,
+            num_queues=train.num_queues,
+            d_model=table_config.d_model,
+            num_heads=table_config.num_heads,
+            num_layers=table_config.num_layers,
+            d_ff=table_config.d_ff,
+        ),
+        train.scaler,
+        seed=args.seed,
+    )
+    load_module(model, args.model)
+    verifier = ConstraintVerifier(test, tolerance=args.tolerance)
+    report = verifier.verify(model, perturbations=args.perturbations, seed=args.seed)
+    print(report.summary())
+    return 0 if report.tolerant_rate >= args.required_rate else 1
+
+
+def cmd_scalability(args) -> int:
+    """FM-alone solve effort vs horizon."""
+    from repro.eval.report import format_table
+    from repro.eval.scalability import fm_scaling
+
+    points = fm_scaling(args.horizons, steps_per_interval=4, node_limit=args.node_limit)
+    rows = [
+        [str(p.horizon), p.status, f"{p.solve_seconds:.2f}", str(p.nodes_explored)]
+        for p in points
+    ]
+    print(format_table(["horizon", "status", "seconds", "nodes"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FM+ML telemetry imputation (HotNets '23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--profile", choices=("paper", "quick"), default="quick")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="simulate a switch trace")
+    common(p)
+    p.add_argument("--duration", type=int, help="fine bins to simulate")
+    p.add_argument("--out", type=Path, default=Path("trace.npz"))
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("train", help="train the transformer imputer")
+    common(p)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--no-kal", action="store_true", help="disable the knowledge-augmented loss")
+    p.add_argument("--out", type=Path, default=Path("model.npz"))
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("impute", help="impute the test split with a trained model")
+    common(p)
+    p.add_argument("--model", type=Path, required=True)
+    p.set_defaults(func=cmd_impute)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    common(p)
+    p.add_argument("--epochs", type=int, default=10)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("verify", help="audit a trained model against C1-C3")
+    common(p)
+    p.add_argument("--model", type=Path, required=True)
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument("--perturbations", type=int, default=0)
+    p.add_argument(
+        "--required-rate",
+        type=float,
+        default=0.0,
+        help="exit non-zero if the within-tolerance rate falls below this",
+    )
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("scalability", help="FM-alone scaling study")
+    p.add_argument("--horizons", type=int, nargs="+", default=[8, 16, 32])
+    p.add_argument("--node-limit", type=int, default=2_000)
+    p.set_defaults(func=cmd_scalability)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's constraint set C1–C3 (§3) in two forms.
+
+* :mod:`~repro.constraints.spec` — exact (non-differentiable) evaluation of
+  the constraints on an imputed series in packet units.  These provide the
+  consistency-error metrics of Table 1 rows a–c and the satisfaction checks
+  the CEM must pass.
+* :mod:`~repro.constraints.differentiable` — the differentiable relaxations
+  Φ (equality constraints C1/C2) and Ψ (inequality constraint C3, via a
+  Tanh surrogate for the non-differentiable ``ite``) that the
+  Knowledge-Augmented Loss folds into training (§3.1).
+"""
+
+from repro.constraints.spec import (
+    ConstraintReport,
+    check_constraints,
+    max_constraint_error,
+    periodic_constraint_error,
+    sent_count_error,
+)
+from repro.constraints.differentiable import (
+    phi_max,
+    phi_periodic,
+    psi_sent,
+)
+
+__all__ = [
+    "ConstraintReport",
+    "check_constraints",
+    "max_constraint_error",
+    "periodic_constraint_error",
+    "sent_count_error",
+    "phi_max",
+    "phi_periodic",
+    "psi_sent",
+]

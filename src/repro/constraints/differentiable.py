@@ -1,0 +1,81 @@
+"""Differentiable relaxations Φ and Ψ of constraints C1–C3 (§3.1).
+
+The Knowledge-Augmented Loss needs the constraints as differentiable
+functions of the transformer output.  C1/C2 are equalities whose residuals
+are already differentiable (max is differentiable a.e., like max-pooling).
+C3 contains an ``ite`` over "queue non-empty"; following the paper we
+replace the indicator with ``tanh(scale * qlen)`` — ~1 for non-empty, ~0
+for empty — and model the disjunction across a port's queues by summing
+the indicators (an over-approximation of OR, which is safe for a
+lower-bound constraint that only penalises *excess* non-emptiness).
+
+All functions operate on **normalised** predictions shaped ``(B, Q, T)``
+and return per-example residual tensors; the KAL trainer squares/weights
+them (augmented Lagrangian).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.switchsim.switch import SwitchConfig
+
+
+def _group_intervals(pred: Tensor, interval: int) -> Tensor:
+    """Reshape (B, Q, T) into (B, Q, I, interval)."""
+    b, q, t = pred.shape
+    if t % interval:
+        raise ValueError(f"length {t} not a multiple of interval {interval}")
+    return pred.reshape(b, q, t // interval, interval)
+
+
+def phi_max(pred: Tensor, m_max_norm: np.ndarray, interval: int) -> Tensor:
+    """C1 residual: per-interval max minus measured max, shape (B, Q, I).
+
+    ``m_max_norm`` is the LANZ max in the same normalised units as
+    ``pred``.
+    """
+    maxima = _group_intervals(pred, interval).max(axis=3)
+    return maxima - Tensor(np.asarray(m_max_norm, dtype=float))
+
+
+def phi_periodic(
+    pred: Tensor, m_sample_norm: np.ndarray, sample_positions: np.ndarray
+) -> Tensor:
+    """C2 residual: imputed value at sampled bins minus sample, (B, Q, I)."""
+    positions = np.asarray(sample_positions, dtype=int)
+    sampled = pred[:, :, positions]
+    return sampled - Tensor(np.asarray(m_sample_norm, dtype=float))
+
+
+def psi_sent(
+    pred: Tensor,
+    m_sent: np.ndarray,
+    config: SwitchConfig,
+    interval: int,
+    indicator_scale: float = 10.0,
+) -> Tensor:
+    """C3 residual Ψ: smoothed NE minus sent count, normalised by interval.
+
+    Returns shape (B, P, I); the constraint is ``Ψ <= 0``.  The smoothed
+    non-empty indicator is ``tanh(indicator_scale * qlen_normalised)``.
+    ``NE`` is counted in fine bins while ``m_sent`` is in packets — the
+    same (valid, conservative) comparison the paper makes when it states
+    C3 over the millisecond-granularity imputed series: a port with a
+    non-empty queue in a bin sends at least one packet in that bin, so the
+    bin count lower-bounds the packet count.  The residual is divided by
+    ``interval`` to express it as a fraction of the interval.
+    """
+    indicator = (pred * indicator_scale).tanh()
+    per_port = []
+    for port in range(config.num_ports):
+        idx = list(config.queues_of_port(port))
+        # Sum of per-queue indicators over-approximates the OR (>= OR).
+        port_busy = indicator[:, idx, :].sum(axis=1)  # (B, T)
+        b, t = port_busy.shape
+        ne = port_busy.reshape(b, t // interval, interval).sum(axis=2)  # (B, I)
+        per_port.append(ne)
+    ne_all = Tensor.stack(per_port, axis=1)  # (B, P, I)
+    sent = Tensor(np.asarray(m_sent, dtype=float))
+    return (ne_all - sent) * (1.0 / interval)

@@ -1,0 +1,122 @@
+"""Exact evaluation of constraints C1–C3 on an imputed series.
+
+All functions take the imputed queue lengths in **packet units** shaped
+``(Q, T)`` for one window, plus the window's coarse measurements, and
+return *normalised errors* in the style of Table 1: each constraint's
+violation magnitude scaled to a comparable, dimensionless quantity, then
+averaged.
+
+Definitions (window of ``I`` intervals of ``interval`` fine bins):
+
+* **C1 (max)**: for every queue ``q`` and interval ``i``, the max of the
+  imputed series over the interval must equal the LANZ max ``m_max[q, i]``.
+  Error: ``|max - m_max| / max(m_max, 1)`` averaged over (q, i).
+* **C2 (periodic)**: at each sampled bin the imputed value must equal the
+  sample.  Error: ``|imputed - sample| / max(sample, 1)`` averaged.
+* **C3 (sent count)**: per port ``p`` and interval ``i``, the number of
+  bins in which some queue of the port is non-empty (``NE``) is a lower
+  bound on SNMP sent packets.  Only *excess* is a violation (the
+  constraint is one-sided): ``max(0, NE - m_sent) / interval`` averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.dataset import ImputationSample
+from repro.utils.validation import check_positive
+
+#: Queue lengths below this many packets count as "empty" when evaluating
+#: C3 on continuous model outputs (the models emit real-valued series).
+NONEMPTY_EPSILON = 0.5
+
+
+def _interval_view(series: np.ndarray, interval: int) -> np.ndarray:
+    """Reshape (Q, T) into (Q, I, interval); T must divide evenly."""
+    q, t = series.shape
+    if t % interval:
+        raise ValueError(f"series length {t} not a multiple of interval {interval}")
+    return series.reshape(q, t // interval, interval)
+
+
+def max_constraint_error(
+    imputed: np.ndarray, m_max: np.ndarray, interval: int
+) -> float:
+    """Normalised C1 error (Table 1 row a)."""
+    check_positive("interval", interval)
+    by_interval = _interval_view(np.asarray(imputed, dtype=float), interval)
+    maxima = by_interval.max(axis=2)
+    denom = np.maximum(np.asarray(m_max, dtype=float), 1.0)
+    return float((np.abs(maxima - m_max) / denom).mean())
+
+
+def periodic_constraint_error(
+    imputed: np.ndarray, m_sample: np.ndarray, sample_positions: np.ndarray
+) -> float:
+    """Normalised C2 error (Table 1 row b)."""
+    imputed = np.asarray(imputed, dtype=float)
+    sampled = imputed[:, np.asarray(sample_positions, dtype=int)]
+    denom = np.maximum(np.asarray(m_sample, dtype=float), 1.0)
+    return float((np.abs(sampled - m_sample) / denom).mean())
+
+
+def nonempty_bins(
+    imputed: np.ndarray,
+    config: SwitchConfig,
+    interval: int,
+    epsilon: float = NONEMPTY_EPSILON,
+) -> np.ndarray:
+    """``NE[p, i]``: bins per interval in which port p has a non-empty queue."""
+    imputed = np.asarray(imputed, dtype=float)
+    counts = []
+    for port in range(config.num_ports):
+        idx = list(config.queues_of_port(port))
+        busy = (imputed[idx] > epsilon).any(axis=0).astype(float)
+        counts.append(_interval_view(busy[None, :], interval)[0].sum(axis=1))
+    return np.stack(counts, axis=0)
+
+
+def sent_count_error(
+    imputed: np.ndarray,
+    m_sent: np.ndarray,
+    config: SwitchConfig,
+    interval: int,
+    epsilon: float = NONEMPTY_EPSILON,
+) -> float:
+    """Normalised C3 error (Table 1 row c): one-sided excess of NE over sent."""
+    ne = nonempty_bins(imputed, config, interval, epsilon)
+    excess = np.maximum(0.0, ne - np.asarray(m_sent, dtype=float))
+    return float((excess / interval).mean())
+
+
+@dataclass
+class ConstraintReport:
+    """Per-constraint normalised errors for one imputed window."""
+
+    max_error: float
+    periodic_error: float
+    sent_error: float
+
+    @property
+    def satisfied(self) -> bool:
+        """All three constraints hold (up to numerical tolerance)."""
+        tol = 1e-9
+        return (
+            self.max_error <= tol and self.periodic_error <= tol and self.sent_error <= tol
+        )
+
+
+def check_constraints(
+    imputed: np.ndarray, sample: ImputationSample, config: SwitchConfig
+) -> ConstraintReport:
+    """Evaluate C1–C3 for an imputed window against its measurements."""
+    return ConstraintReport(
+        max_error=max_constraint_error(imputed, sample.m_max, sample.interval),
+        periodic_error=periodic_constraint_error(
+            imputed, sample.m_sample, sample.sample_positions
+        ),
+        sent_error=sent_count_error(imputed, sample.m_sent, config, sample.interval),
+    )

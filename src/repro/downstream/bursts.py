@@ -1,0 +1,63 @@
+"""Burst identification in queue-length series.
+
+Follows the threshold method of Woodruff et al. ("Measuring burstiness in
+data center applications", Buffer Sizing '19 — [56] in the paper): a burst
+is a maximal run of time bins in which the queue length stays above a
+threshold; it is characterised by its start, duration and peak height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_non_negative
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One burst: bins ``[start, end)`` with peak queue length ``peak``."""
+
+    start: int
+    end: int
+    peak: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Burst") -> bool:
+        """Whether the two bursts share at least one bin."""
+        return self.start < other.end and other.start < self.end
+
+
+def detect_bursts(series: np.ndarray, threshold: float = 5.0) -> list[Burst]:
+    """Find maximal above-threshold runs in a 1-D queue-length series."""
+    series = check_1d("series", series)
+    check_non_negative("threshold", threshold)
+    above = series > threshold
+    if not above.any():
+        return []
+    # Run-length encode the boolean mask.
+    padded = np.diff(np.concatenate([[0], above.astype(np.int8), [0]]))
+    starts = np.nonzero(padded == 1)[0]
+    ends = np.nonzero(padded == -1)[0]
+    return [
+        Burst(start=int(s), end=int(e), peak=float(series[s:e].max()))
+        for s, e in zip(starts, ends)
+    ]
+
+
+def burst_mask(series: np.ndarray, threshold: float = 5.0) -> np.ndarray:
+    """Boolean per-bin mask: bin belongs to a burst."""
+    series = check_1d("series", series)
+    return series > threshold
+
+
+def interarrival_times(bursts: list[Burst]) -> np.ndarray:
+    """Gaps between consecutive burst starts, in bins (empty if < 2 bursts)."""
+    if len(bursts) < 2:
+        return np.array([])
+    starts = np.array(sorted(b.start for b in bursts), dtype=float)
+    return np.diff(starts)

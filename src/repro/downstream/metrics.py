@@ -1,0 +1,182 @@
+"""Normalised downstream-task errors (Table 1 rows d–i).
+
+Every metric compares an imputed window ``(Q, T)`` against the ground
+truth and returns a normalised, dimensionless error (lower is better), in
+the spirit of §4: *"we calculate the normalized errors of burst
+occurrence, burst height, burst frequency, average inter-arrival time
+between consecutive bursts, and the number of queues experiencing a burst
+at the same 1 ms interval"*, plus *"the frequency of empty queues which is
+crucial for queue health."*
+
+Conventions:
+
+* relative-magnitude errors are ``|imputed − true| / true`` with the true
+  statistic in the denominator (so over-estimation can exceed 1, as the
+  paper's row g shows for the IterativeImputer);
+* queue×window cells where a statistic is undefined for *both* series
+  (e.g. no bursts anywhere) contribute zero error; defined-on-one-side
+  cells contribute the maximal mismatch of 1.0 for detection-style
+  metrics and the relative error against the defined side otherwise;
+* the burst detection error is ``1 − F1`` over overlap-matched bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.downstream.bursts import Burst, burst_mask, detect_bursts, interarrival_times
+
+_EPS = 1e-12
+
+
+def _relative_error(imputed_stat: float, true_stat: float) -> float:
+    """|imputed − true| / true with sane handling of zero denominators."""
+    if abs(true_stat) < _EPS:
+        return 0.0 if abs(imputed_stat) < _EPS else 1.0
+    return abs(imputed_stat - true_stat) / abs(true_stat)
+
+
+def _match_bursts(imputed: list[Burst], truth: list[Burst]) -> tuple[int, int, int]:
+    """Greedy overlap matching; returns (true_pos, false_pos, false_neg)."""
+    matched_truth: set[int] = set()
+    tp = 0
+    for burst in imputed:
+        for j, true_burst in enumerate(truth):
+            if j not in matched_truth and burst.overlaps(true_burst):
+                matched_truth.add(j)
+                tp += 1
+                break
+    fp = len(imputed) - tp
+    fn = len(truth) - tp
+    return tp, fp, fn
+
+
+def burst_detection_error(
+    imputed: np.ndarray, truth: np.ndarray, threshold: float = 5.0
+) -> float:
+    """Row d: 1 − F1 of overlap-matched bursts, averaged over queues."""
+    errors = []
+    for q in range(truth.shape[0]):
+        pred = detect_bursts(imputed[q], threshold)
+        actual = detect_bursts(truth[q], threshold)
+        if not pred and not actual:
+            continue
+        tp, fp, fn = _match_bursts(pred, actual)
+        f1 = 2 * tp / max(2 * tp + fp + fn, 1)
+        errors.append(1.0 - f1)
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def burst_height_error(
+    imputed: np.ndarray, truth: np.ndarray, threshold: float = 5.0
+) -> float:
+    """Row e: relative error of the mean burst peak height, per queue."""
+    errors = []
+    for q in range(truth.shape[0]):
+        pred = detect_bursts(imputed[q], threshold)
+        actual = detect_bursts(truth[q], threshold)
+        if not pred and not actual:
+            continue
+        pred_height = float(np.mean([b.peak for b in pred])) if pred else 0.0
+        true_height = float(np.mean([b.peak for b in actual])) if actual else 0.0
+        errors.append(_relative_error(pred_height, true_height))
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def burst_frequency_error(
+    imputed: np.ndarray, truth: np.ndarray, threshold: float = 5.0
+) -> float:
+    """Row f: relative error of the burst count per window, per queue."""
+    errors = []
+    for q in range(truth.shape[0]):
+        pred = len(detect_bursts(imputed[q], threshold))
+        actual = len(detect_bursts(truth[q], threshold))
+        if pred == 0 and actual == 0:
+            continue
+        errors.append(_relative_error(pred, actual))
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def burst_interarrival_error(
+    imputed: np.ndarray, truth: np.ndarray, threshold: float = 5.0
+) -> float:
+    """Row g: relative error of the mean inter-arrival gap between bursts."""
+    errors = []
+    for q in range(truth.shape[0]):
+        pred_gaps = interarrival_times(detect_bursts(imputed[q], threshold))
+        true_gaps = interarrival_times(detect_bursts(truth[q], threshold))
+        if len(pred_gaps) == 0 and len(true_gaps) == 0:
+            continue
+        pred_mean = float(pred_gaps.mean()) if len(pred_gaps) else 0.0
+        true_mean = float(true_gaps.mean()) if len(true_gaps) else 0.0
+        errors.append(_relative_error(pred_mean, true_mean))
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def empty_queue_error(
+    imputed: np.ndarray, truth: np.ndarray, empty_epsilon: float = 0.5
+) -> float:
+    """Row h: relative error of the fraction of empty-queue bins."""
+    errors = []
+    for q in range(truth.shape[0]):
+        pred_frac = float((imputed[q] <= empty_epsilon).mean())
+        true_frac = float((truth[q] <= empty_epsilon).mean())
+        errors.append(_relative_error(pred_frac, true_frac))
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def concurrent_burst_error(
+    imputed: np.ndarray, truth: np.ndarray, threshold: float = 5.0
+) -> float:
+    """Row i: relative error of the mean count of concurrently-bursting queues."""
+    pred_concurrent = np.stack(
+        [burst_mask(imputed[q], threshold) for q in range(imputed.shape[0])]
+    ).sum(axis=0)
+    true_concurrent = np.stack(
+        [burst_mask(truth[q], threshold) for q in range(truth.shape[0])]
+    ).sum(axis=0)
+    return _relative_error(float(pred_concurrent.mean()), float(true_concurrent.mean()))
+
+
+@dataclass
+class DownstreamReport:
+    """All six downstream errors for one window (or averaged windows)."""
+
+    burst_detection: float
+    burst_height: float
+    burst_frequency: float
+    burst_interarrival: float
+    empty_queue: float
+    concurrent_bursts: float
+
+    @classmethod
+    def average(cls, reports: list["DownstreamReport"]) -> "DownstreamReport":
+        """Field-wise mean of several reports."""
+        if not reports:
+            raise ValueError("cannot average zero reports")
+        return cls(
+            **{
+                f.name: float(np.mean([getattr(r, f.name) for r in reports]))
+                for f in fields(cls)
+            }
+        )
+
+
+def evaluate_downstream(
+    imputed: np.ndarray, truth: np.ndarray, threshold: float = 5.0
+) -> DownstreamReport:
+    """Compute all Table-1 d–i errors for one imputed window."""
+    imputed = np.asarray(imputed, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if imputed.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {imputed.shape} vs {truth.shape}")
+    return DownstreamReport(
+        burst_detection=burst_detection_error(imputed, truth, threshold),
+        burst_height=burst_height_error(imputed, truth, threshold),
+        burst_frequency=burst_frequency_error(imputed, truth, threshold),
+        burst_interarrival=burst_interarrival_error(imputed, truth, threshold),
+        empty_queue=empty_queue_error(imputed, truth),
+        concurrent_bursts=concurrent_burst_error(imputed, truth, threshold),
+    )

@@ -1,0 +1,79 @@
+"""Cross-seed replication of the Table-1 experiment.
+
+A single-seed table (the paper's, and this repo's default) conflates the
+methods' true ordering with simulation and initialisation luck.  This
+harness reruns the full Table-1 pipeline across seeds — fresh traffic,
+fresh splits, fresh model initialisation per seed — and aggregates each
+cell into mean ± standard deviation, so claims like "the full method
+improves on the transformer" can be checked for seed-robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.eval.report import format_table
+from repro.eval.table1 import METHODS, ROW_LABELS, Table1Config, Table1Result, run_table1
+
+
+@dataclass
+class ReplicatedTable:
+    """Per-cell mean and standard deviation across seeds."""
+
+    mean: dict[str, dict[str, float]]  # row -> method -> mean error
+    std: dict[str, dict[str, float]]
+    seeds: list[int]
+    runs: list[Table1Result]
+
+    def render(self) -> str:
+        """Text table with mean±std cells."""
+        headers = ["Error Metric", *METHODS]
+        rows = []
+        for key, label in ROW_LABELS.items():
+            rows.append(
+                [label]
+                + [
+                    f"{self.mean[key][m]:.3f}±{self.std[key][m]:.3f}"
+                    for m in METHODS
+                ]
+            )
+        return format_table(headers, rows)
+
+    def win_rate(self, method: str, baseline: str, rows: list[str] | None = None) -> float:
+        """Fraction of (seed, row) cells where ``method`` beats ``baseline``."""
+        keys = rows if rows is not None else list(ROW_LABELS)
+        wins = total = 0
+        for run in self.runs:
+            for key in keys:
+                total += 1
+                wins += run.values[key][method] < run.values[key][baseline]
+        return wins / max(total, 1)
+
+
+def run_replicated_table1(
+    config: Table1Config,
+    seeds: list[int],
+) -> ReplicatedTable:
+    """Run Table 1 once per seed and aggregate.
+
+    Each seed re-simulates the scenario, re-splits, and re-initialises the
+    models (the seed is threaded through ``Table1Config.seed``).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs: list[Table1Result] = []
+    for seed in seeds:
+        runs.append(run_table1(replace(config, seed=int(seed))))
+
+    mean: dict[str, dict[str, float]] = {}
+    std: dict[str, dict[str, float]] = {}
+    for key in ROW_LABELS:
+        mean[key] = {}
+        std[key] = {}
+        for method in METHODS:
+            values = np.array([run.values[key][method] for run in runs])
+            mean[key][method] = float(values.mean())
+            std[key][method] = float(values.std())
+    return ReplicatedTable(mean=mean, std=std, seeds=[int(s) for s in seeds], runs=runs)

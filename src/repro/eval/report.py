@@ -1,0 +1,55 @@
+"""Plain-text rendering helpers for tables and time series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width text table with a header separator."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows)) if rows else len(str(headers[c]))
+        for c in range(columns)
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[c]) for c, cell in enumerate(cells))
+
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: np.ndarray,
+    height: int = 8,
+    width: int | None = None,
+    label: str = "",
+) -> str:
+    """ASCII sparkline-style rendering of a non-negative series.
+
+    Used by the examples to visualise queue lengths without matplotlib.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {series.shape}")
+    if width is not None and len(series) > width:
+        # Downsample by max-pooling so bursts stay visible.
+        bins = np.array_split(series, width)
+        series = np.array([b.max() for b in bins])
+    peak = series.max()
+    if peak <= 0:
+        return f"{label}(all zero, {len(series)} bins)"
+    rows = []
+    levels = np.ceil(series / peak * height).astype(int)
+    for level in range(height, 0, -1):
+        row = "".join("█" if levels[t] >= level else " " for t in range(len(series)))
+        rows.append(row)
+    scale = f"{label}peak={peak:.1f}"
+    return "\n".join(rows + [scale])

@@ -1,0 +1,134 @@
+"""The paper's evaluation scenario (§4) and dataset generation.
+
+The paper drives ns-3 with the ABM scenario: websearch background traffic
+plus incast bursts, two queues per port with different classes, shared
+buffer, 1 ms ground truth sampled at 50 ms.  ``paper_scenario`` mirrors
+that setup at this repo's simulator scale; ``quick_scenario`` is a smaller
+variant for tests and smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.switchsim.simulation import Simulation, SimulationTrace
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.dataset import TelemetryDataset, build_dataset
+from repro.traffic.distributions import WebsearchSizes
+from repro.traffic.generators import CompositeTraffic, IncastTraffic, PoissonFlowTraffic
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to simulate the evaluation workload."""
+
+    num_ports: int = 4
+    queues_per_port: int = 2
+    buffer_capacity: int = 150
+    alphas: tuple[float, ...] = (1.0, 0.5)
+    steps_per_bin: int = 16
+    interval: int = 50  # fine bins per coarse interval (50 ms in the paper)
+    window_intervals: int = 6  # 300-bin imputation windows (Fig. 3)
+    stride_intervals: int = 2  # overlapping windows for more training data
+    duration_bins: int = 12000  # simulated fine bins (12 s at 1 ms)
+    websearch_load: float = 0.35  # fraction of aggregate port capacity
+    websearch_sources: int = 16
+    incast_fan_in: int = 8
+    incast_burst: int = 40
+    incast_period: int = 800  # fine bins between incast epochs (per victim)
+    incast_jitter: int = 200
+    incast_dsts: tuple[int, ...] = (1, 3)  # victim ports, phase-shifted
+
+    def switch_config(self) -> SwitchConfig:
+        return SwitchConfig(
+            num_ports=self.num_ports,
+            queues_per_port=self.queues_per_port,
+            buffer_capacity=self.buffer_capacity,
+            alphas=self.alphas,
+        )
+
+
+def paper_scenario() -> ScenarioConfig:
+    """The default (paper-like) scenario."""
+    return ScenarioConfig()
+
+
+def quick_scenario() -> ScenarioConfig:
+    """A small scenario that simulates and trains in seconds (tests/CI)."""
+    return ScenarioConfig(
+        num_ports=2,
+        buffer_capacity=80,
+        steps_per_bin=8,
+        duration_bins=2400,
+        interval=50,
+        window_intervals=6,
+        stride_intervals=3,
+        websearch_sources=8,
+        incast_fan_in=6,
+        incast_burst=25,
+        incast_period=400,
+        incast_jitter=100,
+        incast_dsts=(1,),
+    )
+
+
+def build_traffic(config: ScenarioConfig, seed: RngLike = 0) -> CompositeTraffic:
+    """Websearch background + periodic incast, as in §4."""
+    rng = as_generator(seed)
+    sizes = WebsearchSizes()
+    mean_flow = sizes.mean()
+    # Offered load (packets/step) = flows_per_step * mean_flow_size; the
+    # switch drains num_ports packets/step, so:
+    flows_per_step = config.websearch_load * config.num_ports / mean_flow
+    background = PoissonFlowTraffic(
+        num_sources=config.websearch_sources,
+        num_ports=config.num_ports,
+        flows_per_step=flows_per_step,
+        sizes=sizes,
+        seed=rng,
+    )
+    incasts = []
+    period_steps = config.incast_period * config.steps_per_bin
+    for i, dst in enumerate(config.incast_dsts):
+        incasts.append(
+            IncastTraffic(
+                fan_in=config.incast_fan_in,
+                burst_size=config.incast_burst,
+                period=period_steps,
+                dst_port=dst % config.num_ports,
+                qclass=min(1, config.queues_per_port - 1),
+                jitter=config.incast_jitter * config.steps_per_bin,
+                seed=rng,
+                # Phase-shift the victims so their bursts interleave.
+                start_step=(i * period_steps) // max(len(config.incast_dsts), 1),
+            )
+        )
+    return CompositeTraffic([background, *incasts])
+
+
+def generate_trace(config: ScenarioConfig, seed: RngLike = 0) -> SimulationTrace:
+    """Simulate the scenario and return the fine-grained ground truth."""
+    check_positive("duration_bins", config.duration_bins)
+    simulation = Simulation(
+        config.switch_config(),
+        build_traffic(config, seed=seed),
+        steps_per_bin=config.steps_per_bin,
+    )
+    return simulation.run(config.duration_bins)
+
+
+def generate_dataset(
+    config: ScenarioConfig | None = None, seed: RngLike = 0
+) -> tuple[TelemetryDataset, TelemetryDataset, TelemetryDataset]:
+    """Simulate, window, and split into (train, val, test) datasets."""
+    config = config if config is not None else paper_scenario()
+    trace = generate_trace(config, seed=seed)
+    dataset = build_dataset(
+        trace,
+        interval=config.interval,
+        window_intervals=config.window_intervals,
+        stride_intervals=config.stride_intervals,
+    )
+    return dataset.split(train_fraction=0.7, val_fraction=0.15, seed=seed)

@@ -1,0 +1,21 @@
+"""Formal-methods models of the switch (§2.3) and of the CEM projection.
+
+* :mod:`~repro.fm.model` — the paper's *full* FM approach: per-packet-time-
+  step operational + measurement constraints whose complete solve
+  reconstructs a plausible fine-grained queue-length series, and whose
+  running time explodes with the horizon (the §2.3 scalability result).
+* :mod:`~repro.fm.cem_milp` — a reference MILP formulation of the CEM's
+  minimal-change projection, used to validate the fast combinatorial CEM
+  in :mod:`repro.imputation.cem`.
+"""
+
+from repro.fm.model import FMImputer, FMResult, FMScenario, scenario_from_trace
+from repro.fm.cem_milp import MilpCem
+
+__all__ = [
+    "FMImputer",
+    "FMResult",
+    "FMScenario",
+    "scenario_from_trace",
+    "MilpCem",
+]

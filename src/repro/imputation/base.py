@@ -1,0 +1,26 @@
+"""Common interface for imputation methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.telemetry.dataset import ImputationSample, TelemetryDataset
+
+
+class Imputer(ABC):
+    """Turns one window's coarse telemetry into a fine-grained series.
+
+    Implementations return imputed queue lengths in **packet units**,
+    shaped ``(num_queues, window_bins)`` — the same layout as
+    ``ImputationSample.target_raw``.
+    """
+
+    @abstractmethod
+    def impute(self, sample: ImputationSample) -> np.ndarray:
+        """Impute the fine-grained queue lengths of one window."""
+
+    def impute_dataset(self, dataset: TelemetryDataset) -> list[np.ndarray]:
+        """Impute every window of a dataset (convenience wrapper)."""
+        return [self.impute(sample) for sample in dataset.samples]

@@ -1,0 +1,189 @@
+"""Constraint Enforcement Module (CEM, §3.2).
+
+Corrects a model's imputed series so that constraints C1–C3 hold exactly,
+while changing the series as little as possible in L1 — the paper's
+
+    min Σ_{t ∉ T_samples} |Q̂c_r[q][t] − Q̂_r[q][t]|
+
+The paper solves this with Z3; here the projection is computed directly.
+The constraints decompose per coarse interval, and within an interval the
+optimal correction has a simple structure, handled in four passes:
+
+1. **C2** — pin the sampled bins to their measured values (free: those
+   bins are excluded from the objective).
+2. **C1-down** — clip every value above the interval's LANZ max down to
+   it.  Any feasible series must do at least this, and clipping exactly to
+   the max is the cheapest way.
+3. **C3** — per port×interval, if more bins are non-empty than packets
+   were sent, zero out the cheapest non-pinned busy bins (cost = total
+   port queue mass at the bin) until the bound holds.  Zeroing the
+   cheapest bins is L1-minimal among subsets of the required size.
+4. **C1-up** — per queue×interval, if no bin attains the LANZ max, raise
+   the best candidate bin to it: prefer bins where the port is already
+   busy (no C3 budget needed) with the largest current value (smallest
+   raise); fall back to an empty bin when the port still has sent-count
+   budget.
+
+Feasibility: measurements produced by a real switch always admit a
+solution (the ground truth is one), and the passes above find one for any
+such measurement set.  Inconsistent measurements raise
+:class:`CEMInfeasibleError`.
+
+A reference MILP formulation of the same projection lives in
+:mod:`repro.fm.cem_milp`; the test suite cross-checks this fast projection
+against it on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.spec import NONEMPTY_EPSILON, check_constraints
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.dataset import ImputationSample
+from repro.utils.validation import check_positive
+
+
+class CEMInfeasibleError(RuntimeError):
+    """The measurements admit no series satisfying C1–C3.
+
+    This cannot happen for measurements sampled from a real trace (the
+    ground truth satisfies the constraints); it indicates corrupted or
+    hand-constructed inconsistent inputs.
+    """
+
+
+class ConstraintEnforcer:
+    """Projects an imputed window onto the constraint set C1 ∧ C2 ∧ C3."""
+
+    def __init__(
+        self,
+        config: SwitchConfig,
+        epsilon: float = NONEMPTY_EPSILON,
+        validate: bool = True,
+    ):
+        check_positive("epsilon", epsilon)
+        self.config = config
+        self.epsilon = float(epsilon)
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def enforce(self, imputed: np.ndarray, sample: ImputationSample) -> np.ndarray:
+        """Return the corrected series (packets), same shape as ``imputed``."""
+        corrected = np.asarray(imputed, dtype=float).copy()
+        if corrected.shape != (sample.num_queues, sample.num_bins):
+            raise ValueError(
+                f"imputed shape {corrected.shape} does not match sample "
+                f"({sample.num_queues}, {sample.num_bins})"
+            )
+        np.clip(corrected, 0.0, None, out=corrected)
+
+        self._pin_samples(corrected, sample)
+        self._clip_to_max(corrected, sample)
+        self._enforce_sent_bound(corrected, sample)
+        self._raise_to_max(corrected, sample)
+
+        if self.validate:
+            report = check_constraints(corrected, sample, self.config)
+            if not report.satisfied:
+                raise CEMInfeasibleError(
+                    f"correction left violations: max={report.max_error:.3g}, "
+                    f"periodic={report.periodic_error:.3g}, sent={report.sent_error:.3g}"
+                )
+        return corrected
+
+    def correction_cost(
+        self, imputed: np.ndarray, corrected: np.ndarray, sample: ImputationSample
+    ) -> float:
+        """The objective value: L1 change over non-sampled bins."""
+        mask = np.ones(sample.num_bins, dtype=bool)
+        mask[sample.sample_positions] = False
+        diff = np.abs(np.asarray(corrected, dtype=float) - np.asarray(imputed, dtype=float))
+        return float(diff[:, mask].sum())
+
+    # ------------------------------------------------------------------
+    # Passes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pin_samples(series: np.ndarray, sample: ImputationSample) -> None:
+        series[:, sample.sample_positions] = sample.m_sample
+
+    @staticmethod
+    def _clip_to_max(series: np.ndarray, sample: ImputationSample) -> None:
+        interval = sample.interval
+        for i in range(sample.num_intervals):
+            span = slice(i * interval, (i + 1) * interval)
+            np.minimum(series[:, span], sample.m_max[:, i : i + 1], out=series[:, span])
+
+    def _enforce_sent_bound(self, series: np.ndarray, sample: ImputationSample) -> None:
+        interval = sample.interval
+        eps = self.epsilon
+        pinned = np.zeros(sample.num_bins, dtype=bool)
+        pinned[sample.sample_positions] = True
+        for port in range(self.config.num_ports):
+            rows = list(self.config.queues_of_port(port))
+            for i in range(sample.num_intervals):
+                span = np.arange(i * interval, (i + 1) * interval)
+                mass = series[np.ix_(rows, span)].sum(axis=0)
+                busy = mass > eps
+                excess = int(busy.sum()) - int(sample.m_sent[port, i])
+                if excess <= 0:
+                    continue
+                candidates = span[busy & ~pinned[span]]
+                if len(candidates) < excess:
+                    raise CEMInfeasibleError(
+                        f"port {port} interval {i}: {int(busy.sum())} busy bins, "
+                        f"{int(sample.m_sent[port, i])} packets sent, but only "
+                        f"{len(candidates)} bins can be emptied"
+                    )
+                costs = series[np.ix_(rows, candidates)].sum(axis=0)
+                cheapest = candidates[np.argsort(costs, kind="stable")[:excess]]
+                series[np.ix_(rows, cheapest)] = 0.0
+
+    def _raise_to_max(self, series: np.ndarray, sample: ImputationSample) -> None:
+        interval = sample.interval
+        eps = self.epsilon
+        pinned = np.zeros(sample.num_bins, dtype=bool)
+        pinned[sample.sample_positions] = True
+        port_of_queue = [
+            port
+            for port in range(self.config.num_ports)
+            for _ in self.config.queues_of_port(port)
+        ]
+        for queue in range(sample.num_queues):
+            port = port_of_queue[queue]
+            rows = list(self.config.queues_of_port(port))
+            for i in range(sample.num_intervals):
+                target = sample.m_max[queue, i]
+                if target <= 0:
+                    continue  # C1-down already forced the interval to zero
+                span = np.arange(i * interval, (i + 1) * interval)
+                values = series[queue, span]
+                if values.max() >= target - 1e-9:
+                    continue
+                port_mass = series[np.ix_(rows, span)].sum(axis=0)
+                busy = port_mass > eps
+                free = ~pinned[span]
+                budget = int(sample.m_sent[port, i]) - int(busy.sum())
+
+                busy_free = span[busy & free]
+                if len(busy_free) > 0:
+                    # Raising where the port is already busy costs no C3
+                    # budget; pick the bin needing the smallest raise.
+                    best = busy_free[np.argmax(series[queue, busy_free])]
+                elif budget > 0:
+                    idle_free = span[~busy & free]
+                    if len(idle_free) == 0:
+                        raise CEMInfeasibleError(
+                            f"queue {queue} interval {i}: no bin available to "
+                            f"carry the measured max {target}"
+                        )
+                    best = idle_free[np.argmax(series[queue, idle_free])]
+                else:
+                    raise CEMInfeasibleError(
+                        f"queue {queue} interval {i}: max {target} cannot be "
+                        "placed without exceeding the sent-count bound"
+                    )
+                series[queue, best] = target

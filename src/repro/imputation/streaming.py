@@ -1,0 +1,147 @@
+"""Streaming (online) imputation — the §5 "real-time" future direction.
+
+The paper closes by asking whether telemetry imputation can *"work under
+strict timing requirements"* for tasks like performance-driven routing and
+attack detection.  This module provides that mode of operation: a
+:class:`StreamingImputer` wraps a fitted model and the CEM, ingests
+coarse-grained measurements **one interval at a time** (as a real
+monitoring pipeline would deliver them), and re-imputes the most recent
+window whenever enough intervals have accumulated — emitting the newest
+interval's fine-grained series with bounded per-update latency.
+
+The imputer keeps a rolling window of the last ``window_intervals``
+intervals, so each update costs one transformer forward pass plus one CEM
+projection — independent of stream length.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imputation.base import Imputer
+from repro.imputation.cem import ConstraintEnforcer
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.dataset import FeatureScaler, ImputationSample, build_features
+from repro.telemetry.sampling import CoarseTelemetry
+
+
+@dataclass
+class IntervalMeasurement:
+    """One coarse interval's worth of telemetry, as a monitoring stack
+    would deliver it every 50 ms."""
+
+    qlen_sample: np.ndarray  # (Q,)
+    qlen_max: np.ndarray  # (Q,)
+    received: np.ndarray  # (P,)
+    sent: np.ndarray  # (P,)
+    dropped: np.ndarray  # (P,)
+
+
+@dataclass
+class StreamingUpdate:
+    """Result of pushing one interval once the window is full."""
+
+    interval_index: int  # index of the newest interval in the stream
+    imputed_window: np.ndarray  # (Q, window_bins) — full corrected window
+    imputed_latest: np.ndarray  # (Q, interval) — just the newest interval
+    latency_seconds: float  # wall-clock cost of this update
+
+
+class StreamingImputer:
+    """Online wrapper around a fitted imputer + constraint enforcement."""
+
+    def __init__(
+        self,
+        model: Imputer,
+        switch_config: SwitchConfig,
+        scaler: FeatureScaler,
+        interval: int = 50,
+        window_intervals: int = 6,
+        use_cem: bool = True,
+    ):
+        self.model = model
+        self.switch_config = switch_config
+        self.scaler = scaler
+        self.interval = int(interval)
+        self.window_intervals = int(window_intervals)
+        self.enforcer = ConstraintEnforcer(switch_config) if use_cem else None
+        self._buffer: deque[IntervalMeasurement] = deque(maxlen=window_intervals)
+        self._count = 0
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough intervals have arrived to impute a full window."""
+        return len(self._buffer) == self.window_intervals
+
+    def push(self, measurement: IntervalMeasurement) -> StreamingUpdate | None:
+        """Ingest one interval; returns an update once the window is full."""
+        q = self.switch_config.num_queues
+        p = self.switch_config.num_ports
+        if measurement.qlen_sample.shape != (q,) or measurement.sent.shape != (p,):
+            raise ValueError(
+                f"measurement shapes must be ({q},) per queue and ({p},) per "
+                f"port; got {measurement.qlen_sample.shape} / {measurement.sent.shape}"
+            )
+        self._buffer.append(measurement)
+        self._count += 1
+        if not self.ready:
+            return None
+
+        start = time.perf_counter()
+        sample = self._window_sample()
+        imputed = self.model.impute(sample)
+        if self.enforcer is not None:
+            imputed = self.enforcer.enforce(imputed, sample)
+        latency = time.perf_counter() - start
+        return StreamingUpdate(
+            interval_index=self._count - 1,
+            imputed_window=imputed,
+            imputed_latest=imputed[:, -self.interval :],
+            latency_seconds=latency,
+        )
+
+    def _window_sample(self) -> ImputationSample:
+        """Assemble an ImputationSample from the buffered intervals."""
+        stack = list(self._buffer)
+        telemetry = CoarseTelemetry(
+            interval=self.interval,
+            qlen_sample=np.stack([m.qlen_sample for m in stack], axis=1),
+            qlen_max=np.stack([m.qlen_max for m in stack], axis=1),
+            received=np.stack([m.received for m in stack], axis=1),
+            sent=np.stack([m.sent for m in stack], axis=1),
+            dropped=np.stack([m.dropped for m in stack], axis=1),
+        )
+        window_bins = self.window_intervals * self.interval
+        features = build_features(telemetry, self.scaler, window_bins)
+        q = self.switch_config.num_queues
+        placeholder = np.zeros((q, window_bins))
+        return ImputationSample(
+            features=features,
+            target=placeholder,  # unknown at inference time
+            target_raw=placeholder,
+            m_max=telemetry.qlen_max.astype(float),
+            m_sample=telemetry.qlen_sample.astype(float),
+            m_sent=telemetry.sent.astype(float),
+            m_dropped=telemetry.dropped.astype(float),
+            m_received=telemetry.received.astype(float),
+            sample_positions=telemetry.sample_positions(window_bins),
+            interval=self.interval,
+            window_start=(self._count - self.window_intervals) * self.interval,
+        )
+
+
+def stream_from_telemetry(telemetry: CoarseTelemetry):
+    """Yield :class:`IntervalMeasurement` objects from batch telemetry —
+    convenient for replaying a recorded trace through the streaming API."""
+    for i in range(telemetry.num_intervals):
+        yield IntervalMeasurement(
+            qlen_sample=telemetry.qlen_sample[:, i].astype(float),
+            qlen_max=telemetry.qlen_max[:, i].astype(float),
+            received=telemetry.received[:, i].astype(float),
+            sent=telemetry.sent[:, i].astype(float),
+            dropped=telemetry.dropped[:, i].astype(float),
+        )

@@ -1,0 +1,284 @@
+"""Training loop with optional Knowledge-Augmented Loss (KAL, §3.1).
+
+The base objective is the EMD between imputed and ground-truth series.
+With ``use_kal=True`` the loss becomes the augmented-Lagrangian form of
+the constrained problem
+
+    min EMD(T_r, Q_r)   s.t.  Φ(T_s, Q_r) = 0,  Ψ(T_s, Q_r) <= 0
+
+where Φ aggregates the residuals of the equality constraints C1 (LANZ max)
+and C2 (periodic samples) and Ψ is the smoothed inequality constraint C3
+(work-conserving sent-count bound).  Each training example carries its own
+Lagrange multipliers λ_eq (one per equality constraint family) and λ_ineq,
+updated after every batch by the standard first-order rule
+``λ ← λ + μ·violation`` (clamped at zero for the inequality), the scheme
+the paper sketches: *"each Lagrange multiplier is updated by multiplying
+the violations of the corresponding output data by a parameter μ; the
+importance of a violation in the loss function increases as its magnitude
+becomes higher."*  Two standard safeguards keep the multipliers from
+drowning the data loss: a dead zone (no growth for residuals below
+``violation_tolerance`` — an imperfect fit's RMS never reaches exactly
+zero) and a cap (``multiplier_cap``); and the inequality term uses the
+classical form ``(1/2μ)(max(0, λ+μΨ)² − λ²)`` whose gradient vanishes once
+the constraint is slack, so over-satisfying C3 (driving every queue to
+zero) earns nothing.
+
+Per-example scalar residuals:
+
+* ``Φ_i = sqrt(mean(residual²))`` over the queue×interval residuals — so
+  the μΦ² term is the usual quadratic penalty and λΦ the linear
+  Lagrangian term;
+* ``Ψ_i = max`` over port×interval of the smoothed signed residual — the
+  worst violation, with the conditional quadratic term
+  ``μ·[λ>0 ∨ Ψ>0]·Ψ²`` from the paper's loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autodiff.optim import Adam, clip_grad_norm
+from repro.autodiff.tensor import Tensor
+from repro.constraints.differentiable import phi_max, phi_periodic, psi_sent
+from repro.constraints.spec import check_constraints
+from repro.imputation.transformer_imputer import TransformerImputer
+from repro.nn.losses import emd_loss, mse_loss
+from repro.telemetry.dataset import ImputationSample, TelemetryDataset
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+_EPS = 1e-12
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of the training loop."""
+
+    epochs: int = 30
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    grad_clip: float = 5.0
+    loss: str = "emd"  # "emd" or "mse"
+    emd_magnitude_weight: float = 1.0
+    use_kal: bool = False
+    mu: float = 0.5  # augmented-Lagrangian penalty weight
+    indicator_scale: float = 10.0  # tanh sharpness for the C3 surrogate
+    multiplier_cap: float = 10.0  # ceiling on every Lagrange multiplier
+    violation_tolerance: float = 0.01  # dead zone for multiplier growth
+    ineq_weight: float = 0.25  # relative weight of the C3 (Ψ) terms; the
+    # smoothed NE over-approximates the true non-empty count (sum across a
+    # port's queues instead of OR), so the inequality residual runs hotter
+    # than the equality residuals and needs damping to not drown them.
+    use_phi: bool = True  # include the equality terms (C1, C2) in KAL
+    use_psi: bool = True  # include the inequality term (C3) in KAL
+    seed: int = 0
+    log_every: int = 0  # epochs between stdout progress lines; 0 = silent
+
+    def __post_init__(self):
+        check_positive("epochs", self.epochs)
+        check_positive("batch_size", self.batch_size)
+        check_positive("learning_rate", self.learning_rate)
+        if self.loss not in ("emd", "mse"):
+            raise ValueError(f"loss must be 'emd' or 'mse', got {self.loss!r}")
+        if self.use_kal and self.mu <= 0:
+            raise ValueError(f"mu must be positive when use_kal, got {self.mu}")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch diagnostics collected during training."""
+
+    loss: list[float] = field(default_factory=list)
+    base_loss: list[float] = field(default_factory=list)
+    constraint_loss: list[float] = field(default_factory=list)
+    val_emd: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Trains a :class:`TransformerImputer`, optionally with KAL."""
+
+    def __init__(
+        self,
+        model: TransformerImputer,
+        train: TelemetryDataset,
+        config: TrainerConfig | None = None,
+        val: TelemetryDataset | None = None,
+    ):
+        if len(train) == 0:
+            raise ValueError("training dataset is empty")
+        self.model = model
+        self.train_set = train
+        self.val_set = val
+        self.config = config if config is not None else TrainerConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self.history = TrainingHistory()
+        n = len(train)
+        # One multiplier per example per constraint family (§3.1).
+        self.lambda_max = np.zeros(n)
+        self.lambda_periodic = np.zeros(n)
+        self.lambda_sent = np.zeros(n)
+        self._rng = as_generator(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Loss assembly
+    # ------------------------------------------------------------------
+    def _base_loss(self, pred: Tensor, target: Tensor) -> Tensor:
+        if self.config.loss == "mse":
+            return mse_loss(pred, target)
+        return emd_loss(pred, target, magnitude_weight=self.config.emd_magnitude_weight)
+
+    def _constraint_residuals(
+        self, pred: Tensor, samples: list[ImputationSample]
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Per-example scalars (Φ_max, Φ_periodic, Ψ_sent), each shape (B,)."""
+        scaler = self.train_set.scaler
+        interval = samples[0].interval
+        m_max = np.stack([s.m_max for s in samples]) / scaler.qlen_scale
+        m_sample = np.stack([s.m_sample for s in samples]) / scaler.qlen_scale
+        m_sent = np.stack([s.m_sent for s in samples])
+        positions = samples[0].sample_positions
+
+        res_max = phi_max(pred, m_max, interval)
+        res_periodic = phi_periodic(pred, m_sample, positions)
+        res_sent = psi_sent(
+            pred,
+            m_sent,
+            self.train_set.switch_config,
+            interval,
+            indicator_scale=self.config.indicator_scale,
+        )
+
+        phi1 = ((res_max * res_max).mean(axis=(1, 2)) + _EPS).sqrt()
+        phi2 = ((res_periodic * res_periodic).mean(axis=(1, 2)) + _EPS).sqrt()
+        psi = res_sent.max(axis=(1, 2))
+        return phi1, phi2, psi
+
+    def _kal_terms(
+        self,
+        phi1: Tensor,
+        phi2: Tensor,
+        psi: Tensor,
+        indices: np.ndarray,
+    ) -> Tensor:
+        mu = self.config.mu
+        lam1 = Tensor(self.lambda_max[indices])
+        lam2 = Tensor(self.lambda_periodic[indices])
+        lam3 = Tensor(self.lambda_sent[indices])
+        # Equality constraints: μΦ² + λΦ (Φ >= 0 by construction).
+        equality = (phi1 * phi1 + phi2 * phi2) * mu + lam1 * phi1 + lam2 * phi2
+        if not self.config.use_phi:
+            equality = equality * 0.0
+        if not self.config.use_psi:
+            return equality.mean()
+        # Inequality constraint, standard augmented-Lagrangian form
+        # (1/2μ)(max(0, λ+μΨ)² − λ²) = [λ+μΨ > 0]·(λΨ + μΨ²/2): active only
+        # while the constraint binds, so an over-satisfied Ψ (deeply
+        # negative) earns no further reward — without the guard the λΨ term
+        # pays the model to drive every queue to zero.
+        active = (self.lambda_sent[indices] + mu * psi.data > 0).astype(float)
+        inequality = (lam3 * psi + (psi * psi) * (mu / 2.0)) * Tensor(active)
+        return (equality + inequality * self.config.ineq_weight).mean()
+
+    def _update_multipliers(
+        self, phi1: Tensor, phi2: Tensor, psi: Tensor, indices: np.ndarray
+    ) -> None:
+        mu = self.config.mu
+        cap = self.config.multiplier_cap
+        tol = self.config.violation_tolerance
+        # Dead zone: residuals that can never reach exactly zero (RMS of an
+        # imperfect fit) must not grow λ forever, or the Lagrangian terms
+        # eventually drown the data loss.
+        grow1 = np.where(phi1.data > tol, mu * phi1.data, 0.0)
+        grow2 = np.where(phi2.data > tol, mu * phi2.data, 0.0)
+        self.lambda_max[indices] = np.minimum(self.lambda_max[indices] + grow1, cap)
+        self.lambda_periodic[indices] = np.minimum(
+            self.lambda_periodic[indices] + grow2, cap
+        )
+        self.lambda_sent[indices] = np.clip(
+            self.lambda_sent[indices] + mu * psi.data, 0.0, cap
+        )
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingHistory:
+        """Run the configured number of epochs; returns per-epoch diagnostics."""
+        cfg = self.config
+        n = len(self.train_set)
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            epoch_base = 0.0
+            epoch_constraint = 0.0
+            num_batches = 0
+            for start in range(0, n, cfg.batch_size):
+                indices = order[start : start + cfg.batch_size]
+                samples = [self.train_set[i] for i in indices]
+                features = Tensor(self.train_set.stack_features(samples))
+                target = Tensor(self.train_set.stack_targets(samples))
+
+                pred = self.model(features)
+                base = self._base_loss(pred, target)
+                if cfg.use_kal:
+                    phi1, phi2, psi = self._constraint_residuals(pred, samples)
+                    constraint = self._kal_terms(phi1, phi2, psi, indices)
+                    loss = base + constraint
+                else:
+                    constraint = None
+                    loss = base
+
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                self.optimizer.step()
+
+                if cfg.use_kal:
+                    self._update_multipliers(phi1, phi2, psi, indices)
+                    epoch_constraint += constraint.item()
+                epoch_loss += loss.item()
+                epoch_base += base.item()
+                num_batches += 1
+
+            self.history.loss.append(epoch_loss / num_batches)
+            self.history.base_loss.append(epoch_base / num_batches)
+            self.history.constraint_loss.append(epoch_constraint / num_batches)
+            if self.val_set is not None and len(self.val_set):
+                self.history.val_emd.append(self.evaluate(self.val_set))
+            if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
+                val = f", val_emd={self.history.val_emd[-1]:.4f}" if self.history.val_emd else ""
+                print(
+                    f"epoch {epoch + 1}/{cfg.epochs}: "
+                    f"loss={self.history.loss[-1]:.4f}{val}"
+                )
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: TelemetryDataset) -> float:
+        """Mean base loss (no KAL terms) over a dataset."""
+        self.model.eval()
+        total = 0.0
+        count = 0
+        for batch in dataset.batches(self.config.batch_size, shuffle=False):
+            features = Tensor(dataset.stack_features(batch))
+            target = Tensor(dataset.stack_targets(batch))
+            pred = self.model(features)
+            total += self._base_loss(pred, target).item() * len(batch)
+            count += len(batch)
+        return total / max(count, 1)
+
+    def constraint_report(self, dataset: TelemetryDataset) -> dict[str, float]:
+        """Mean exact constraint errors of the model over a dataset."""
+        reports = [
+            check_constraints(self.model.impute(s), s, dataset.switch_config)
+            for s in dataset.samples
+        ]
+        return {
+            "max_error": float(np.mean([r.max_error for r in reports])),
+            "periodic_error": float(np.mean([r.periodic_error for r in reports])),
+            "sent_error": float(np.mean([r.sent_error for r in reports])),
+        }

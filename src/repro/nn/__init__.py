@@ -1,0 +1,30 @@
+"""Neural-network layers and losses built on :mod:`repro.autodiff`.
+
+The centrepiece is :class:`~repro.nn.transformer.TransformerEncoder`
+(pre-norm, multi-head self-attention) plus the 1-D Earth Mover's Distance
+loss the paper trains with (§3.1).
+"""
+
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Sequential
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import (
+    PositionalEncoding,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.nn.losses import emd_loss, emd_loss_1d, mse_loss
+
+__all__ = [
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "MultiHeadAttention",
+    "PositionalEncoding",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "emd_loss",
+    "emd_loss_1d",
+    "mse_loss",
+]

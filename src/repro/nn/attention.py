@@ -1,0 +1,77 @@
+"""Multi-head scaled-dot-product self/cross attention."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.module import Module
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import Dropout, Linear
+from repro.utils.rng import RngLike, spawn_generators
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention as in "Attention is All You Need".
+
+    Inputs are shaped ``(batch, seq, d_model)``.  ``forward`` performs
+    self-attention when only ``query`` is given, or cross-attention when
+    ``key``/``value`` differ.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        seed: RngLike = None,
+    ):
+        if d_model % num_heads != 0:
+            raise ValueError(
+                f"d_model ({d_model}) must be divisible by num_heads ({num_heads})"
+            )
+        rngs = spawn_generators(seed, 5)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, seed=rngs[0])
+        self.k_proj = Linear(d_model, d_model, seed=rngs[1])
+        self.v_proj = Linear(d_model, d_model, seed=rngs[2])
+        self.out_proj = Linear(d_model, d_model, seed=rngs[3])
+        self.attn_dropout = Dropout(dropout, seed=rngs[4])
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (batch, seq, d_model) -> (batch, heads, seq, head_dim)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Optional[Tensor] = None,
+        value: Optional[Tensor] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Attend; ``mask`` is an additive float mask broadcastable to
+        ``(batch, heads, q_len, k_len)`` with ``-inf``-like entries at
+        disallowed positions."""
+        key = query if key is None else key
+        value = key if value is None else value
+
+        batch, q_len, _ = query.shape
+        k_len = key.shape[1]
+
+        q = self._split_heads(self.q_proj(query), batch, q_len)
+        k = self._split_heads(self.k_proj(key), batch, k_len)
+        v = self._split_heads(self.v_proj(value), batch, k_len)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = scores + Tensor(np.asarray(mask, dtype=np.float64))
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+
+        context = weights @ v  # (batch, heads, q_len, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.d_model)
+        return self.out_proj(merged)

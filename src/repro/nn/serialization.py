@@ -1,0 +1,36 @@
+"""Save/load model parameters as ``.npz`` archives.
+
+The autodiff ``Module`` already exposes ``state_dict`` /
+``load_state_dict``; these helpers put the dict on disk so a trained
+imputer can be reused across processes — training is the expensive part
+of the pipeline, the imputation itself is cheap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.autodiff.module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Write every parameter of ``module`` to ``path`` (npz format)."""
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez(Path(path), **state)
+
+
+def load_module(module: Module, path: PathLike) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    The module must already be constructed with matching architecture;
+    mismatched names or shapes raise (via ``load_state_dict``).
+    """
+    with np.load(Path(path)) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})

@@ -1,0 +1,252 @@
+"""Big-M encoding of the expression AST into a MILP.
+
+Boolean structure is reified Tseitin-style: every boolean sub-expression
+gets a binary variable linked in both directions, so formulas can appear
+under negation.  Linear comparisons use two-sided big-M constraints whose
+constants come from interval arithmetic over the (mandatory) variable
+bounds; integral expressions get an exact violation gap of 1, continuous
+ones a small epsilon.
+
+Top-level assertions are handled with a polarity shortcut: an asserted
+conjunction is split, and asserted comparisons become plain linear rows
+with no binaries — this keeps the common "all operational constraints are
+conjoined" case small.
+"""
+
+from __future__ import annotations
+
+from repro.smt.expr import (
+    Add,
+    And,
+    BoolConst,
+    BoolExpr,
+    BoolVar,
+    Cmp,
+    Const,
+    Ite,
+    Not,
+    NumExpr,
+    Or,
+    Scale,
+    Var,
+)
+from repro.smt.milp import MilpProblem
+
+_REAL_GAP = 1e-6
+
+
+class Affine:
+    """A linear form: coefficient map over MILP variable indices + constant."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: dict[int, float] | None = None, const: float = 0.0):
+        self.coeffs = coeffs or {}
+        self.const = const
+
+    def add(self, other: "Affine", scale: float = 1.0) -> "Affine":
+        coeffs = dict(self.coeffs)
+        for i, c in other.coeffs.items():
+            coeffs[i] = coeffs.get(i, 0.0) + scale * c
+        return Affine(coeffs, self.const + scale * other.const)
+
+    def scaled(self, factor: float) -> "Affine":
+        return Affine({i: factor * c for i, c in self.coeffs.items()}, factor * self.const)
+
+
+class Encoder:
+    """Translates formulas into a :class:`MilpProblem`."""
+
+    def __init__(self):
+        self.problem = MilpProblem()
+        # Caches are keyed by id(); each entry also keeps a strong reference
+        # to the expression so a garbage-collected temporary can never hand
+        # its id to a new object and cause a stale cache hit.
+        self._var_index: dict[int, tuple[Var, int]] = {}
+        self._bool_index: dict[int, tuple[BoolExpr, int]] = {}
+        self._ite_index: dict[int, tuple[Ite, int]] = {}
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def var_index(self, var: Var) -> int:
+        entry = self._var_index.get(id(var))
+        if entry is None:
+            index = self.problem.add_variable(var.name, var.lo, var.hi, var.is_integer)
+            self._var_index[id(var)] = (var, index)
+            return index
+        return entry[1]
+
+    def _fresh_binary(self, hint: str) -> int:
+        self._fresh += 1
+        return self.problem.add_variable(f"__b{self._fresh}_{hint}", 0, 1, is_integer=True)
+
+    # ------------------------------------------------------------------
+    # Numeric encoding
+    # ------------------------------------------------------------------
+    def encode_num(self, expr: NumExpr) -> Affine:
+        if isinstance(expr, Const):
+            return Affine(const=expr.value)
+        if isinstance(expr, Var):
+            return Affine({self.var_index(expr): 1.0})
+        if isinstance(expr, Add):
+            acc = Affine()
+            for term in expr.terms:
+                acc = acc.add(self.encode_num(term))
+            return acc
+        if isinstance(expr, Scale):
+            return self.encode_num(expr.child).scaled(expr.coeff)
+        if isinstance(expr, Ite):
+            return Affine({self._encode_ite(expr): 1.0})
+        raise TypeError(f"cannot encode numeric expression {expr!r}")
+
+    def _encode_ite(self, expr: Ite) -> int:
+        cached = self._ite_index.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        lo, hi = expr.bounds()
+        b = self.encode_bool(expr.cond)
+        then = self.encode_num(expr.then)
+        orelse = self.encode_num(expr.orelse)
+        # If both branches are integral, the Ite value is integral in every
+        # model; declaring z integer lets comparisons over it keep the exact
+        # violation gap of 1 instead of the fragile real epsilon.
+        is_int = self._is_integral(then) and self._is_integral(orelse)
+        z = self.problem.add_variable(
+            f"__ite{len(self._ite_index)}", lo, hi, is_integer=is_int
+        )
+
+        # b = 1 → z == then; b = 0 → z == orelse (big-M from bounds).
+        for branch, active_when_one in ((then, True), (orelse, False)):
+            diff = Affine({z: 1.0}).add(branch, scale=-1.0)
+            dlo, dhi = self._affine_bounds(diff)
+            # diff <= M * (1 - b)   /   diff <= M * b
+            coeffs = dict(diff.coeffs)
+            coeffs[b] = coeffs.get(b, 0.0) + (dhi if active_when_one else -dhi)
+            rhs = (dhi if active_when_one else 0.0) - diff.const
+            self.problem.add_constraint(coeffs, "<=", rhs)
+            # diff >= m * (1 - b)   /   diff >= m * b
+            coeffs = dict(diff.coeffs)
+            coeffs[b] = coeffs.get(b, 0.0) + (dlo if active_when_one else -dlo)
+            rhs = (dlo if active_when_one else 0.0) - diff.const
+            self.problem.add_constraint(coeffs, ">=", rhs)
+        self._ite_index[id(expr)] = (expr, z)
+        return z
+
+    def _affine_bounds(self, affine: Affine) -> tuple[float, float]:
+        lo = hi = affine.const
+        for i, c in affine.coeffs.items():
+            v = self.problem.variables[i]
+            a, b = c * v.lo, c * v.hi
+            lo += min(a, b)
+            hi += max(a, b)
+        return lo, hi
+
+    def _is_integral(self, affine: Affine) -> bool:
+        if abs(affine.const - round(affine.const)) > 1e-12:
+            return False
+        for i, c in affine.coeffs.items():
+            if abs(c - round(c)) > 1e-12 or not self.problem.variables[i].is_integer:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Boolean encoding (reified)
+    # ------------------------------------------------------------------
+    def encode_bool(self, expr: BoolExpr) -> int:
+        cached = self._bool_index.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        index = self._encode_bool_fresh(expr)
+        self._bool_index[id(expr)] = (expr, index)
+        return index
+
+    def _encode_bool_fresh(self, expr: BoolExpr) -> int:
+        if isinstance(expr, BoolConst):
+            b = self._fresh_binary("const")
+            self.problem.add_constraint({b: 1.0}, "==", 1.0 if expr.value else 0.0)
+            return b
+        if isinstance(expr, BoolVar):
+            return self._fresh_binary(f"var_{expr.name}")
+        if isinstance(expr, Not):
+            child = self.encode_bool(expr.arg)
+            b = self._fresh_binary("not")
+            self.problem.add_constraint({b: 1.0, child: 1.0}, "==", 1.0)
+            return b
+        if isinstance(expr, And):
+            children = [self.encode_bool(a) for a in expr.args]
+            b = self._fresh_binary("and")
+            for child in children:
+                self.problem.add_constraint({b: 1.0, child: -1.0}, "<=", 0.0)
+            coeffs = {c: -1.0 for c in children}
+            coeffs[b] = coeffs.get(b, 0.0) + 1.0
+            self.problem.add_constraint(coeffs, ">=", 1.0 - len(children))
+            return b
+        if isinstance(expr, Or):
+            children = [self.encode_bool(a) for a in expr.args]
+            b = self._fresh_binary("or")
+            for child in children:
+                self.problem.add_constraint({b: 1.0, child: -1.0}, ">=", 0.0)
+            coeffs = {c: -1.0 for c in children}
+            coeffs[b] = coeffs.get(b, 0.0) + 1.0
+            self.problem.add_constraint(coeffs, "<=", 0.0)
+            return b
+        if isinstance(expr, Cmp):
+            return self._encode_cmp(expr)
+        raise TypeError(f"cannot encode boolean expression {expr!r}")
+
+    def _encode_cmp(self, expr: Cmp) -> int:
+        # Canonicalise: eq → And(le, ge); lt → Not(ge); gt → Not(le).
+        if expr.op == "eq":
+            return self.encode_bool(And(Cmp("le", expr.lhs), Cmp("ge", expr.lhs)))
+        if expr.op == "lt":
+            return self.encode_bool(Not(Cmp("ge", expr.lhs)))
+        if expr.op == "gt":
+            return self.encode_bool(Not(Cmp("le", expr.lhs)))
+
+        affine = self.encode_num(expr.lhs)
+        lo, hi = self._affine_bounds(affine)
+        gap = 1.0 if self._is_integral(affine) else _REAL_GAP
+        b = self._fresh_binary(expr.op)
+
+        if expr.op == "le":
+            # b=1 → a <= 0:   a <= hi (1 - b)
+            coeffs = dict(affine.coeffs)
+            coeffs[b] = coeffs.get(b, 0.0) + hi
+            self.problem.add_constraint(coeffs, "<=", hi - affine.const)
+            # b=0 → a >= gap: a >= lo b + gap (1 - b) = gap + (lo - gap) b
+            coeffs = dict(affine.coeffs)
+            coeffs[b] = coeffs.get(b, 0.0) - (lo - gap)
+            self.problem.add_constraint(coeffs, ">=", gap - affine.const)
+        else:  # ge
+            # b=1 → a >= 0:   a >= lo (1 - b)
+            coeffs = dict(affine.coeffs)
+            coeffs[b] = coeffs.get(b, 0.0) + lo
+            self.problem.add_constraint(coeffs, ">=", lo - affine.const)
+            # b=0 → a <= -gap: a <= hi b - gap (1 - b)
+            coeffs = dict(affine.coeffs)
+            coeffs[b] = coeffs.get(b, 0.0) - (hi + gap)
+            self.problem.add_constraint(coeffs, "<=", -gap - affine.const)
+        return b
+
+    # ------------------------------------------------------------------
+    # Top-level assertion (polarity shortcut)
+    # ------------------------------------------------------------------
+    def assert_formula(self, expr: BoolExpr) -> None:
+        if isinstance(expr, BoolConst):
+            if not expr.value:
+                # Assert an unsatisfiable row.
+                self.problem.add_constraint({}, ">=", 1.0)
+            return
+        if isinstance(expr, And):
+            for arg in expr.args:
+                self.assert_formula(arg)
+            return
+        if isinstance(expr, Cmp) and expr.op in ("le", "ge", "eq"):
+            affine = self.encode_num(expr.lhs)
+            sense = {"le": "<=", "ge": ">=", "eq": "=="}[expr.op]
+            self.problem.add_constraint(dict(affine.coeffs), sense, -affine.const)
+            return
+        b = self.encode_bool(expr)
+        self.problem.add_constraint({b: 1.0}, "==", 1.0)

@@ -1,0 +1,271 @@
+"""Expression AST for the SMT-lite solver.
+
+Numeric expressions are affine combinations of *bounded* integer or real
+variables, optionally containing ``Ite`` (if-then-else) nodes; boolean
+expressions combine linear comparisons with And/Or/Not/Implies.  Bounds
+are mandatory on variables — the big-M encoding needs finite intervals —
+and are propagated through expressions by interval arithmetic.
+
+Python operators are overloaded the obvious way::
+
+    x, y = IntVar("x", 0, 10), IntVar("y", 0, 10)
+    formula = And((x + 2 * y <= 7), Or(x >= 1, y >= 1))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+Number = Union[int, float]
+
+
+# ----------------------------------------------------------------------
+# Numeric expressions
+# ----------------------------------------------------------------------
+class NumExpr:
+    """Base class for numeric expressions (affine + Ite)."""
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other) -> "NumExpr":
+        return Add([self, _lift_num(other)])
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "NumExpr":
+        return Scale(-1.0, self)
+
+    def __sub__(self, other) -> "NumExpr":
+        return Add([self, Scale(-1.0, _lift_num(other))])
+
+    def __rsub__(self, other) -> "NumExpr":
+        return Add([_lift_num(other), Scale(-1.0, self)])
+
+    def __mul__(self, other) -> "NumExpr":
+        if isinstance(other, NumExpr):
+            raise TypeError("only linear arithmetic is supported (const * expr)")
+        return Scale(float(other), self)
+
+    __rmul__ = __mul__
+
+    # -- comparisons ---------------------------------------------------
+    def __le__(self, other) -> "Cmp":
+        return Cmp("le", Add([self, Scale(-1.0, _lift_num(other))]))
+
+    def __ge__(self, other) -> "Cmp":
+        return Cmp("ge", Add([self, Scale(-1.0, _lift_num(other))]))
+
+    def __lt__(self, other) -> "Cmp":
+        return Cmp("lt", Add([self, Scale(-1.0, _lift_num(other))]))
+
+    def __gt__(self, other) -> "Cmp":
+        return Cmp("gt", Add([self, Scale(-1.0, _lift_num(other))]))
+
+    def eq(self, other) -> "Cmp":
+        """Equality constraint (``==`` is kept for Python identity)."""
+        return Cmp("eq", Add([self, Scale(-1.0, _lift_num(other))]))
+
+    # -- bounds ----------------------------------------------------------
+    def bounds(self) -> tuple[float, float]:
+        """Interval-arithmetic (lo, hi) bounds of this expression."""
+        raise NotImplementedError
+
+
+class Const(NumExpr):
+    """A numeric literal."""
+
+    def __init__(self, value: Number):
+        self.value = float(value)
+
+    def bounds(self) -> tuple[float, float]:
+        return self.value, self.value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+class Var(NumExpr):
+    """A bounded solver variable (base for IntVar / RealVar)."""
+
+    is_integer = False
+
+    def __init__(self, name: str, lo: Number, hi: Number):
+        if lo > hi:
+            raise ValueError(f"variable {name}: lo {lo} > hi {hi}")
+        self.name = name
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def bounds(self) -> tuple[float, float]:
+        return self.lo, self.hi
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other) -> bool:  # identity equality; use .eq() for constraints
+        return self is other
+
+    def __repr__(self) -> str:
+        kind = "Int" if self.is_integer else "Real"
+        return f"{kind}Var({self.name!r}, {self.lo}, {self.hi})"
+
+
+class IntVar(Var):
+    """A bounded integer variable."""
+
+    is_integer = True
+
+    def __init__(self, name: str, lo: int, hi: int):
+        super().__init__(name, lo, hi)
+
+
+class RealVar(Var):
+    """A bounded real (continuous) variable."""
+
+
+class Add(NumExpr):
+    """Sum of numeric sub-expressions."""
+
+    def __init__(self, terms: Iterable[NumExpr]):
+        self.terms = [(_lift_num(t)) for t in terms]
+
+    def bounds(self) -> tuple[float, float]:
+        lo = hi = 0.0
+        for term in self.terms:
+            tlo, thi = term.bounds()
+            lo += tlo
+            hi += thi
+        return lo, hi
+
+
+class Scale(NumExpr):
+    """A constant multiple of a numeric sub-expression."""
+
+    def __init__(self, coeff: float, child: NumExpr):
+        self.coeff = float(coeff)
+        self.child = _lift_num(child)
+
+    def bounds(self) -> tuple[float, float]:
+        lo, hi = self.child.bounds()
+        a, b = self.coeff * lo, self.coeff * hi
+        return (a, b) if a <= b else (b, a)
+
+
+class Ite(NumExpr):
+    """Numeric if-then-else: ``Ite(cond, then, orelse)``.
+
+    The paper's C3 uses exactly this construct (``ite(q > 0, 1, 0)``); the
+    encoder lowers it to a fresh variable with big-M linking constraints.
+    """
+
+    def __init__(self, cond: "BoolExpr", then, orelse):
+        self.cond = _lift_bool(cond)
+        self.then = _lift_num(then)
+        self.orelse = _lift_num(orelse)
+
+    def bounds(self) -> tuple[float, float]:
+        tlo, thi = self.then.bounds()
+        olo, ohi = self.orelse.bounds()
+        return min(tlo, olo), max(thi, ohi)
+
+
+def Sum(terms: Iterable) -> NumExpr:
+    """Sum of numeric expressions (empty sum is 0)."""
+    terms = [(_lift_num(t)) for t in terms]
+    return Add(terms) if terms else Const(0.0)
+
+
+def _lift_num(value) -> NumExpr:
+    if isinstance(value, NumExpr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} as a numeric expression")
+
+
+# ----------------------------------------------------------------------
+# Boolean expressions
+# ----------------------------------------------------------------------
+class BoolExpr:
+    """Base class for boolean expressions."""
+
+    def __and__(self, other) -> "BoolExpr":
+        return And(self, _lift_bool(other))
+
+    def __or__(self, other) -> "BoolExpr":
+        return Or(self, _lift_bool(other))
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+
+class BoolConst(BoolExpr):
+    """A boolean literal."""
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+
+class BoolVar(BoolExpr):
+    """A free boolean variable."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class Cmp(BoolExpr):
+    """A linear comparison: ``lhs <op> 0`` with op in le/ge/lt/gt/eq."""
+
+    OPS = ("le", "ge", "lt", "gt", "eq")
+
+    def __init__(self, op: str, lhs: NumExpr):
+        if op not in self.OPS:
+            raise ValueError(f"unknown comparison op {op!r}")
+        self.op = op
+        self.lhs = lhs
+
+
+class And(BoolExpr):
+    """Conjunction of boolean sub-expressions."""
+
+    def __init__(self, *args):
+        self.args = [_lift_bool(a) for a in _flatten(args)]
+
+
+class Or(BoolExpr):
+    """Disjunction of boolean sub-expressions."""
+
+    def __init__(self, *args):
+        self.args = [_lift_bool(a) for a in _flatten(args)]
+
+
+class Not(BoolExpr):
+    """Negation of a boolean sub-expression."""
+
+    def __init__(self, arg):
+        self.arg = _lift_bool(arg)
+
+
+def Implies(antecedent, consequent) -> BoolExpr:
+    """Material implication ``antecedent → consequent``."""
+    return Or(Not(_lift_bool(antecedent)), _lift_bool(consequent))
+
+
+def _flatten(args) -> list:
+    flat: list = []
+    for arg in args:
+        if isinstance(arg, (list, tuple)):
+            flat.extend(arg)
+        else:
+            flat.append(arg)
+    return flat
+
+
+def _lift_bool(value) -> BoolExpr:
+    if isinstance(value, BoolExpr):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    raise TypeError(f"cannot use {value!r} as a boolean expression")

@@ -1,0 +1,71 @@
+"""Shared buffer with Dynamic-Threshold (DT) admission control.
+
+All queues of the switch draw from one packet buffer of ``capacity``
+packets.  Admission follows Choudhury & Hahne's Dynamic Threshold
+algorithm: a packet may enter queue ``q`` only while
+
+    len(q) < alpha_q * (capacity - total_occupancy)
+
+so the per-queue threshold shrinks as the buffer fills.  This is the
+mechanism behind the paper's first insight (§2): *"a longer queue prevents
+other queues from growing by taking up space in the buffer"* — the
+cross-queue correlation the ML model can learn and the FM model encodes as
+the dynamically calculated threshold ``thr_{q,t}``.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+class SharedBuffer:
+    """Packet-count shared buffer implementing Dynamic Threshold admission."""
+
+    def __init__(self, capacity: int, alpha: float = 1.0):
+        check_positive("capacity", capacity)
+        check_positive("alpha", alpha)
+        self.capacity = int(capacity)
+        self.alpha = float(alpha)
+        self._occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Total packets currently buffered across all queues."""
+        return self._occupancy
+
+    @property
+    def free_space(self) -> int:
+        """Unoccupied buffer capacity in packets."""
+        return self.capacity - self._occupancy
+
+    def threshold(self, alpha: float | None = None) -> float:
+        """Current DT admission threshold ``alpha * free_space``.
+
+        A queue whose length is at or above this value must drop arriving
+        packets.  ``alpha`` defaults to the buffer-wide parameter but may be
+        overridden per queue class (the usual DT generalisation).
+        """
+        a = self.alpha if alpha is None else alpha
+        return a * self.free_space
+
+    def admits(self, queue_length: int, alpha: float | None = None) -> bool:
+        """Whether a packet may join a queue of the given current length."""
+        if self._occupancy >= self.capacity:
+            return False
+        return queue_length < self.threshold(alpha)
+
+    def allocate(self) -> None:
+        """Account for one packet entering the buffer."""
+        if self._occupancy >= self.capacity:
+            raise RuntimeError("buffer overflow: allocate() beyond capacity")
+        self._occupancy += 1
+
+    def release(self) -> None:
+        """Account for one packet leaving the buffer."""
+        if self._occupancy <= 0:
+            raise RuntimeError("buffer underflow: release() on empty buffer")
+        self._occupancy -= 1
+
+    def reset(self) -> None:
+        """Empty the buffer accounting (queues must be cleared separately)."""
+        self._occupancy = 0

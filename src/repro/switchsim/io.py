@@ -1,0 +1,70 @@
+"""Persistence for simulation traces (.npz).
+
+Simulating long traces is the expensive step of dataset generation;
+saving them lets experiments (and the CLI) reuse one simulation across
+many training runs, and lets users bring externally generated traces into
+the pipeline as long as they provide the same arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.switchsim.simulation import SimulationTrace
+from repro.switchsim.switch import SwitchConfig
+
+PathLike = Union[str, Path]
+
+_ARRAY_FIELDS = (
+    "qlen",
+    "qlen_max",
+    "received",
+    "sent",
+    "dropped",
+    "delay_sum",
+    "buffer_occupancy",
+)
+
+
+def save_trace(trace: SimulationTrace, path: PathLike) -> None:
+    """Write a trace and its switch configuration to ``path`` (npz)."""
+    config = trace.config
+    np.savez_compressed(
+        Path(path),
+        steps_per_bin=np.int64(trace.steps_per_bin),
+        num_ports=np.int64(config.num_ports),
+        queues_per_port=np.int64(config.queues_per_port),
+        buffer_capacity=np.int64(config.buffer_capacity),
+        alphas=np.asarray(config.alphas, dtype=float),
+        **{name: getattr(trace, name) for name in _ARRAY_FIELDS},
+    )
+
+
+def load_trace(path: PathLike) -> SimulationTrace:
+    """Load a trace saved by :func:`save_trace`.
+
+    The scheduler factory is not serialisable; the restored config uses
+    the default scheduler, which only matters if the trace is used to
+    *reconfigure a simulator* (replaying or analysing the trace itself
+    never touches it).
+    """
+    with np.load(Path(path)) as archive:
+        missing = [f for f in _ARRAY_FIELDS if f not in archive.files]
+        if missing:
+            raise ValueError(f"{path} is not a trace archive; missing {missing}")
+        config = SwitchConfig(
+            num_ports=int(archive["num_ports"]),
+            queues_per_port=int(archive["queues_per_port"]),
+            buffer_capacity=int(archive["buffer_capacity"]),
+            alphas=tuple(float(a) for a in archive["alphas"]),
+        )
+        trace = SimulationTrace(
+            config=config,
+            steps_per_bin=int(archive["steps_per_bin"]),
+            **{name: archive[name] for name in _ARRAY_FIELDS},
+        )
+    trace.validate()
+    return trace

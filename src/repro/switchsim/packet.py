@@ -1,0 +1,22 @@
+"""Packet record used by the switch simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A fixed-size packet traversing the switch.
+
+    Attributes:
+        dst_port: output port index the packet is forwarded to.
+        qclass: which of the port's queues it joins (0 = high priority).
+        flow_id: identifier of the generating flow (telemetry/debugging).
+        arrival_step: simulator time step at which the packet arrived.
+    """
+
+    dst_port: int
+    qclass: int = 0
+    flow_id: int = -1
+    arrival_step: int = -1

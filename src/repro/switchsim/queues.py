@@ -1,0 +1,72 @@
+"""FIFO output queue bound to the shared buffer."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.switchsim.buffer import SharedBuffer
+from repro.switchsim.packet import Packet
+
+
+class OutputQueue:
+    """One FIFO queue of an output port, drawing from the shared buffer.
+
+    ``alpha`` is the queue's Dynamic-Threshold scaling factor; queues of
+    different classes may use different alphas (e.g. a smaller alpha keeps
+    the low-priority queue from starving the high-priority one).
+    """
+
+    def __init__(self, port: int, qclass: int, buffer: SharedBuffer, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.port = port
+        self.qclass = qclass
+        self.alpha = alpha
+        self._buffer = buffer
+        self._packets: deque[Packet] = deque()
+        self.total_enqueued = 0
+        self.total_dropped = 0
+        self.total_dequeued = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def length(self) -> int:
+        """Current queue length in packets."""
+        return len(self._packets)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._packets
+
+    def threshold(self) -> float:
+        """This queue's current DT admission threshold."""
+        return self._buffer.threshold(self.alpha)
+
+    def offer(self, packet: Packet) -> bool:
+        """Try to enqueue ``packet``; returns False (and counts a drop) if
+        the DT threshold or buffer capacity rejects it."""
+        if self._buffer.admits(self.length, self.alpha):
+            self._buffer.allocate()
+            self._packets.append(packet)
+            self.total_enqueued += 1
+            return True
+        self.total_dropped += 1
+        return False
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None if empty."""
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self._buffer.release()
+        self.total_dequeued += 1
+        return packet
+
+    def clear(self) -> None:
+        """Drop all queued packets (releasing their buffer space)."""
+        while self._packets:
+            self._packets.popleft()
+            self._buffer.release()

@@ -1,0 +1,103 @@
+"""Work-conserving per-port schedulers.
+
+Every scheduler here is *work-conserving*: if any queue of the port holds a
+packet, one packet is transmitted this time step.  That property is exactly
+what constraint C3 of the paper exploits — the number of steps a port has
+some non-empty queue lower-bounds its SNMP sent count.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.switchsim.queues import OutputQueue
+
+
+class Scheduler(ABC):
+    """Chooses which of a port's queues transmits this step."""
+
+    @abstractmethod
+    def select(self, queues: Sequence[OutputQueue]) -> Optional[int]:
+        """Return the index of the queue to dequeue, or None if all empty."""
+
+
+class StrictPriorityScheduler(Scheduler):
+    """Always serves the lowest-index non-empty queue (class 0 first)."""
+
+    def select(self, queues: Sequence[OutputQueue]) -> Optional[int]:
+        for i, queue in enumerate(queues):
+            if not queue.is_empty:
+                return i
+        return None
+
+
+class RoundRobinScheduler(Scheduler):
+    """Serves non-empty queues in cyclic order, skipping empty ones.
+
+    Skipping empty queues (rather than wasting the slot) keeps the
+    scheduler work-conserving.
+    """
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, queues: Sequence[OutputQueue]) -> Optional[int]:
+        n = len(queues)
+        if n == 0:
+            return None
+        for offset in range(n):
+            idx = (self._next + offset) % n
+            if not queues[idx].is_empty:
+                self._next = (idx + 1) % n
+                return idx
+        return None
+
+
+class DeficitRoundRobinScheduler(Scheduler):
+    """Deficit round robin with per-queue quantum, in packets.
+
+    With unit-size packets DRR degenerates to weighted round robin; it is
+    included because the paper's switches serve queues of different classes
+    and DRR is the standard way to give them weighted shares while staying
+    work-conserving.
+    """
+
+    def __init__(self, quanta: Sequence[int]):
+        if not quanta or any(q <= 0 for q in quanta):
+            raise ValueError(f"quanta must be positive, got {quanta}")
+        self._quanta = list(quanta)
+        self._deficits = [0] * len(quanta)
+        self._next = 0
+
+    def select(self, queues: Sequence[OutputQueue]) -> Optional[int]:
+        n = len(queues)
+        if n != len(self._quanta):
+            raise ValueError(
+                f"scheduler configured for {len(self._quanta)} queues, got {n}"
+            )
+        if all(q.is_empty for q in queues):
+            # Reset deficits when idle so stale credit does not accumulate.
+            self._deficits = [0] * n
+            return None
+        # At most 2n probes: each queue's deficit is topped up once per pass.
+        for _ in range(2 * n):
+            idx = self._next
+            queue = queues[idx]
+            if queue.is_empty:
+                self._deficits[idx] = 0
+                self._next = (idx + 1) % n
+                continue
+            if self._deficits[idx] <= 0:
+                self._deficits[idx] += self._quanta[idx]
+            if self._deficits[idx] > 0:
+                self._deficits[idx] -= 1
+                if self._deficits[idx] <= 0 or queue.length == 1:
+                    self._next = (idx + 1) % n
+                return idx
+            self._next = (idx + 1) % n
+        # Work conservation fallback; unreachable with positive quanta.
+        for i, queue in enumerate(queues):
+            if not queue.is_empty:
+                return i
+        return None

@@ -1,0 +1,280 @@
+"""Input-queued switch with Virtual Output Queues and iSLIP scheduling.
+
+The paper assumes output-queued switches "without loss of generality"
+(§2.1).  This module provides the other classic architecture so the
+telemetry pipeline can be studied beyond that assumption: an N×N
+input-queued switch where each input port keeps one Virtual Output Queue
+(VOQ) per output and a crossbar transfers at most one packet per input
+and per output each time step, matched by the iSLIP algorithm (McKeown,
+1999) — iterative request/grant/accept with round-robin pointers.
+
+Knowledge is architecture-specific, and this switch makes that concrete:
+
+* **C1/C2 still hold** — per-queue maxima and samples constrain any queue
+  series, whatever the switch;
+* **C3 does not** — an input-queued switch is *not* work-conserving per
+  output: a non-empty VOQ for output ``j`` may be starved by crossbar
+  contention, so "non-empty bins ≤ packets sent" is no longer a valid
+  bound.  The test suite demonstrates the violation, and any constraint
+  machinery applied to VOQ telemetry must drop C3 (e.g.
+  ``ConstraintEnforcer`` cannot be used as-is).
+
+Buffering: each input port has a Dynamic-Threshold shared buffer across
+its N VOQs, mirroring the output-queued switch's buffer model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.switchsim.buffer import SharedBuffer
+from repro.switchsim.packet import Packet
+from repro.switchsim.queues import OutputQueue
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class VoqConfig:
+    """Static configuration of the input-queued switch."""
+
+    num_ports: int = 4  # N: inputs == outputs
+    buffer_per_input: int = 64  # shared across one input's N VOQs
+    alpha: float = 1.0  # Dynamic-Threshold factor
+    islip_iterations: int = 1
+
+    def __post_init__(self):
+        check_positive("num_ports", self.num_ports)
+        check_positive("buffer_per_input", self.buffer_per_input)
+        check_positive("alpha", self.alpha)
+        check_positive("islip_iterations", self.islip_iterations)
+
+    @property
+    def num_queues(self) -> int:
+        """Total VOQs: one per (input, output) pair."""
+        return self.num_ports * self.num_ports
+
+    def voq_index(self, input_port: int, output_port: int) -> int:
+        """Flat VOQ index; VOQs of one input are adjacent."""
+        n = self.num_ports
+        if not 0 <= input_port < n or not 0 <= output_port < n:
+            raise IndexError(f"port pair ({input_port}, {output_port}) out of range")
+        return input_port * n + output_port
+
+
+@dataclass
+class VoqStepCounters:
+    """Per-step counters of the input-queued switch."""
+
+    received: np.ndarray  # (N,) per input port
+    dropped: np.ndarray  # (N,) per input port (DT/buffer rejections)
+    sent: np.ndarray  # (N,) per output port (crossbar transfers)
+
+
+class IslipScheduler:
+    """One-or-more-iteration iSLIP crossbar matching.
+
+    Maintains a grant pointer per output and an accept pointer per input;
+    pointers advance past the matched partner only when a match is made in
+    the first iteration — the sliding rule that gives iSLIP its fairness
+    and desynchronisation properties.
+    """
+
+    def __init__(self, num_ports: int, iterations: int = 1):
+        check_positive("num_ports", num_ports)
+        check_positive("iterations", iterations)
+        self.num_ports = num_ports
+        self.iterations = iterations
+        self._grant_pointer = [0] * num_ports  # per output
+        self._accept_pointer = [0] * num_ports  # per input
+
+    @staticmethod
+    def _round_robin_pick(candidates: list[int], pointer: int, n: int) -> int:
+        """The candidate at or after ``pointer`` in cyclic order."""
+        best = min((candidate - pointer) % n for candidate in candidates)
+        return (pointer + best) % n
+
+    def match(self, backlog: np.ndarray) -> list[tuple[int, int]]:
+        """Compute a crossbar matching for this step.
+
+        ``backlog[i, j]`` is the length of VOQ (input i → output j).
+        Returns (input, output) pairs; each input and each output appears
+        at most once.
+        """
+        n = self.num_ports
+        if backlog.shape != (n, n):
+            raise ValueError(f"backlog must be ({n}, {n}), got {backlog.shape}")
+        matched_inputs: set[int] = set()
+        matched_outputs: set[int] = set()
+        matches: list[tuple[int, int]] = []
+
+        for iteration in range(self.iterations):
+            # Request: unmatched inputs request every output with backlog.
+            requests: dict[int, list[int]] = {}
+            for j in range(n):
+                if j in matched_outputs:
+                    continue
+                requesting = [
+                    i
+                    for i in range(n)
+                    if i not in matched_inputs and backlog[i, j] > 0
+                ]
+                if requesting:
+                    requests[j] = requesting
+
+            # Grant: each output grants the requester at/after its pointer.
+            grants: dict[int, list[int]] = {}
+            for j, requesting in requests.items():
+                granted = self._round_robin_pick(requesting, self._grant_pointer[j], n)
+                grants.setdefault(granted, []).append(j)
+
+            # Accept: each input accepts the grant at/after its pointer.
+            any_match = False
+            for i, granting in grants.items():
+                accepted = self._round_robin_pick(granting, self._accept_pointer[i], n)
+                matches.append((i, accepted))
+                matched_inputs.add(i)
+                matched_outputs.add(accepted)
+                any_match = True
+                if iteration == 0:
+                    # Pointers slide only for first-iteration matches.
+                    self._grant_pointer[accepted] = (i + 1) % n
+                    self._accept_pointer[i] = (accepted + 1) % n
+            if not any_match:
+                break
+        return matches
+
+
+class VoqSwitch:
+    """The input-queued switch: admission, matching, transfer."""
+
+    def __init__(self, config: VoqConfig):
+        self.config = config
+        n = config.num_ports
+        self._buffers = [
+            SharedBuffer(config.buffer_per_input, alpha=config.alpha) for _ in range(n)
+        ]
+        self.voqs: list[OutputQueue] = []
+        for i in range(n):
+            for j in range(n):
+                self.voqs.append(
+                    OutputQueue(port=j, qclass=i, buffer=self._buffers[i], alpha=config.alpha)
+                )
+        self.scheduler = IslipScheduler(n, iterations=config.islip_iterations)
+        self.step_count = 0
+
+    def voq(self, input_port: int, output_port: int) -> OutputQueue:
+        return self.voqs[self.config.voq_index(input_port, output_port)]
+
+    def backlog(self) -> np.ndarray:
+        """(N, N) matrix of VOQ lengths."""
+        n = self.config.num_ports
+        return np.array(
+            [[self.voq(i, j).length for j in range(n)] for i in range(n)],
+            dtype=np.int64,
+        )
+
+    def step(self, arrivals: list[Packet]) -> VoqStepCounters:
+        """One time step: admit arrivals, match, transfer one per match.
+
+        ``Packet.flow_id`` is reused as the *input port* of the arrival
+        (the output-queued model has no notion of inputs; rather than
+        widen the shared Packet type, the VOQ switch documents this reuse).
+        """
+        n = self.config.num_ports
+        received = np.zeros(n, dtype=np.int64)
+        dropped = np.zeros(n, dtype=np.int64)
+        sent = np.zeros(n, dtype=np.int64)
+
+        for packet in arrivals:
+            input_port = packet.flow_id
+            if not 0 <= input_port < n:
+                raise ValueError(
+                    f"VOQ arrivals carry the input port in flow_id; got {input_port}"
+                )
+            received[input_port] += 1
+            if not self.voq(input_port, packet.dst_port).offer(packet):
+                dropped[input_port] += 1
+
+        for input_port, output_port in self.scheduler.match(self.backlog()):
+            packet = self.voq(input_port, output_port).dequeue()
+            if packet is None:
+                raise RuntimeError(
+                    f"iSLIP matched empty VOQ ({input_port}, {output_port})"
+                )
+            sent[output_port] += 1
+
+        self.step_count += 1
+        return VoqStepCounters(received=received, dropped=dropped, sent=sent)
+
+
+@dataclass
+class VoqTrace:
+    """Fine-grained ground truth of a VOQ simulation.
+
+    Unlike :class:`~repro.switchsim.simulation.SimulationTrace`, this trace
+    intentionally has **no** NE ≤ sent invariant: input-queued switches are
+    not output-work-conserving, which is the point of the architecture
+    comparison.
+    """
+
+    config: VoqConfig
+    steps_per_bin: int
+    qlen: np.ndarray  # (N*N, bins) VOQ lengths at bin end
+    received: np.ndarray  # (N, bins) per input
+    dropped: np.ndarray  # (N, bins) per input
+    sent: np.ndarray  # (N, bins) per output
+
+    @property
+    def num_bins(self) -> int:
+        return self.qlen.shape[1]
+
+    def output_nonempty(self, output_port: int) -> np.ndarray:
+        """Bins in which some VOQ destined to ``output_port`` is non-empty."""
+        n = self.config.num_ports
+        rows = [self.config.voq_index(i, output_port) for i in range(n)]
+        return self.qlen[rows].sum(axis=0) > 0
+
+    def validate(self) -> None:
+        assert (self.qlen >= 0).all()
+        assert (self.sent <= self.steps_per_bin).all(), "output above line rate"
+        assert (self.received >= self.dropped).all()
+
+
+class VoqSimulation:
+    """Drives a traffic generator through the VOQ switch."""
+
+    def __init__(self, config: VoqConfig, traffic, steps_per_bin: int = 16):
+        check_positive("steps_per_bin", steps_per_bin)
+        self.config = config
+        self.traffic = traffic
+        self.steps_per_bin = int(steps_per_bin)
+        self.switch = VoqSwitch(config)
+
+    def run(self, num_bins: int) -> VoqTrace:
+        check_positive("num_bins", num_bins)
+        n = self.config.num_ports
+        qlen = np.zeros((self.config.num_queues, num_bins), dtype=np.int64)
+        received = np.zeros((n, num_bins), dtype=np.int64)
+        dropped = np.zeros((n, num_bins), dtype=np.int64)
+        sent = np.zeros((n, num_bins), dtype=np.int64)
+
+        for b in range(num_bins):
+            for _ in range(self.steps_per_bin):
+                counters = self.switch.step(self.traffic.arrivals(self.switch.step_count))
+                received[:, b] += counters.received
+                dropped[:, b] += counters.dropped
+                sent[:, b] += counters.sent
+            qlen[:, b] = self.switch.backlog().reshape(-1)
+
+        trace = VoqTrace(
+            config=self.config,
+            steps_per_bin=self.steps_per_bin,
+            qlen=qlen,
+            received=received,
+            dropped=dropped,
+            sent=sent,
+        )
+        trace.validate()
+        return trace

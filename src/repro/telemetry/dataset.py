@@ -1,0 +1,307 @@
+"""Windowing and feature construction for the imputation models.
+
+A *sample* is one imputation window (300 fine bins = 6 coarse intervals in
+the paper's setup, Fig. 3): the model sees the coarse-grained telemetry of
+the window expanded onto the fine time axis and must output the
+fine-grained queue-length series of **all** queues jointly — queues share
+the buffer, so their lengths are correlated and imputing them together
+lets the model use that coupling (insight 1 of §2).
+
+Feature channels per fine bin ``t`` (all normalised):
+
+* per queue ``q``:    periodic sample and LANZ max of t's interval,
+* per port ``p``:     SNMP sent / dropped / received of t's interval
+                      (as utilisation, i.e. packets per time step),
+* globally:           the intra-interval phase and a one-hot indicator of
+                      the periodically-sampled bins (where C2 pins values).
+
+Raw (packet-unit) measurements travel along with each sample so the
+constraint machinery (KAL, CEM, violation metrics) can be evaluated in
+original units after denormalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.switchsim.simulation import SimulationTrace
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.sampling import CoarseTelemetry, sample_trace
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class FeatureScaler:
+    """Normalisation constants shared by every sample of a dataset.
+
+    ``qlen_scale`` divides queue lengths (features and targets);
+    ``rate_scale`` divides per-interval packet counts down to a
+    per-time-step utilisation in roughly [0, 1].
+    """
+
+    qlen_scale: float
+    rate_scale: float
+
+    def __post_init__(self):
+        check_positive("qlen_scale", self.qlen_scale)
+        check_positive("rate_scale", self.rate_scale)
+
+    @classmethod
+    def fit(cls, telemetry: CoarseTelemetry, steps_per_bin: int) -> "FeatureScaler":
+        """Derive scales from (training) telemetry.
+
+        The queue scale is the largest LANZ max seen in training — the
+        operator knows this quantity, so using it leaks nothing from the
+        fine-grained ground truth.
+        """
+        qlen_scale = float(max(telemetry.qlen_max.max(), 1.0))
+        rate_scale = float(telemetry.interval * steps_per_bin)
+        return cls(qlen_scale=qlen_scale, rate_scale=rate_scale)
+
+    def normalise_qlen(self, qlen: np.ndarray) -> np.ndarray:
+        return np.asarray(qlen, dtype=float) / self.qlen_scale
+
+    def denormalise_qlen(self, qlen: np.ndarray) -> np.ndarray:
+        return np.asarray(qlen, dtype=float) * self.qlen_scale
+
+
+@dataclass
+class ImputationSample:
+    """One imputation window: model inputs, target, and raw measurements."""
+
+    features: np.ndarray  # (T, C) normalised model input
+    target: np.ndarray  # (Q, T) normalised fine-grained queue lengths
+    target_raw: np.ndarray  # (Q, T) ground truth in packets
+    m_max: np.ndarray  # (Q, I) LANZ max per interval, packets
+    m_sample: np.ndarray  # (Q, I) periodic samples per interval, packets
+    m_sent: np.ndarray  # (P, I) SNMP sent per interval, packets
+    m_dropped: np.ndarray  # (P, I)
+    m_received: np.ndarray  # (P, I)
+    sample_positions: np.ndarray  # (I,) fine-bin index of each periodic sample
+    interval: int  # fine bins per coarse interval
+    window_start: int  # first fine bin of the window in the source trace
+
+    @property
+    def num_bins(self) -> int:
+        return self.target.shape[1]
+
+    @property
+    def num_queues(self) -> int:
+        return self.target.shape[0]
+
+    @property
+    def num_ports(self) -> int:
+        return self.m_sent.shape[0]
+
+    @property
+    def num_intervals(self) -> int:
+        return self.m_max.shape[1]
+
+
+@dataclass
+class TelemetryDataset:
+    """A collection of imputation windows with shared scaling and layout."""
+
+    samples: list[ImputationSample]
+    scaler: FeatureScaler
+    switch_config: SwitchConfig
+    interval: int
+    window_bins: int
+    steps_per_bin: int
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> ImputationSample:
+        return self.samples[index]
+
+    @property
+    def num_features(self) -> int:
+        return self.samples[0].features.shape[1] if self.samples else 0
+
+    @property
+    def num_queues(self) -> int:
+        return self.switch_config.num_queues
+
+    def split(
+        self, train_fraction: float = 0.7, val_fraction: float = 0.15, seed: RngLike = 0
+    ) -> tuple["TelemetryDataset", "TelemetryDataset", "TelemetryDataset"]:
+        """Shuffle and split into train/val/test datasets."""
+        if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
+            raise ValueError("fractions must lie in (0, 1)")
+        if train_fraction + val_fraction >= 1:
+            raise ValueError("train + val fractions must leave room for test")
+        rng = as_generator(seed)
+        order = rng.permutation(len(self.samples))
+        n_train = int(round(train_fraction * len(order)))
+        n_val = int(round(val_fraction * len(order)))
+        groups = (
+            order[:n_train],
+            order[n_train : n_train + n_val],
+            order[n_train + n_val :],
+        )
+
+        def subset(indices: np.ndarray) -> "TelemetryDataset":
+            return TelemetryDataset(
+                samples=[self.samples[i] for i in indices],
+                scaler=self.scaler,
+                switch_config=self.switch_config,
+                interval=self.interval,
+                window_bins=self.window_bins,
+                steps_per_bin=self.steps_per_bin,
+            )
+
+        return subset(groups[0]), subset(groups[1]), subset(groups[2])
+
+    def batches(
+        self, batch_size: int, seed: RngLike = None, shuffle: bool = True
+    ) -> Iterator[list[ImputationSample]]:
+        """Yield lists of samples of size at most ``batch_size``."""
+        check_positive("batch_size", batch_size)
+        order = np.arange(len(self.samples))
+        if shuffle:
+            as_generator(seed).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            yield [self.samples[i] for i in order[start : start + batch_size]]
+
+    def stack_features(self, samples: Sequence[ImputationSample]) -> np.ndarray:
+        """Stack sample features into a (B, T, C) batch array."""
+        return np.stack([s.features for s in samples], axis=0)
+
+    def stack_targets(self, samples: Sequence[ImputationSample]) -> np.ndarray:
+        """Stack normalised targets into a (B, Q, T) batch array."""
+        return np.stack([s.target for s in samples], axis=0)
+
+
+def crop_sample(sample: ImputationSample, num_intervals: int) -> ImputationSample:
+    """Restrict a window to its first ``num_intervals`` coarse intervals.
+
+    Useful for timing studies on solver-based components whose cost grows
+    steeply with window length (e.g. the MILP CEM).
+    """
+    check_positive("num_intervals", num_intervals)
+    if num_intervals > sample.num_intervals:
+        raise ValueError(
+            f"cannot crop to {num_intervals} intervals; window has "
+            f"{sample.num_intervals}"
+        )
+    bins = num_intervals * sample.interval
+    import dataclasses
+
+    return dataclasses.replace(
+        sample,
+        features=sample.features[:bins],
+        target=sample.target[:, :bins],
+        target_raw=sample.target_raw[:, :bins],
+        m_max=sample.m_max[:, :num_intervals],
+        m_sample=sample.m_sample[:, :num_intervals],
+        m_sent=sample.m_sent[:, :num_intervals],
+        m_dropped=sample.m_dropped[:, :num_intervals],
+        m_received=sample.m_received[:, :num_intervals],
+        sample_positions=sample.sample_positions[:num_intervals],
+    )
+
+
+def _expand(coarse: np.ndarray, interval: int) -> np.ndarray:
+    """Repeat per-interval values onto the fine axis: (.., I) -> (.., I*interval)."""
+    return np.repeat(coarse, interval, axis=-1)
+
+
+def build_features(
+    telemetry: CoarseTelemetry,
+    scaler: FeatureScaler,
+    num_bins: int,
+) -> np.ndarray:
+    """Assemble the (T, C) feature matrix for one window's telemetry."""
+    interval = telemetry.interval
+    if num_bins != telemetry.num_intervals * interval:
+        raise ValueError(
+            f"window of {num_bins} bins does not match "
+            f"{telemetry.num_intervals} intervals of {interval}"
+        )
+    channels: list[np.ndarray] = []
+    channels.extend(_expand(scaler.normalise_qlen(telemetry.qlen_sample), interval))
+    channels.extend(_expand(scaler.normalise_qlen(telemetry.qlen_max), interval))
+    channels.extend(_expand(telemetry.sent / scaler.rate_scale, interval))
+    channels.extend(_expand(telemetry.dropped / scaler.rate_scale, interval))
+    channels.extend(_expand(telemetry.received / scaler.rate_scale, interval))
+    phase = (np.arange(num_bins) % interval) / interval
+    channels.append(phase)
+    sample_indicator = np.zeros(num_bins)
+    sample_indicator[telemetry.sample_positions(num_bins)] = 1.0
+    channels.append(sample_indicator)
+    return np.stack(channels, axis=1)
+
+
+def build_dataset(
+    trace: SimulationTrace,
+    interval: int = 50,
+    window_intervals: int = 6,
+    stride_intervals: int | None = None,
+    scaler: FeatureScaler | None = None,
+) -> TelemetryDataset:
+    """Slice a trace into imputation windows.
+
+    Args:
+        trace: fine-grained simulator output.
+        interval: fine bins per coarse interval (50 in the paper).
+        window_intervals: coarse intervals per window (6 → 300 bins).
+        stride_intervals: distance between window starts in intervals;
+            defaults to ``window_intervals`` (non-overlapping windows).
+        scaler: reuse a scaler fitted on training data (e.g. when building
+            a test set); fitted from this trace when omitted.
+    """
+    check_positive("interval", interval)
+    check_positive("window_intervals", window_intervals)
+    stride_intervals = window_intervals if stride_intervals is None else stride_intervals
+    check_positive("stride_intervals", stride_intervals)
+
+    telemetry = sample_trace(trace, interval)
+    if scaler is None:
+        scaler = FeatureScaler.fit(telemetry, trace.steps_per_bin)
+
+    window_bins = window_intervals * interval
+    stride_bins = stride_intervals * interval
+    samples: list[ImputationSample] = []
+    last_start = trace.num_bins - window_bins
+    for start in range(0, last_start + 1, stride_bins):
+        first_interval = start // interval
+        sl = slice(first_interval, first_interval + window_intervals)
+        window_telemetry = CoarseTelemetry(
+            interval=interval,
+            qlen_sample=telemetry.qlen_sample[:, sl],
+            qlen_max=telemetry.qlen_max[:, sl],
+            received=telemetry.received[:, sl],
+            sent=telemetry.sent[:, sl],
+            dropped=telemetry.dropped[:, sl],
+        )
+        features = build_features(window_telemetry, scaler, window_bins)
+        target_raw = trace.qlen[:, start : start + window_bins].astype(float)
+        samples.append(
+            ImputationSample(
+                features=features,
+                target=scaler.normalise_qlen(target_raw),
+                target_raw=target_raw,
+                m_max=window_telemetry.qlen_max.astype(float),
+                m_sample=window_telemetry.qlen_sample.astype(float),
+                m_sent=window_telemetry.sent.astype(float),
+                m_dropped=window_telemetry.dropped.astype(float),
+                m_received=window_telemetry.received.astype(float),
+                sample_positions=window_telemetry.sample_positions(window_bins),
+                interval=interval,
+                window_start=start,
+            )
+        )
+
+    return TelemetryDataset(
+        samples=samples,
+        scaler=scaler,
+        switch_config=trace.config,
+        interval=interval,
+        window_bins=window_bins,
+        steps_per_bin=trace.steps_per_bin,
+    )

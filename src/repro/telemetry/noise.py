@@ -1,0 +1,101 @@
+"""Telemetry degradation models for robustness experiments.
+
+Real monitoring pipelines are imperfect: SNMP polls get lost, LANZ only
+reports queues above a configurable threshold (§2.1 footnote 1), and
+counters are quantised.  These helpers degrade a
+:class:`~repro.telemetry.sampling.CoarseTelemetry` in controlled ways so
+experiments can measure how gracefully the imputation methods cope — one
+angle on the paper's research question about using knowledge *"to fight
+the scarcity or bias of datasets"*.
+
+Degradations keep the telemetry *internally consistent* (max >= sample
+everywhere) so constraint checking stays well-posed; missing values are
+encoded per the conventions of each tool (see each function).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.telemetry.sampling import CoarseTelemetry
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_non_negative
+
+
+def apply_lanz_threshold(telemetry: CoarseTelemetry, threshold: int) -> CoarseTelemetry:
+    """Model LANZ's reporting threshold (§2.1 footnote 1).
+
+    Intervals whose true maximum is at or below ``threshold`` report **no
+    LANZ value**; following the footnote's convention we substitute the
+    best still-sound bound the operator has: the periodic sample (the max
+    is at least the sampled instantaneous length).
+    """
+    check_non_negative("threshold", threshold)
+    suppressed = telemetry.qlen_max <= threshold
+    qlen_max = np.where(suppressed, telemetry.qlen_sample, telemetry.qlen_max)
+    out = dataclasses.replace(telemetry, qlen_max=qlen_max)
+    out.validate()
+    return out
+
+
+def drop_snmp_intervals(
+    telemetry: CoarseTelemetry, loss_probability: float, seed: RngLike = None
+) -> tuple[CoarseTelemetry, np.ndarray]:
+    """Lose whole SNMP reports (per port-interval) with the given probability.
+
+    Lost counters are linearly interpolated from the neighbouring intervals
+    of the same port (the standard operator fallback), so downstream code
+    keeps working; the boolean mask of lost cells is returned so
+    experiments can condition on it.
+    """
+    if not 0.0 <= loss_probability < 1.0:
+        raise ValueError(f"loss_probability must be in [0, 1), got {loss_probability}")
+    rng = as_generator(seed)
+    lost = rng.random(telemetry.sent.shape) < loss_probability
+
+    def interpolate(series: np.ndarray) -> np.ndarray:
+        out = series.astype(float).copy()
+        for port in range(series.shape[0]):
+            missing = lost[port]
+            if missing.all():
+                out[port] = 0.0
+                continue
+            if missing.any():
+                x = np.arange(series.shape[1])
+                out[port, missing] = np.interp(
+                    x[missing], x[~missing], out[port, ~missing]
+                )
+        return np.round(out)
+
+    out = dataclasses.replace(
+        telemetry,
+        received=interpolate(telemetry.received),
+        sent=interpolate(telemetry.sent),
+        dropped=interpolate(telemetry.dropped),
+    )
+    return out, lost
+
+
+def quantise_counters(telemetry: CoarseTelemetry, step: int) -> CoarseTelemetry:
+    """Quantise SNMP counters to multiples of ``step`` (coarse reporting).
+
+    Counters are rounded to the *nearest* multiple, which models reporting
+    granularity.  Note that rounding ``sent`` downward can make a real
+    trace violate C3 (``NE <= sent``), so experiments that feed quantised
+    telemetry into the CEM should treat infeasibility as a measured
+    outcome, not an error.
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+
+    def quantise(series: np.ndarray) -> np.ndarray:
+        return np.round(series / step) * step
+
+    return dataclasses.replace(
+        telemetry,
+        received=quantise(telemetry.received),
+        sent=quantise(telemetry.sent),
+        dropped=quantise(telemetry.dropped),
+    )

@@ -1,0 +1,105 @@
+"""Coarse-grained sampling of a fine-grained trace (the operator's view).
+
+``sample_trace`` is the software model of the monitoring stack of §2.1:
+given the fine-grained ground truth (1 ms bins in the paper), it produces
+what the operator actually gets to see every ``interval`` bins (50 in the
+paper, i.e. 50 ms):
+
+* ``qlen_sample`` — instantaneous queue length at the *last bin* of each
+  interval (periodic sampling);
+* ``qlen_max`` — maximum of the fine-grained queue-length series within the
+  interval (LANZ); the tool reports *that* a maximum occurred but not
+  *when*, exactly as the paper stresses.  The max is taken over the 1 ms
+  series (not over individual packet time steps) so that constraint C1 is
+  exactly satisfiable by the fine-grained ground truth — the same
+  convention the paper needs for C1 to be well-posed at 1 ms granularity;
+* ``received`` / ``sent`` / ``dropped`` — per-port counts over the interval
+  (SNMP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.switchsim.simulation import SimulationTrace
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class CoarseTelemetry:
+    """The operator-visible coarse-grained measurements of one trace."""
+
+    interval: int  # fine bins per coarse interval
+    qlen_sample: np.ndarray  # (num_queues, num_intervals)
+    qlen_max: np.ndarray  # (num_queues, num_intervals)
+    received: np.ndarray  # (num_ports, num_intervals)
+    sent: np.ndarray  # (num_ports, num_intervals)
+    dropped: np.ndarray  # (num_ports, num_intervals)
+
+    @property
+    def num_intervals(self) -> int:
+        return self.qlen_sample.shape[1]
+
+    @property
+    def num_queues(self) -> int:
+        return self.qlen_sample.shape[0]
+
+    @property
+    def num_ports(self) -> int:
+        return self.sent.shape[0]
+
+    def sample_positions(self, num_bins: int | None = None) -> np.ndarray:
+        """Fine-bin indices at which the periodic sampler fired.
+
+        These are the ``T_samples`` of constraint C2: the last bin of each
+        coarse interval.
+        """
+        n = self.num_intervals if num_bins is None else num_bins // self.interval
+        return np.arange(1, n + 1) * self.interval - 1
+
+    def validate(self) -> None:
+        """Internal consistency: max dominates sample, counts non-negative."""
+        assert (self.qlen_max >= self.qlen_sample).all(), "LANZ max below sample"
+        assert (self.received >= 0).all()
+        assert (self.sent >= 0).all()
+        assert (self.dropped >= 0).all()
+
+
+def sample_trace(trace: SimulationTrace, interval: int) -> CoarseTelemetry:
+    """Apply the coarse-grained monitoring tools to a fine-grained trace.
+
+    ``interval`` is the number of fine bins per coarse interval (50 in the
+    paper: 1 ms fine bins, 50 ms monitoring).  Trailing bins that do not
+    fill a whole interval are discarded, as a real monitoring system only
+    reports complete intervals.
+    """
+    check_positive("interval", interval)
+    num_intervals = trace.num_bins // interval
+    if num_intervals == 0:
+        raise ValueError(
+            f"trace with {trace.num_bins} bins is shorter than one interval ({interval})"
+        )
+    span = num_intervals * interval
+
+    def per_interval(x: np.ndarray, reduce: str) -> np.ndarray:
+        shaped = x[:, :span].reshape(x.shape[0], num_intervals, interval)
+        if reduce == "max":
+            return shaped.max(axis=2)
+        if reduce == "sum":
+            return shaped.sum(axis=2)
+        if reduce == "last":
+            return shaped[:, :, -1]
+        raise ValueError(f"unknown reduction {reduce!r}")
+
+    telemetry = CoarseTelemetry(
+        interval=int(interval),
+        qlen_sample=per_interval(trace.qlen, "last"),
+        qlen_max=per_interval(trace.qlen, "max"),
+        received=per_interval(trace.received, "sum"),
+        sent=per_interval(trace.sent, "sum"),
+        dropped=per_interval(trace.dropped, "sum"),
+    )
+    telemetry.validate()
+    return telemetry

@@ -1,0 +1,103 @@
+"""Flow-size distributions, including the DCTCP websearch workload.
+
+Flow sizes are measured in packets.  The websearch CDF is the standard
+piecewise-linear fit used across the datacenter literature (DCTCP,
+Alizadeh et al. 2010), scaled from bytes to packets assuming 1 kB packets;
+it is heavy-tailed: most flows are mice, most bytes come from elephants.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+class FlowSizeDistribution(ABC):
+    """Samples flow sizes in packets."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one flow size (>= 1 packet)."""
+
+    def mean(self) -> float:
+        """Monte-Carlo estimate of the mean flow size (used for load calc)."""
+        rng = as_generator(12345)
+        return float(np.mean([self.sample(rng) for _ in range(20000)]))
+
+
+class FixedSizes(FlowSizeDistribution):
+    """Every flow has the same size — useful for deterministic tests."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"flow size must be >= 1 packet, got {size}")
+        self.size = int(size)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+
+class ParetoSizes(FlowSizeDistribution):
+    """Bounded Pareto flow sizes — a generic heavy-tailed workload."""
+
+    def __init__(self, shape: float = 1.2, minimum: int = 1, maximum: int = 1000):
+        if shape <= 0:
+            raise ValueError(f"shape must be positive, got {shape}")
+        if not 1 <= minimum <= maximum:
+            raise ValueError(f"need 1 <= minimum <= maximum, got {minimum}, {maximum}")
+        self.shape = shape
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def sample(self, rng: np.random.Generator) -> int:
+        # Inverse-CDF sampling of a bounded Pareto.
+        u = rng.random()
+        lo, hi, a = float(self.minimum), float(self.maximum), self.shape
+        x = (lo**a / (1.0 - u * (1.0 - (lo / hi) ** a))) ** (1.0 / a)
+        return int(np.clip(round(x), self.minimum, self.maximum))
+
+
+class WebsearchSizes(FlowSizeDistribution):
+    """DCTCP websearch flow-size distribution (piecewise-linear CDF).
+
+    Points are (flow size in packets, cumulative probability), the classic
+    websearch workload: ~50 % of flows under 10 packets but a tail out to
+    tens of thousands of packets carrying most bytes.
+    """
+
+    # (size_packets, cdf) — interpolated log-linearly between knots.
+    _KNOTS: tuple[tuple[float, float], ...] = (
+        (1, 0.00),
+        (2, 0.15),
+        (3, 0.30),
+        (5, 0.40),
+        (7, 0.50),
+        (10, 0.60),
+        (30, 0.70),
+        (100, 0.80),
+        (300, 0.90),
+        (1000, 0.95),
+        (3000, 0.98),
+        (10000, 1.00),
+    )
+
+    def __init__(self, scale: float = 1.0):
+        """``scale`` multiplies all sizes (e.g. 0.1 for a lighter variant)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self._sizes = np.array([k[0] for k in self._KNOTS], dtype=float)
+        self._cdf = np.array([k[1] for k in self._KNOTS], dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        u = rng.random()
+        # Interpolate in log-size space for a smooth heavy tail.
+        log_size = np.interp(u, self._cdf, np.log(self._sizes))
+        size = int(round(np.exp(log_size) * self.scale))
+        return max(1, size)

@@ -1,0 +1,250 @@
+"""Traffic generators producing per-time-step packet arrivals.
+
+All generators share the same contract: :meth:`TrafficGenerator.arrivals`
+is called once per simulator time step with a monotonically increasing
+step index and returns the packets arriving at the switch in that step.
+
+Sources model server NICs: each source can inject **at most one packet per
+time step** (line rate), so a flow of S packets occupies its source for at
+least S steps and fan-in of k sources onto one output port grows that
+port's queue at rate ~(k-1) packets per step — the queue-building mechanism
+the paper's imputation problem revolves around.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.switchsim.packet import Packet
+from repro.traffic.distributions import FlowSizeDistribution, WebsearchSizes
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class _ActiveFlow:
+    """A flow currently transmitting from a source."""
+
+    flow_id: int
+    dst_port: int
+    qclass: int
+    remaining: int
+
+
+class _SourcePool:
+    """Per-source flow queues with 1-packet-per-step pacing.
+
+    Flows injected into a source are serialised FIFO: the source transmits
+    the head flow's packets back to back, then moves to the next flow.
+    """
+
+    def __init__(self, num_sources: int):
+        check_positive("num_sources", num_sources)
+        self.num_sources = int(num_sources)
+        self._queues: list[deque[_ActiveFlow]] = [deque() for _ in range(self.num_sources)]
+
+    def inject(self, source: int, flow: _ActiveFlow) -> None:
+        if not 0 <= source < self.num_sources:
+            raise IndexError(f"source {source} out of range [0, {self.num_sources})")
+        if flow.remaining < 1:
+            raise ValueError(f"flow must have >= 1 packet, got {flow.remaining}")
+        self._queues[source].append(flow)
+
+    def emit(self, step: int) -> list[Packet]:
+        """Emit at most one packet per busy source for this step."""
+        packets: list[Packet] = []
+        for queue in self._queues:
+            if not queue:
+                continue
+            flow = queue[0]
+            packets.append(
+                Packet(
+                    dst_port=flow.dst_port,
+                    qclass=flow.qclass,
+                    flow_id=flow.flow_id,
+                    arrival_step=step,
+                )
+            )
+            flow.remaining -= 1
+            if flow.remaining == 0:
+                queue.popleft()
+        return packets
+
+    @property
+    def busy_sources(self) -> int:
+        return sum(1 for q in self._queues if q)
+
+    @property
+    def backlog_packets(self) -> int:
+        return sum(f.remaining for q in self._queues for f in q)
+
+
+class TrafficGenerator(ABC):
+    """Produces the packets arriving at the switch at each time step."""
+
+    @abstractmethod
+    def arrivals(self, step: int) -> list[Packet]:
+        """Packets arriving at time step ``step``.
+
+        Steps must be requested in increasing order (generators are
+        stateful stream processes, like the sources they model).
+        """
+
+
+class _SequentialMixin:
+    """Guards against out-of-order step queries."""
+
+    _next_step: int = 0
+
+    def _check_step(self, step: int) -> None:
+        if step != self._next_step:
+            raise ValueError(
+                f"arrivals() must be called with consecutive steps; expected "
+                f"{self._next_step}, got {step}"
+            )
+        self._next_step = step + 1
+
+
+class PoissonFlowTraffic(_SequentialMixin, TrafficGenerator):
+    """Open-loop Poisson flow arrivals (the websearch background traffic).
+
+    Flows arrive as a Poisson process with ``flows_per_step`` expected
+    arrivals per time step; each picks a uniform source, a uniform
+    destination output port, a queue class from ``class_weights``, and a
+    size from ``sizes`` (DCTCP websearch by default).
+    """
+
+    def __init__(
+        self,
+        num_sources: int,
+        num_ports: int,
+        flows_per_step: float,
+        sizes: FlowSizeDistribution | None = None,
+        class_weights: Sequence[float] = (0.5, 0.5),
+        seed: RngLike = None,
+    ):
+        check_positive("num_ports", num_ports)
+        if flows_per_step < 0:
+            raise ValueError(f"flows_per_step must be >= 0, got {flows_per_step}")
+        self._pool = _SourcePool(num_sources)
+        self.num_ports = int(num_ports)
+        self.flows_per_step = float(flows_per_step)
+        self.sizes = sizes if sizes is not None else WebsearchSizes()
+        weights = np.asarray(class_weights, dtype=float)
+        if weights.ndim != 1 or (weights < 0).any() or weights.sum() == 0:
+            raise ValueError(f"invalid class_weights: {class_weights}")
+        self._class_probs = weights / weights.sum()
+        self._rng = as_generator(seed)
+        self._flow_counter = 0
+
+    def arrivals(self, step: int) -> list[Packet]:
+        self._check_step(step)
+        num_new = self._rng.poisson(self.flows_per_step)
+        for _ in range(num_new):
+            source = int(self._rng.integers(self._pool.num_sources))
+            dst = int(self._rng.integers(self.num_ports))
+            qclass = int(self._rng.choice(len(self._class_probs), p=self._class_probs))
+            size = self.sizes.sample(self._rng)
+            self._pool.inject(
+                source,
+                _ActiveFlow(self._flow_counter, dst, qclass, size),
+            )
+            self._flow_counter += 1
+        return self._pool.emit(step)
+
+
+class IncastTraffic(_SequentialMixin, TrafficGenerator):
+    """Periodic synchronised N-to-1 bursts (the incast workload).
+
+    Every ``period`` steps (plus uniform jitter up to ``jitter``), ``fan_in``
+    dedicated sources each start a flow of ``burst_size`` packets to the
+    same destination port.  With per-source pacing of 1 packet/step, the
+    victim port receives ``fan_in`` packets per step while draining one —
+    the classic microburst.
+    """
+
+    def __init__(
+        self,
+        fan_in: int,
+        burst_size: int,
+        period: int,
+        dst_port: int,
+        qclass: int = 1,
+        jitter: int = 0,
+        seed: RngLike = None,
+        start_step: int = 0,
+    ):
+        check_positive("fan_in", fan_in)
+        check_positive("burst_size", burst_size)
+        check_positive("period", period)
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self._pool = _SourcePool(fan_in)
+        self.fan_in = int(fan_in)
+        self.burst_size = int(burst_size)
+        self.period = int(period)
+        self.dst_port = int(dst_port)
+        self.qclass = int(qclass)
+        self.jitter = int(jitter)
+        self._rng = as_generator(seed)
+        self._flow_counter = 0
+        self._next_burst = int(start_step)
+        if jitter:
+            self._next_burst += int(self._rng.integers(0, jitter + 1))
+
+    def arrivals(self, step: int) -> list[Packet]:
+        self._check_step(step)
+        if step == self._next_burst:
+            for source in range(self.fan_in):
+                self._pool.inject(
+                    source,
+                    _ActiveFlow(
+                        self._flow_counter, self.dst_port, self.qclass, self.burst_size
+                    ),
+                )
+                self._flow_counter += 1
+            self._next_burst += self.period
+            if self.jitter:
+                self._next_burst += int(self._rng.integers(-self.jitter, self.jitter + 1))
+                self._next_burst = max(self._next_burst, step + 1)
+        return self._pool.emit(step)
+
+
+class CompositeTraffic(_SequentialMixin, TrafficGenerator):
+    """Superposition of independent generators (disjoint source pools)."""
+
+    def __init__(self, generators: Iterable[TrafficGenerator]):
+        self.generators = list(generators)
+        if not self.generators:
+            raise ValueError("CompositeTraffic needs at least one generator")
+
+    def arrivals(self, step: int) -> list[Packet]:
+        self._check_step(step)
+        packets: list[Packet] = []
+        for generator in self.generators:
+            packets.extend(generator.arrivals(step))
+        return packets
+
+
+class ScriptedTraffic(_SequentialMixin, TrafficGenerator):
+    """Deterministic arrivals from an explicit step → packets script.
+
+    Used by tests and by the FM-model experiments, where a known tiny
+    scenario must be reproduced exactly.
+    """
+
+    def __init__(self, script: dict[int, Sequence[tuple[int, int]]]):
+        """``script`` maps step → list of (dst_port, qclass) arrivals."""
+        self.script = {int(k): list(v) for k, v in script.items()}
+
+    def arrivals(self, step: int) -> list[Packet]:
+        self._check_step(step)
+        return [
+            Packet(dst_port=dst, qclass=qclass, flow_id=-1, arrival_step=step)
+            for dst, qclass in self.script.get(step, [])
+        ]

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG handling, validation, logging.
+
+These helpers are deliberately small; every stochastic component in the
+library accepts either an integer seed or a ``numpy.random.Generator`` so
+that experiments are reproducible end to end.
+"""
+
+from repro.utils.rng import RngLike, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_non_negative,
+    check_positive,
+    check_same_length,
+)
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "spawn_generators",
+    "check_1d",
+    "check_2d",
+    "check_non_negative",
+    "check_positive",
+    "check_same_length",
+]

@@ -1,0 +1,39 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library takes a ``seed`` argument that may
+be ``None`` (fresh entropy), an ``int``, or an existing
+``numpy.random.Generator``.  Centralising the coercion here keeps the
+signature uniform and the experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Passing an existing generator returns it unchanged, so components can
+    share one stream when the caller wants correlated sampling.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Children are statistically independent of each other and of the parent,
+    which makes it safe to hand one to each simulated component (e.g. one
+    per traffic source) without accidental stream sharing.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_generator(seed)
+    return [np.random.default_rng(parent.integers(0, 2**63)) for _ in range(count)]

@@ -1,0 +1,45 @@
+"""Lightweight argument validation helpers.
+
+These raise ``ValueError`` with messages that name the offending argument,
+which keeps user-facing error reporting consistent across the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_1d(name: str, array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as a 1-D float ndarray or raise ``ValueError``."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_2d(name: str, array: np.ndarray) -> np.ndarray:
+    """Return ``array`` as a 2-D float ndarray or raise ``ValueError``."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_same_length(name_a: str, a: np.ndarray, name_b: str, b: np.ndarray) -> None:
+    """Raise ``ValueError`` unless the two arrays have equal first dimension."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, got {len(a)} and {len(b)}"
+        )

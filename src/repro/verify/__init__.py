@@ -1,0 +1,26 @@
+"""Verification of trained models against networking knowledge.
+
+The paper's closing research question (§1, §5): *"How can we verify that
+an ML system has indeed learned networking principles?"*  This package
+provides the statistical flavour of that verification: drive the trained
+imputer over a corpus of (held-out or perturbed) inputs, evaluate the
+exact constraints C1–C3 on every output, and summarise how often — and by
+how much — the model violates the knowledge it was trained with.
+
+Unlike the CEM (which *repairs* outputs), the verifier *measures* the
+model itself, so it quantifies exactly how much of the knowledge made it
+into the weights — the paper's Table-1 rows a–c, generalised into a
+reusable audit.
+"""
+
+from repro.verify.verifier import (
+    ConstraintVerifier,
+    VerificationReport,
+    WindowVerdict,
+)
+
+__all__ = [
+    "ConstraintVerifier",
+    "VerificationReport",
+    "WindowVerdict",
+]

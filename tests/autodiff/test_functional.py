@@ -1,0 +1,108 @@
+"""Tests for composite differentiable functions."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.autodiff import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(5, 7))), axis=-1)
+        np.testing.assert_allclose(out.numpy().sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax(Tensor(x + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_large_values_stable(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]])).numpy()
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_gradient(self, gradcheck, rng):
+        weights = rng.normal(size=(3, 4))
+        gradcheck(lambda t: (F.softmax(t, axis=-1) * Tensor(weights)).sum(), rng.normal(size=(3, 4)))
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).numpy(),
+            np.log(F.softmax(Tensor(x)).numpy()),
+            atol=1e-10,
+        )
+
+
+class TestGelu:
+    def test_zero_fixed_point(self):
+        assert F.gelu(Tensor([0.0])).numpy()[0] == 0.0
+
+    def test_large_positive_identity(self):
+        np.testing.assert_allclose(F.gelu(Tensor([10.0])).numpy(), [10.0], atol=1e-6)
+
+    def test_gradient(self, gradcheck, rng):
+        gradcheck(lambda t: F.gelu(t).sum(), rng.normal(size=(2, 5)))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        x = Tensor(rng.normal(2.0, 3.0, size=(4, 8)))
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)))
+        out = F.layer_norm(x, Tensor(np.zeros(4)), Tensor(np.full(4, 7.0))).numpy()
+        np.testing.assert_allclose(out, 7.0)
+
+    def test_gradient(self, gradcheck, rng):
+        w = Tensor(rng.normal(size=(6,)))
+        b = Tensor(rng.normal(size=(6,)))
+        gradcheck(lambda t: (F.layer_norm(t, w, b) ** 2).sum(), rng.normal(size=(3, 6)))
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_identity_at_zero_p(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True).numpy()
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, rng, training=True)
+
+
+class TestLosses:
+    def test_mse_zero_at_equality(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert F.mse_loss(x, Tensor(x.numpy().copy())).item() == 0.0
+
+    def test_l1_loss_value(self):
+        loss = F.l1_loss(Tensor([1.0, -1.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.0)
+
+
+class TestSmoothIndicator:
+    def test_saturates_for_positive(self):
+        out = F.smooth_nonempty_indicator(Tensor([1.0, 5.0]), scale=10.0).numpy()
+        assert (out > 0.999).all()
+
+    def test_zero_at_zero(self):
+        assert F.smooth_nonempty_indicator(Tensor([0.0])).numpy()[0] == 0.0
+
+    def test_gradient_flows_near_zero(self, gradcheck):
+        gradcheck(lambda t: F.smooth_nonempty_indicator(t, scale=3.0).sum(), np.array([0.05, 0.2]))

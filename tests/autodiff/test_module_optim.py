@@ -1,0 +1,171 @@
+"""Tests for Module/Parameter discovery and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Module, Parameter, SGD, Tensor, clip_grad_norm
+
+
+class Affine(Module):
+    def __init__(self):
+        self.w = Parameter(np.array([2.0]))
+        self.b = Parameter(np.array([0.5]))
+
+    def forward(self, x):
+        return x * self.w + self.b
+
+
+class Nested(Module):
+    def __init__(self):
+        self.inner = Affine()
+        self.blocks = [Affine(), Affine()]
+        self.scale = Parameter(np.array([1.0]))
+
+    def forward(self, x):
+        x = self.inner(x)
+        for block in self.blocks:
+            x = block(x)
+        return x * self.scale
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        names = {name for name, _ in Nested().named_parameters()}
+        assert names == {
+            "inner.w",
+            "inner.b",
+            "blocks.0.w",
+            "blocks.0.b",
+            "blocks.1.w",
+            "blocks.1.b",
+            "scale",
+        }
+
+    def test_num_parameters(self):
+        assert Nested().num_parameters() == 7
+
+    def test_state_dict_roundtrip(self):
+        model = Nested()
+        state = model.state_dict()
+        other = Nested()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = Affine()
+        state = model.state_dict()
+        state["w"][0] = 99.0
+        assert model.w.data[0] == 2.0
+
+    def test_load_rejects_missing_keys(self):
+        with pytest.raises(KeyError):
+            Affine().load_state_dict({"w": np.array([1.0])})
+
+    def test_load_rejects_bad_shape(self):
+        model = Affine()
+        with pytest.raises(ValueError):
+            model.load_state_dict({"w": np.zeros(3), "b": np.zeros(1)})
+
+    def test_train_eval_propagates(self):
+        model = Nested()
+        model.eval()
+        assert not model.inner.training
+        assert not model.blocks[1].training
+        model.train()
+        assert model.blocks[0].training
+
+    def test_zero_grad(self):
+        model = Affine()
+        model(Tensor([1.0])).sum().backward()
+        assert model.w.grad is not None
+        model.zero_grad()
+        assert model.w.grad is None
+
+    def test_parameter_requires_grad_always(self):
+        from repro.autodiff.tensor import no_grad
+
+        with no_grad():
+            p = Parameter(np.zeros(2))
+        assert p.requires_grad
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.array([5.0]))
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = (w * w).sum()
+            loss.backward()
+            opt.step()
+        assert abs(w.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        histories = {}
+        for momentum in (0.0, 0.9):
+            w = Parameter(np.array([5.0]))
+            opt = SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (w * w).sum().backward()
+                opt.step()
+            histories[momentum] = abs(w.data[0])
+        assert histories[0.9] < histories[0.0]
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.array([3.0, -4.0]))
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (w * w).sum().backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1e-3
+
+    def test_skips_params_without_grad(self):
+        w = Parameter(np.array([1.0]))
+        unused = Parameter(np.array([7.0]))
+        opt = Adam([w, unused], lr=0.1)
+        (w * 2).sum().backward()
+        opt.step()
+        assert unused.data[0] == 7.0
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.array([1.0]))
+        opt = Adam([w], lr=0.01, weight_decay=10.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()
+            opt.step()
+        assert abs(w.data[0]) < 1.0
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        w = Parameter(np.array([3.0, 4.0]))
+        w.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        w = Parameter(np.array([0.1]))
+        w.grad = np.array([0.1])
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, [0.1])
+
+    def test_rejects_non_positive_max(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)

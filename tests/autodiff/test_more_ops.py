@@ -1,0 +1,83 @@
+"""Additional op coverage: swapaxes, mixed chains, dtype behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+
+
+class TestSwapaxes:
+    def test_roundtrip(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.swapaxes(1, 2)
+        assert y.shape == (2, 4, 3)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_gradient_through_weighted_sum(self, gradcheck, rng):
+        weights = rng.normal(size=(4, 3))
+        gradcheck(
+            lambda t: (t.swapaxes(0, 1) * Tensor(weights)).sum(),
+            rng.normal(size=(3, 4)),
+        )
+
+    def test_negative_axes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.swapaxes(-1, -2)
+        assert y.shape == (2, 4, 3)
+
+
+class TestCompositeChains:
+    def test_attention_like_chain(self, gradcheck, rng):
+        """A miniature attention computation gradchecks end to end."""
+        from repro.autodiff import functional as F
+
+        k = Tensor(rng.normal(size=(4, 2)))
+
+        def attention_ish(q):
+            scores = q @ k.swapaxes(0, 1)  # (4, 4)
+            weights = F.softmax(scores, axis=-1)
+            return (weights @ k).sum()
+
+        gradcheck(attention_ish, rng.normal(size=(4, 2)))
+
+    def test_emd_like_chain(self, gradcheck, rng):
+        """cumsum → abs → mean, normalised — the EMD loss skeleton."""
+        target = Tensor(rng.random(10) + 0.5)
+
+        def emd_ish(p):
+            p_cdf = (p / (p.sum() + 1e-8)).cumsum()
+            t_cdf = (target / (target.sum() + 1e-8)).cumsum()
+            return (p_cdf - t_cdf).abs().mean()
+
+        gradcheck(emd_ish, rng.random(10) + 0.5, atol=1e-5)
+
+    def test_constraint_like_chain(self, gradcheck, rng):
+        """max-per-group residual squared — the Φ (C1) skeleton."""
+        m_max = Tensor(rng.random(2) * 3)
+
+        def phi_ish(q):
+            grouped = q.reshape(2, 5)
+            residual = grouped.max(axis=1) - m_max
+            return (residual * residual).sum()
+
+        x0 = rng.permutation(10).astype(float)  # distinct: unique argmax
+        gradcheck(phi_ish, x0)
+
+
+class TestDtypes:
+    def test_ints_promoted_to_float64(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.data.dtype == np.float64
+
+    def test_float32_promoted(self):
+        t = Tensor(np.array([1.0], dtype=np.float32))
+        assert t.data.dtype == np.float64
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "shape" in repr(Tensor([1.0]))
+
+    def test_len_and_item(self):
+        assert len(Tensor([1.0, 2.0])) == 2
+        assert Tensor([3.5]).item() == 3.5

@@ -1,0 +1,86 @@
+"""Tests for the differentiable relaxations Phi and Psi (KAL ingredients)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.constraints import phi_max, phi_periodic, psi_sent
+from repro.switchsim import SwitchConfig
+
+
+@pytest.fixture()
+def cfg():
+    return SwitchConfig(num_ports=1, queues_per_port=2, buffer_capacity=20, alphas=(1.0, 1.0))
+
+
+class TestPhiMax:
+    def test_zero_residual_when_max_matches(self):
+        pred = Tensor(np.array([[[0.0, 3.0, 1.0, 0.0]]]))  # (1, 1, 4)
+        res = phi_max(pred, np.array([[[3.0]]])[0], interval=4)
+        np.testing.assert_allclose(res.numpy(), [[[0.0]]])
+
+    def test_signed_residual(self):
+        pred = Tensor(np.array([[[0.0, 2.0], [5.0, 0.0]]]))  # (1, 2, 2)
+        res = phi_max(pred, np.array([[3.0], [3.0]]), interval=2)
+        np.testing.assert_allclose(res.numpy(), [[[-1.0], [2.0]]])
+
+    def test_gradient_reaches_argmax_only(self):
+        pred = Tensor(np.array([[[1.0, 4.0, 2.0, 0.0]]]), requires_grad=True)
+        res = phi_max(pred, np.array([[3.0]]), interval=4)
+        (res * res).sum().backward()
+        grad = pred.grad[0, 0]
+        assert grad[1] != 0.0
+        np.testing.assert_allclose(grad[[0, 2, 3]], 0.0)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            phi_max(Tensor(np.zeros((1, 1, 5))), np.zeros((1, 1)), interval=4)
+
+
+class TestPhiPeriodic:
+    def test_residual_at_positions(self):
+        pred = Tensor(np.array([[[9.0, 1.0, 9.0, 4.0]]]))
+        res = phi_periodic(pred, np.array([[1.0, 5.0]]), np.array([1, 3]))
+        np.testing.assert_allclose(res.numpy(), [[[0.0, -1.0]]])
+
+    def test_gradient_only_at_sampled_bins(self):
+        pred = Tensor(np.ones((1, 1, 6)), requires_grad=True)
+        res = phi_periodic(pred, np.array([[0.0]]), np.array([2]))
+        (res * res).sum().backward()
+        grad = pred.grad[0, 0]
+        assert grad[2] != 0.0
+        np.testing.assert_allclose(np.delete(grad, 2), 0.0)
+
+
+class TestPsiSent:
+    def test_negative_when_satisfied(self, cfg):
+        pred = Tensor(np.zeros((1, 2, 4)))  # all empty
+        res = psi_sent(pred, np.array([[2.0]]), cfg, interval=4)
+        assert (res.numpy() <= 0).all()
+
+    def test_positive_when_violated(self, cfg):
+        pred = Tensor(np.ones((1, 2, 4)))  # 4 busy bins, both queues
+        res = psi_sent(pred, np.array([[1.0]]), cfg, interval=4)
+        # Sum-over-queues over-approximates OR: NE ~ 8 > 1.
+        assert res.numpy()[0, 0, 0] > 0
+
+    def test_smoothness_near_zero(self, cfg):
+        """Small queue values give fractional NE (differentiable surrogate)."""
+        pred = Tensor(np.full((1, 2, 4), 0.01))
+        res = psi_sent(pred, np.array([[0.0]]), cfg, interval=4, indicator_scale=10.0)
+        value = res.numpy()[0, 0, 0]
+        assert 0 < value < 8 / 4
+
+    def test_gradient_flows(self, cfg):
+        pred = Tensor(np.full((1, 2, 4), 0.2), requires_grad=True)
+        res = psi_sent(pred, np.array([[0.0]]), cfg, interval=4)
+        res.sum().backward()
+        assert np.abs(pred.grad).sum() > 0
+
+    def test_matches_exact_count_when_saturated(self, cfg):
+        """With large scale, Psi*interval + sent ~ exact NE per queue-sum."""
+        pred_data = np.zeros((1, 2, 4))
+        pred_data[0, 0, :2] = 1.0  # queue 0 busy bins 0-1
+        res = psi_sent(Tensor(pred_data), np.array([[0.0]]), cfg, interval=4, indicator_scale=50.0)
+        ne_estimate = res.numpy()[0, 0, 0] * 4
+        assert ne_estimate == pytest.approx(2.0, abs=1e-3)

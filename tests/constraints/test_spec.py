@@ -1,0 +1,101 @@
+"""Tests for exact constraint evaluation (Table 1 rows a-c metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    check_constraints,
+    max_constraint_error,
+    periodic_constraint_error,
+    sent_count_error,
+)
+from repro.constraints.spec import nonempty_bins
+from repro.switchsim import SwitchConfig
+
+
+@pytest.fixture()
+def cfg():
+    return SwitchConfig(num_ports=1, queues_per_port=2, buffer_capacity=20, alphas=(1.0, 1.0))
+
+
+class TestMaxConstraint:
+    def test_zero_when_satisfied(self):
+        series = np.array([[0.0, 3.0, 1.0, 0.0]])
+        m_max = np.array([[3.0]])
+        assert max_constraint_error(series, m_max, interval=4) == 0.0
+
+    def test_undershoot_counts(self):
+        series = np.array([[0.0, 2.0, 1.0, 0.0]])
+        m_max = np.array([[4.0]])
+        assert max_constraint_error(series, m_max, interval=4) == pytest.approx(0.5)
+
+    def test_overshoot_counts(self):
+        series = np.array([[0.0, 6.0, 1.0, 0.0]])
+        m_max = np.array([[4.0]])
+        assert max_constraint_error(series, m_max, interval=4) == pytest.approx(0.5)
+
+    def test_per_interval(self):
+        series = np.array([[2.0, 0.0, 4.0, 0.0]])
+        m_max = np.array([[2.0, 2.0]])
+        assert max_constraint_error(series, m_max, interval=2) == pytest.approx(0.5)
+
+    def test_zero_max_normalised_by_one(self):
+        series = np.array([[0.5, 0.0]])
+        m_max = np.array([[0.0]])
+        assert max_constraint_error(series, m_max, interval=2) == pytest.approx(0.5)
+
+    def test_rejects_misaligned_interval(self):
+        with pytest.raises(ValueError):
+            max_constraint_error(np.zeros((1, 5)), np.zeros((1, 1)), interval=4)
+
+
+class TestPeriodicConstraint:
+    def test_zero_when_pinned(self):
+        series = np.array([[9.0, 2.0, 9.0, 5.0]])
+        err = periodic_constraint_error(series, np.array([[2.0, 5.0]]), np.array([1, 3]))
+        assert err == 0.0
+
+    def test_relative_error(self):
+        series = np.array([[0.0, 3.0]])
+        err = periodic_constraint_error(series, np.array([[2.0]]), np.array([1]))
+        assert err == pytest.approx(0.5)
+
+
+class TestSentConstraint:
+    def test_nonempty_bins_counts_port_or(self, cfg):
+        series = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 2.0, 0.0, 0.0],
+            ]
+        )
+        ne = nonempty_bins(series, cfg, interval=4)
+        assert ne.shape == (1, 1)
+        assert ne[0, 0] == 2  # bins 0 and 1, OR across the port's queues
+
+    def test_one_sided(self, cfg):
+        series = np.ones((2, 4))  # 4 busy bins
+        generous = np.array([[10.0]])
+        assert sent_count_error(series, generous, cfg, interval=4) == 0.0
+        stingy = np.array([[1.0]])
+        assert sent_count_error(series, stingy, cfg, interval=4) == pytest.approx(3 / 4)
+
+    def test_epsilon_threshold(self, cfg):
+        series = np.full((2, 4), 0.4)  # below the 0.5 non-empty epsilon
+        assert sent_count_error(series, np.array([[0.0]]), cfg, interval=4) == 0.0
+
+
+class TestCheckConstraints:
+    def test_ground_truth_satisfies_all(self, small_dataset):
+        for sample in small_dataset.samples[:5]:
+            report = check_constraints(
+                sample.target_raw, sample, small_dataset.switch_config
+            )
+            assert report.satisfied, report
+
+    def test_perturbed_truth_violates(self, small_dataset):
+        sample = small_dataset[0]
+        corrupted = sample.target_raw + 1.0
+        report = check_constraints(corrupted, sample, small_dataset.switch_config)
+        assert not report.satisfied
+        assert report.periodic_error > 0

@@ -1,0 +1,150 @@
+"""Tests for burst detection and the downstream error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.downstream import (
+    Burst,
+    DownstreamReport,
+    burst_detection_error,
+    burst_frequency_error,
+    burst_height_error,
+    burst_interarrival_error,
+    concurrent_burst_error,
+    detect_bursts,
+    empty_queue_error,
+    evaluate_downstream,
+)
+from repro.downstream.bursts import interarrival_times
+
+
+class TestDetectBursts:
+    def test_simple_burst(self):
+        series = np.array([0, 0, 8, 9, 7, 0, 0], dtype=float)
+        bursts = detect_bursts(series, threshold=5.0)
+        assert len(bursts) == 1
+        assert (bursts[0].start, bursts[0].end, bursts[0].peak) == (2, 5, 9.0)
+
+    def test_no_bursts_below_threshold(self):
+        assert detect_bursts(np.array([1.0, 4.0, 2.0]), threshold=5.0) == []
+
+    def test_burst_at_boundaries(self):
+        series = np.array([9.0, 0.0, 9.0])
+        bursts = detect_bursts(series, threshold=5.0)
+        assert [(b.start, b.end) for b in bursts] == [(0, 1), (2, 3)]
+
+    def test_threshold_is_strict(self):
+        assert detect_bursts(np.array([5.0, 5.0]), threshold=5.0) == []
+
+    def test_multiple_bursts(self):
+        series = np.array([0, 9, 0, 9, 9, 0, 9], dtype=float)
+        assert len(detect_bursts(series, threshold=5.0)) == 3
+
+    def test_overlap(self):
+        assert Burst(0, 5, 1.0).overlaps(Burst(4, 6, 1.0))
+        assert not Burst(0, 5, 1.0).overlaps(Burst(5, 6, 1.0))
+
+    def test_interarrival_times(self):
+        bursts = [Burst(0, 2, 1.0), Burst(10, 12, 1.0), Burst(25, 26, 1.0)]
+        np.testing.assert_array_equal(interarrival_times(bursts), [10.0, 15.0])
+        assert len(interarrival_times(bursts[:1])) == 0
+
+    @given(
+        arrays(float, 50, elements=st.floats(0, 20, allow_nan=False)),
+        st.floats(0.5, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bursts_partition_above_threshold(self, series, threshold):
+        """Every above-threshold bin is inside exactly one burst."""
+        bursts = detect_bursts(series, threshold)
+        covered = np.zeros(len(series), dtype=int)
+        for b in bursts:
+            covered[b.start : b.end] += 1
+            assert (series[b.start : b.end] > threshold).all()
+            assert b.peak == series[b.start : b.end].max()
+        above = series > threshold
+        np.testing.assert_array_equal(covered, above.astype(int))
+
+
+class TestMetrics:
+    def _truth(self):
+        truth = np.zeros((2, 40))
+        truth[0, 5:10] = 10.0  # one burst on queue 0
+        truth[1, 20:24] = 8.0  # one burst on queue 1
+        return truth
+
+    def test_perfect_imputation_zero_errors(self):
+        truth = self._truth()
+        report = evaluate_downstream(truth.copy(), truth)
+        assert report == DownstreamReport(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_detection_error_misses(self):
+        truth = self._truth()
+        imputed = np.zeros_like(truth)  # misses both bursts
+        assert burst_detection_error(imputed, truth) == pytest.approx(1.0)
+
+    def test_detection_error_partial(self):
+        truth = self._truth()
+        imputed = np.zeros_like(truth)
+        imputed[0, 6:9] = 10.0  # overlaps the queue-0 burst
+        # Queue 0: F1 = 1 -> error 0; queue 1: error 1; mean = 0.5.
+        assert burst_detection_error(imputed, truth) == pytest.approx(0.5)
+
+    def test_height_error_relative(self):
+        truth = self._truth()
+        imputed = truth * 0.6
+        # Queue 0: height 6 vs 10 -> 0.4.  Queue 1: the scaled burst (4.8)
+        # falls below the detection threshold, so height 0 vs 8 -> 1.0.
+        err = burst_height_error(imputed, truth)
+        assert err == pytest.approx((0.4 + 1.0) / 2)
+
+    def test_frequency_error_overcount(self):
+        truth = self._truth()
+        imputed = truth.copy()
+        imputed[0, 15:17] = 9.0  # spurious second burst on queue 0
+        assert burst_frequency_error(imputed, truth) == pytest.approx(0.5)  # (1 + 0)/2
+
+    def test_interarrival_error(self):
+        truth = np.zeros((1, 60))
+        truth[0, 5:7] = 9.0
+        truth[0, 25:27] = 9.0  # gap 20
+        imputed = np.zeros_like(truth)
+        imputed[0, 5:7] = 9.0
+        imputed[0, 15:17] = 9.0  # gap 10
+        assert burst_interarrival_error(imputed, truth) == pytest.approx(0.5)
+
+    def test_empty_queue_error(self):
+        truth = np.zeros((1, 10))
+        truth[0, :5] = 3.0  # 50% empty
+        imputed = np.zeros((1, 10))  # 100% empty
+        assert empty_queue_error(imputed, truth) == pytest.approx(1.0)
+
+    def test_concurrent_burst_error(self):
+        truth = np.zeros((2, 10))
+        truth[:, 3:5] = 9.0  # two queues bursting together
+        imputed = np.zeros((2, 10))
+        imputed[0, 3:5] = 9.0  # only one queue
+        assert concurrent_burst_error(imputed, truth) == pytest.approx(0.5)
+
+    def test_no_bursts_anywhere_is_zero_error(self):
+        flat = np.ones((2, 20))
+        report = evaluate_downstream(flat * 0.5, flat)
+        assert report.burst_detection == 0.0
+        assert report.burst_frequency == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_downstream(np.zeros((1, 5)), np.zeros((2, 5)))
+
+    def test_average_reports(self):
+        a = DownstreamReport(1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        b = DownstreamReport(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        avg = DownstreamReport.average([a, b])
+        assert avg.burst_detection == 0.5
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DownstreamReport.average([])

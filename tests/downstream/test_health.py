@@ -1,0 +1,81 @@
+"""Tests for RED-style queue-health analysis."""
+
+import numpy as np
+import pytest
+
+from repro.downstream.health import (
+    HealthReport,
+    evaluate_health,
+    ewma_queue,
+    red_drop_probability,
+)
+
+
+class TestEwma:
+    def test_constant_series_converges(self):
+        avg = ewma_queue(np.full(500, 10.0), weight=0.05)
+        assert avg[-1] == pytest.approx(10.0, abs=0.01)
+
+    def test_smooths_spikes(self):
+        series = np.zeros(100)
+        series[50] = 100.0
+        avg = ewma_queue(series, weight=0.02)
+        assert avg.max() < 5.0  # one spike barely moves the average
+
+    def test_weight_one_tracks_exactly(self, rng):
+        series = rng.random(20)
+        np.testing.assert_allclose(ewma_queue(series, weight=1.0), series)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            ewma_queue(np.zeros(3), weight=0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ewma_queue(np.zeros((2, 2)))
+
+
+class TestRedProbability:
+    def test_regions(self):
+        avg = np.array([0.0, 5.0, 10.0, 15.0, 50.0])
+        p = red_drop_probability(avg, min_threshold=5.0, max_threshold=15.0, max_probability=0.1)
+        assert p[0] == 0.0  # below min
+        assert p[1] == 0.0  # at min
+        assert p[2] == pytest.approx(0.05)  # halfway up the ramp
+        assert p[3] == 1.0  # forced-drop region starts at max
+        assert p[4] == 1.0
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            red_drop_probability(np.zeros(3), 10.0, 5.0)
+        with pytest.raises(ValueError):
+            red_drop_probability(np.zeros(3), 0.0, 5.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            red_drop_probability(np.zeros(3), 1.0, 2.0, max_probability=0.0)
+
+
+class TestEvaluateHealth:
+    def test_perfect_imputation(self):
+        truth = np.abs(np.sin(np.linspace(0, 6, 200)))[None, :] * 20
+        report = evaluate_health(truth.copy(), truth)
+        assert report == HealthReport(0.0, 0.0, 1.0)
+
+    def test_underestimate_detected(self):
+        truth = np.full((1, 300), 12.0)
+        imputed = np.full((1, 300), 3.0)
+        report = evaluate_health(imputed, truth)
+        assert report.avg_queue_error > 0.5
+        assert report.marking_fraction_error > 0.5  # truth marks, imputed not
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_health(np.zeros((1, 5)), np.zeros((2, 5)))
+
+    def test_on_simulated_data(self, small_dataset):
+        sample = small_dataset[0]
+        noisy = np.clip(sample.target_raw + 1.0, 0, None)
+        report = evaluate_health(noisy, sample.target_raw)
+        assert report.avg_queue_error >= 0
+        assert 0 <= report.forced_drop_agreement <= 1

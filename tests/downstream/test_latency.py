@@ -1,0 +1,78 @@
+"""Tests for latency estimation and SLO-violation scoring."""
+
+import numpy as np
+import pytest
+
+from repro.downstream import (
+    LatencyReport,
+    evaluate_latency,
+    queueing_delay,
+    slo_violations,
+    tail_latency,
+)
+
+
+class TestQueueingDelay:
+    def test_little_law_scaling(self):
+        qlen = np.array([0.0, 8.0, 16.0])
+        np.testing.assert_allclose(queueing_delay(qlen, drain_rate=8.0), [0.0, 1.0, 2.0])
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            queueing_delay(np.zeros(3), drain_rate=0.0)
+
+
+class TestTailLatency:
+    def test_percentile(self):
+        qlen = np.concatenate([np.zeros(99), [100.0]])
+        assert tail_latency(qlen, drain_rate=10.0, percentile=50) == 0.0
+        assert tail_latency(qlen, drain_rate=10.0, percentile=100) == pytest.approx(10.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            tail_latency(np.zeros(3), 1.0, percentile=0)
+
+
+class TestSloViolations:
+    def test_mask(self):
+        qlen = np.array([[0.0, 30.0, 5.0]])
+        mask = slo_violations(qlen, drain_rate=10.0, slo_bins=2.0)
+        np.testing.assert_array_equal(mask, [[False, True, False]])
+
+
+class TestEvaluateLatency:
+    def test_perfect_imputation(self):
+        truth = np.array([[0.0, 10.0, 40.0, 0.0]])
+        report = evaluate_latency(truth.copy(), truth, drain_rate=10.0)
+        assert report == LatencyReport(0.0, 0.0)
+
+    def test_tail_error(self):
+        truth = np.full((1, 100), 20.0)
+        imputed = np.full((1, 100), 10.0)
+        report = evaluate_latency(imputed, truth, drain_rate=10.0, slo_bins=0.5)
+        assert report.tail_latency_error == pytest.approx(0.5)
+
+    def test_slo_detection_error(self):
+        truth = np.zeros((1, 10))
+        truth[0, :5] = 100.0  # 5 violating bins
+        imputed = np.zeros((1, 10))  # misses all
+        report = evaluate_latency(imputed, truth, drain_rate=10.0, slo_bins=1.0)
+        assert report.slo_detection_error == pytest.approx(1.0)
+
+    def test_quiet_window_zero_error(self):
+        truth = np.zeros((2, 20))
+        report = evaluate_latency(truth.copy(), truth, drain_rate=8.0)
+        assert report.slo_detection_error == 0.0
+        assert report.tail_latency_error == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_latency(np.zeros((1, 3)), np.zeros((1, 4)), drain_rate=1.0)
+
+    def test_on_simulated_data(self, small_dataset):
+        sample = small_dataset[0]
+        rate = float(small_dataset.steps_per_bin)
+        noisy = np.clip(sample.target_raw + 1.0, 0, None)
+        report = evaluate_latency(noisy, sample.target_raw, drain_rate=rate)
+        assert np.isfinite(report.tail_latency_error)
+        assert 0.0 <= report.slo_detection_error <= 1.0

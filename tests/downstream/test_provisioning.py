@@ -1,0 +1,90 @@
+"""Tests for burst statistics and buffer provisioning."""
+
+import numpy as np
+import pytest
+
+from repro.downstream.provisioning import (
+    BurstStatistics,
+    burst_statistics,
+    provisioning_gap,
+    recommend_buffer,
+)
+
+
+class TestBurstStatistics:
+    def test_quiet_series(self):
+        stats = BurstStatistics.from_series(np.zeros(100))
+        assert stats.count == 0
+        assert stats.frequency == 0.0
+
+    def test_single_burst(self):
+        series = np.zeros(50)
+        series[10:14] = [8, 12, 9, 7]
+        stats = BurstStatistics.from_series(series, threshold=5.0)
+        assert stats.count == 1
+        assert stats.mean_duration == 4.0
+        assert stats.mean_peak == 12.0
+        assert stats.frequency == pytest.approx(1 / 50)
+
+    def test_multiple_queues(self):
+        qlen = np.zeros((2, 30))
+        qlen[0, 5:8] = 10.0
+        stats = burst_statistics(qlen)
+        assert stats[0].count == 1
+        assert stats[1].count == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            burst_statistics(np.zeros(10))
+
+
+class TestRecommendBuffer:
+    def test_steady_occupancy(self):
+        qlen = np.full((2, 100), 10.0)  # aggregate 20
+        assert recommend_buffer(qlen, percentile=99, headroom=1.0) == 20
+
+    def test_headroom_applied(self):
+        qlen = np.full((1, 10), 10.0)
+        assert recommend_buffer(qlen, headroom=1.5) == 15
+
+    def test_percentile_ignores_rare_spikes(self):
+        qlen = np.zeros((1, 1000))
+        qlen[0, 0] = 1000.0  # one freak spike
+        qlen[0, 1:] = 10.0
+        rec = recommend_buffer(qlen, percentile=99, headroom=1.0)
+        assert rec == 10
+
+    def test_minimum_of_one(self):
+        assert recommend_buffer(np.zeros((2, 10))) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_buffer(np.zeros((1, 5)), percentile=0)
+        with pytest.raises(ValueError):
+            recommend_buffer(np.zeros(5))
+
+
+class TestProvisioningGap:
+    def test_zero_gap_for_perfect_imputation(self, small_dataset):
+        truth = small_dataset[0].target_raw
+        assert provisioning_gap(truth.copy(), truth) == 0.0
+
+    def test_underestimate_is_negative(self):
+        truth = np.full((1, 100), 20.0)
+        imputed = np.full((1, 100), 10.0)
+        assert provisioning_gap(imputed, truth, headroom=1.0) < 0
+
+    def test_overestimate_is_positive(self):
+        truth = np.full((1, 100), 10.0)
+        imputed = np.full((1, 100), 30.0)
+        assert provisioning_gap(imputed, truth, headroom=1.0) > 0
+
+    def test_coarse_sampling_underestimates_on_bursty_data(self, small_dataset):
+        """The §2.1 story: provisioning from the periodic samples alone
+        misses bursts and under-provisions relative to the fine truth."""
+        sample = max(small_dataset.samples, key=lambda s: s.m_max.max())
+        truth = sample.target_raw
+        # "Coarse view": hold each periodic sample for its whole interval.
+        coarse = np.repeat(sample.m_sample, sample.interval, axis=1)
+        gap = provisioning_gap(coarse, truth, percentile=100, headroom=1.0)
+        assert gap < 0

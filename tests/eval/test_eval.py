@@ -1,0 +1,140 @@
+"""Tests for the experiment harness: scenarios, Table 1, figures, report."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    Table1Config,
+    fig1_data,
+    fig4_data,
+    format_table,
+    generate_dataset,
+    generate_trace,
+    pick_representative,
+    quick_scenario,
+    render_series,
+    run_table1,
+)
+from repro.eval.table1 import METHODS, ROW_LABELS
+from repro.imputation import IterativeImputer
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    cfg = quick_scenario()
+    # Shrink further for test speed.
+    return cfg.__class__(**{**cfg.__dict__, "duration_bins": 1800})
+
+
+@pytest.fixture(scope="module")
+def quick_datasets(quick_cfg):
+    return generate_dataset(quick_cfg, seed=0)
+
+
+class TestScenarios:
+    def test_trace_properties(self, quick_cfg):
+        trace = generate_trace(quick_cfg, seed=1)
+        assert trace.num_bins == quick_cfg.duration_bins
+        trace.validate()
+        # The workload actually causes queueing and some loss.
+        assert trace.qlen.max() > 0
+        assert trace.sent.sum() > 0
+
+    def test_dataset_split_nonempty(self, quick_datasets):
+        train, val, test = quick_datasets
+        assert len(train) > 0 and len(test) > 0
+
+    def test_deterministic(self, quick_cfg):
+        a = generate_trace(quick_cfg, seed=5)
+        b = generate_trace(quick_cfg, seed=5)
+        np.testing.assert_array_equal(a.qlen, b.qlen)
+
+    def test_different_seeds_differ(self, quick_cfg):
+        a = generate_trace(quick_cfg, seed=1)
+        b = generate_trace(quick_cfg, seed=2)
+        assert not np.array_equal(a.qlen, b.qlen)
+
+
+class TestFigures:
+    def test_fig1_series(self, quick_cfg):
+        trace = generate_trace(quick_cfg, seed=0)
+        data = fig1_data(trace, queue=2, interval=50)
+        assert len(data.fine_qlen) == len(data.periodic_samples) * 50
+        assert (data.max_per_interval >= data.periodic_samples).all()
+        # Fig. 1's insight: sampling hides peaks.
+        assert data.max_per_interval.max() > data.periodic_samples.max() or (
+            data.max_per_interval == data.periodic_samples
+        ).all()
+
+    def test_pick_representative_has_burst_gap(self, quick_datasets):
+        train, _, _ = quick_datasets
+        window, queue = pick_representative(train)
+        sample = train[window]
+        gap = (sample.m_max - sample.m_sample)[queue].max()
+        assert gap > 0
+
+    def test_fig4_series(self, quick_datasets):
+        train, _, _ = quick_datasets
+        imputer = IterativeImputer(num_iterations=2)
+        data = fig4_data(train, {"IterImputer": imputer.impute})
+        assert set(data.series) == {"IterImputer"}
+        assert data.series["IterImputer"].shape == data.ground_truth.shape
+
+
+class TestTable1:
+    def test_quick_run_shape(self, quick_cfg, quick_datasets):
+        config = Table1Config(
+            scenario=quick_cfg,
+            epochs=2,
+            d_model=16,
+            num_layers=1,
+            d_ff=32,
+            batch_size=4,
+        )
+        result = run_table1(config, datasets=quick_datasets)
+        assert set(result.values) == set(ROW_LABELS)
+        for row in result.values.values():
+            assert set(row) == set(METHODS)
+            assert all(np.isfinite(v) for v in row.values())
+        # CEM nullifies the consistency rows (a-c).
+        for key in ("max", "periodic", "sent"):
+            assert result.values[key]["Transformer+KAL+CEM"] == pytest.approx(0.0)
+        rendered = result.render()
+        assert "a. Max Constraint" in rendered
+        assert "Transformer+KAL+CEM" in rendered
+        improvements = result.improvement_over_transformer()
+        assert set(improvements) == {
+            "burst_detection",
+            "burst_height",
+            "burst_frequency",
+            "burst_interarrival",
+            "empty_queue",
+            "concurrent_bursts",
+        }
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_render_series(self):
+        art = render_series(np.array([0.0, 1.0, 5.0, 0.0]), height=4)
+        assert "peak=5.0" in art
+
+    def test_render_series_all_zero(self):
+        assert "all zero" in render_series(np.zeros(10))
+
+    def test_render_series_downsamples(self):
+        art = render_series(np.arange(100, dtype=float), height=3, width=10)
+        assert "peak=99.0" in art
+
+    def test_render_rejects_2d(self):
+        with pytest.raises(ValueError):
+            render_series(np.zeros((2, 2)))

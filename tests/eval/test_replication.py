@@ -1,0 +1,53 @@
+"""Tests for cross-seed replication (tiny configs)."""
+
+import pytest
+
+from repro.eval.replication import run_replicated_table1
+from repro.eval.scenarios import quick_scenario
+from repro.eval.table1 import METHODS, ROW_LABELS, Table1Config
+
+
+@pytest.fixture(scope="module")
+def replicated():
+    scenario = quick_scenario()
+    scenario = type(scenario)(**{**scenario.__dict__, "duration_bins": 1500})
+    config = Table1Config(
+        scenario=scenario,
+        epochs=2,
+        d_model=16,
+        num_layers=1,
+        d_ff=32,
+        batch_size=4,
+    )
+    return run_replicated_table1(config, seeds=[0, 1])
+
+
+class TestReplication:
+    def test_aggregates_all_cells(self, replicated):
+        assert set(replicated.mean) == set(ROW_LABELS)
+        for row in replicated.mean.values():
+            assert set(row) == set(METHODS)
+
+    def test_std_nonnegative(self, replicated):
+        for row in replicated.std.values():
+            assert all(v >= 0 for v in row.values())
+
+    def test_cem_rows_zero_across_seeds(self, replicated):
+        for key in ("max", "periodic", "sent"):
+            assert replicated.mean[key]["Transformer+KAL+CEM"] == 0.0
+            assert replicated.std[key]["Transformer+KAL+CEM"] == 0.0
+
+    def test_render_contains_plus_minus(self, replicated):
+        assert "±" in replicated.render()
+
+    def test_win_rate_bounds(self, replicated):
+        rate = replicated.win_rate("Transformer+KAL+CEM", "Transformer")
+        assert 0.0 <= rate <= 1.0
+
+    def test_runs_recorded(self, replicated):
+        assert len(replicated.runs) == 2
+        assert replicated.seeds == [0, 1]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_replicated_table1(Table1Config(), seeds=[])

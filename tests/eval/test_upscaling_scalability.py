@@ -1,0 +1,50 @@
+"""Tests for the upscaling sweep and scalability helpers."""
+
+import pytest
+
+from repro.eval.scalability import fm_scaling
+from repro.eval.scenarios import quick_scenario
+from repro.eval.table1 import Table1Config
+from repro.eval.upscaling import run_upscaling
+
+
+class TestUpscaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        scenario = quick_scenario()
+        scenario = type(scenario)(**{**scenario.__dict__, "duration_bins": 1500})
+        config = Table1Config(
+            scenario=scenario,
+            epochs=2,
+            d_model=16,
+            num_layers=1,
+            d_ff=32,
+            batch_size=4,
+        )
+        return run_upscaling([10, 25], scenario, config=config, windows_per_factor=3)
+
+    def test_one_point_per_factor(self, points):
+        assert [p.factor for p in points] == [10, 25]
+
+    def test_all_consistent(self, points):
+        assert all(p.consistency_satisfied == 1.0 for p in points)
+
+    def test_errors_finite(self, points):
+        for p in points:
+            assert p.mae >= 0
+            assert 0 <= p.burst_detection <= 1
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            run_upscaling([0], quick_scenario())
+
+
+class TestFmScaling:
+    def test_rejects_misaligned_horizon(self):
+        with pytest.raises(ValueError):
+            fm_scaling([5], steps_per_interval=4)
+
+    def test_points_in_order(self):
+        points = fm_scaling([4, 8], steps_per_interval=4, node_limit=5000, seed=1)
+        assert [p.horizon for p in points] == [4, 8]
+        assert all(p.solve_seconds >= 0 for p in points)

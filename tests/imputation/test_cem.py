@@ -1,0 +1,150 @@
+"""Tests for the Constraint Enforcement Module, incl. MILP cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import check_constraints
+from repro.fm import MilpCem
+from repro.imputation import CEMInfeasibleError, ConstraintEnforcer
+from repro.switchsim import Simulation, SwitchConfig
+from repro.telemetry import build_dataset
+from repro.traffic import PoissonFlowTraffic
+from repro.traffic.distributions import FixedSizes
+
+
+def tiny_dataset(seed=3, bins=40):
+    """1 port x 2 queues, 5-bin intervals, 2-interval (10-bin) windows."""
+    cfg = SwitchConfig(num_ports=1, queues_per_port=2, buffer_capacity=30, alphas=(1.0, 0.5))
+    traffic = PoissonFlowTraffic(
+        num_sources=3, num_ports=1, flows_per_step=0.15, sizes=FixedSizes(4), seed=seed
+    )
+    trace = Simulation(cfg, traffic, steps_per_bin=4).run(bins)
+    return cfg, build_dataset(trace, interval=5, window_intervals=2, stride_intervals=2)
+
+
+class TestEnforce:
+    def test_ground_truth_is_fixed_point(self, small_dataset):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        for sample in small_dataset.samples[:4]:
+            out = enforcer.enforce(sample.target_raw, sample)
+            np.testing.assert_allclose(out, sample.target_raw)
+
+    def test_noisy_input_satisfies_after(self, small_dataset, rng):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        for sample in small_dataset.samples[:6]:
+            noisy = np.clip(sample.target_raw + rng.normal(0, 3, sample.target_raw.shape), 0, None)
+            out = enforcer.enforce(noisy, sample)
+            report = check_constraints(out, sample, small_dataset.switch_config)
+            assert report.satisfied, report
+
+    def test_flat_zero_input(self, small_dataset):
+        """Even an all-zero imputation is corrected to feasibility."""
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        sample = small_dataset[0]
+        out = enforcer.enforce(np.zeros_like(sample.target_raw), sample)
+        assert check_constraints(out, sample, small_dataset.switch_config).satisfied
+
+    def test_huge_overshoot_clipped(self, small_dataset):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        sample = small_dataset[0]
+        out = enforcer.enforce(np.full_like(sample.target_raw, 1e6), sample)
+        assert check_constraints(out, sample, small_dataset.switch_config).satisfied
+
+    def test_negative_values_clipped(self, small_dataset):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        sample = small_dataset[0]
+        out = enforcer.enforce(np.full_like(sample.target_raw, -5.0), sample)
+        assert (out >= 0).all()
+
+    def test_shape_mismatch_rejected(self, small_dataset):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        with pytest.raises(ValueError):
+            enforcer.enforce(np.zeros((1, 3)), small_dataset[0])
+
+    def test_sampled_bins_not_in_cost(self, small_dataset):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        sample = small_dataset[0]
+        imputed = sample.target_raw.copy().astype(float)
+        # Perturb only sampled bins: the objective must ignore them.
+        corrected = enforcer.enforce(imputed, sample)
+        imputed[:, sample.sample_positions] += 100
+        assert enforcer.correction_cost(imputed, corrected, sample) == pytest.approx(0.0)
+
+    def test_infeasible_measurements_raise(self, small_dataset):
+        """A sample whose sent count cannot cover its pinned busy bins."""
+        import dataclasses
+
+        sample = small_dataset[0]
+        bad = dataclasses.replace(
+            sample,
+            m_sent=np.zeros_like(sample.m_sent),
+            m_max=np.maximum(sample.m_max, 1.0),
+        )
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        with pytest.raises(CEMInfeasibleError):
+            enforcer.enforce(np.zeros_like(sample.target_raw), bad)
+
+
+class TestAgainstMilp:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_greedy_matches_milp_optimum(self, seed, rng):
+        cfg, dataset = tiny_dataset(seed=seed)
+        enforcer = ConstraintEnforcer(cfg)
+        milp = MilpCem(cfg, lp_backend="scipy")
+        for sample in dataset.samples[:2]:
+            noisy = np.clip(
+                sample.target_raw + rng.normal(0, 2, sample.target_raw.shape), 0, None
+            )
+            greedy = enforcer.enforce(noisy, sample)
+            greedy_cost = enforcer.correction_cost(noisy, greedy, sample)
+            reference = milp.enforce(noisy, sample)
+            assert reference.status == "sat"
+            assert greedy_cost == pytest.approx(reference.objective, abs=1e-6)
+
+    def test_milp_output_satisfies_constraints(self, rng):
+        cfg, dataset = tiny_dataset(seed=5)
+        milp = MilpCem(cfg, lp_backend="scipy")
+        sample = dataset[0]
+        noisy = np.clip(sample.target_raw + rng.normal(0, 2, sample.target_raw.shape), 0, None)
+        result = milp.enforce(noisy, sample)
+        assert check_constraints(result.corrected, sample, cfg).satisfied
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_enforce_always_feasible_on_random_inputs(self, seed):
+        cfg, dataset = tiny_dataset(seed=7)
+        enforcer = ConstraintEnforcer(cfg)
+        rng = np.random.default_rng(seed)
+        sample = dataset[rng.integers(len(dataset))]
+        scale = rng.uniform(0, 4)
+        imputed = rng.random(sample.target_raw.shape) * scale * max(sample.m_max.max(), 1)
+        out = enforcer.enforce(imputed, sample)
+        assert check_constraints(out, sample, cfg).satisfied
+        assert (out >= 0).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_enforce_idempotent(self, seed):
+        """Projecting an already-feasible series changes nothing."""
+        cfg, dataset = tiny_dataset(seed=17)
+        enforcer = ConstraintEnforcer(cfg)
+        rng = np.random.default_rng(seed)
+        sample = dataset[rng.integers(len(dataset))]
+        noisy = np.clip(sample.target_raw + rng.normal(0, 2, sample.target_raw.shape), 0, None)
+        once = enforcer.enforce(noisy, sample)
+        twice = enforcer.enforce(once, sample)
+        np.testing.assert_allclose(twice, once)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cost_zero_iff_already_feasible(self, seed):
+        cfg, dataset = tiny_dataset(seed=13)
+        enforcer = ConstraintEnforcer(cfg)
+        rng = np.random.default_rng(seed)
+        sample = dataset[rng.integers(len(dataset))]
+        out = enforcer.enforce(sample.target_raw, sample)
+        assert enforcer.correction_cost(sample.target_raw, out, sample) == pytest.approx(0.0)

@@ -1,0 +1,98 @@
+"""Tests for the MICE-style IterativeImputer baseline."""
+
+import numpy as np
+import pytest
+
+from repro.imputation import IterativeImputer
+from repro.imputation.iterative import ridge_fit_predict
+
+
+class TestRidge:
+    def test_recovers_linear_function(self, rng):
+        x = rng.normal(size=(50, 3))
+        w = np.array([2.0, -1.0, 0.5])
+        y = x @ w + 3.0
+        pred = ridge_fit_predict(x, y, x, alpha=1e-8)
+        np.testing.assert_allclose(pred, y, atol=1e-6)
+
+    def test_bias_not_penalised(self):
+        x = np.zeros((10, 1))
+        y = np.full(10, 5.0)
+        pred = ridge_fit_predict(x, y, np.zeros((1, 1)), alpha=100.0)
+        assert pred[0] == pytest.approx(5.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ridge_fit_predict(np.zeros((2, 1)), np.zeros(2), np.zeros((1, 1)), alpha=0)
+
+
+class TestIterativeImputer:
+    def test_output_shape_and_nonnegative(self, small_dataset):
+        imputer = IterativeImputer(num_iterations=3)
+        out = imputer.impute(small_dataset[0])
+        assert out.shape == small_dataset[0].target_raw.shape
+        assert (out >= 0).all()
+
+    def test_retains_periodic_samples(self, small_dataset):
+        """§4: the method 'retains the periodic samples'."""
+        sample = small_dataset[0]
+        out = IterativeImputer(num_iterations=3).impute(sample)
+        np.testing.assert_allclose(
+            out[:, sample.sample_positions], sample.m_sample, atol=1e-9
+        )
+
+    def test_max_seeded_at_midpoint(self, small_dataset):
+        """§4: the LANZ max is placed at the midpoint of each interval."""
+        sample = small_dataset[1]
+        out = IterativeImputer(num_iterations=3).impute(sample)
+        interval = sample.interval
+        for i in range(sample.num_intervals):
+            mid = i * interval + interval // 2
+            np.testing.assert_allclose(out[:, mid], sample.m_max[:, i], atol=1e-9)
+
+    def test_deterministic(self, small_dataset):
+        a = IterativeImputer(num_iterations=4).impute(small_dataset[0])
+        b = IterativeImputer(num_iterations=4).impute(small_dataset[0])
+        np.testing.assert_array_equal(a, b)
+
+    def test_iterations_converge(self, small_dataset):
+        """MICE refinement converges: 10 vs 12 rounds are nearly identical."""
+        ten = IterativeImputer(num_iterations=10).impute(small_dataset[0])
+        twelve = IterativeImputer(num_iterations=12).impute(small_dataset[0])
+        assert np.abs(ten - twelve).max() < 1e-3
+
+    def test_interpolates_between_anchors(self, small_dataset):
+        """Bins between the seeded anchors get non-trivial values in a
+        window that has queueing (the 'connect the dots' of Fig. 4a)."""
+        busiest = max(small_dataset.samples, key=lambda s: s.target_raw.sum())
+        out = IterativeImputer().impute(busiest)
+        anchored = np.zeros(busiest.num_bins, dtype=bool)
+        anchored[busiest.sample_positions] = True
+        interval = busiest.interval
+        mids = np.arange(busiest.num_intervals) * interval + interval // 2
+        anchored[mids] = True
+        assert out[:, ~anchored].sum() > 0
+
+    def test_peak_anchored_by_lanz_max(self, small_dataset):
+        """The midpoint anchor guarantees each interval's imputed peak is
+        at least the LANZ max — zeros would miss every burst entirely."""
+        busiest = max(small_dataset.samples, key=lambda s: s.target_raw.sum())
+        out = IterativeImputer().impute(busiest)
+        i = busiest.num_intervals
+        imputed_peaks = out.reshape(out.shape[0], i, -1).max(axis=2)
+        assert (imputed_peaks >= busiest.m_max - 1e-9).all()
+
+    def test_bursty_intervals_reach_their_max(self, small_dataset):
+        """On intervals with a real burst (m_max > 0), the anchored peak is
+        hit exactly — zeros would have full relative error there."""
+        busiest = max(small_dataset.samples, key=lambda s: s.m_max.sum())
+        out = IterativeImputer().impute(busiest)
+        i = busiest.num_intervals
+        peaks = out.reshape(out.shape[0], i, -1).max(axis=2)
+        bursty = busiest.m_max > 0
+        assert bursty.any()
+        np.testing.assert_allclose(peaks[bursty], busiest.m_max[bursty], atol=1e-9)
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            IterativeImputer(num_iterations=0)

@@ -1,0 +1,70 @@
+"""Tests for the end-to-end pipeline (transformer + KAL + CEM)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import check_constraints
+from repro.imputation import ImputationPipeline, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline(small_dataset):
+    train, val, _ = small_dataset.split(0.7, 0.15, seed=0)
+    pipeline = ImputationPipeline(
+        train,
+        PipelineConfig(
+            use_kal=True,
+            use_cem=True,
+            model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+            trainer=dict(epochs=3, batch_size=4, seed=0),
+        ),
+        val=val,
+        seed=0,
+    )
+    return pipeline.fit()
+
+
+class TestPipeline:
+    def test_impute_before_fit_raises(self, small_dataset):
+        train, _, _ = small_dataset.split(0.7, 0.15, seed=0)
+        pipeline = ImputationPipeline(train, PipelineConfig())
+        with pytest.raises(RuntimeError):
+            pipeline.impute(small_dataset[0])
+
+    def test_output_satisfies_constraints(self, fitted_pipeline, small_dataset):
+        _, _, test = small_dataset.split(0.7, 0.15, seed=0)
+        for sample in test.samples:
+            out = fitted_pipeline.impute(sample)
+            report = check_constraints(out, sample, small_dataset.switch_config)
+            assert report.satisfied, report
+
+    def test_raw_output_differs_from_corrected(self, fitted_pipeline, small_dataset):
+        _, _, test = small_dataset.split(0.7, 0.15, seed=0)
+        sample = test[0]
+        raw = fitted_pipeline.impute_raw(sample)
+        corrected = fitted_pipeline.impute(sample)
+        assert raw.shape == corrected.shape
+        # A 3-epoch model will not be exactly feasible on its own.
+        assert not np.allclose(raw, corrected)
+
+    def test_cem_disabled_returns_raw(self, small_dataset):
+        train, _, test = small_dataset.split(0.7, 0.15, seed=0)
+        pipeline = ImputationPipeline(
+            train,
+            PipelineConfig(
+                use_kal=False,
+                use_cem=False,
+                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=dict(epochs=1, batch_size=4, seed=0),
+            ),
+            seed=0,
+        ).fit()
+        sample = test[0]
+        np.testing.assert_array_equal(
+            pipeline.impute(sample), pipeline.impute_raw(sample)
+        )
+
+    def test_impute_dataset(self, fitted_pipeline, small_dataset):
+        _, _, test = small_dataset.split(0.7, 0.15, seed=0)
+        outputs = fitted_pipeline.impute_dataset(test)
+        assert len(outputs) == len(test)

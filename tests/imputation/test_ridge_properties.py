@@ -1,0 +1,53 @@
+"""Property tests for the ridge regression underlying the IterativeImputer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imputation.iterative import ridge_fit_predict
+
+
+class TestRidgeProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_interpolates_exactly_determined_systems(self, seed):
+        """With negligible regularisation and more rows than columns of a
+        truly linear target, predictions match the generating function."""
+        rng = np.random.default_rng(seed)
+        n, d = 30, int(rng.integers(1, 5))
+        x = rng.normal(size=(n, d))
+        w = rng.normal(size=d)
+        b = rng.normal()
+        y = x @ w + b
+        x_new = rng.normal(size=(5, d))
+        pred = ridge_fit_predict(x, y, x_new, alpha=1e-10)
+        np.testing.assert_allclose(pred, x_new @ w + b, atol=1e-6)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_heavy_regularisation_shrinks_to_mean(self, seed):
+        """As alpha → ∞ the non-bias weights vanish and predictions tend to
+        the (unpenalised-bias) training mean."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(40, 3))
+        y = rng.normal(2.0, 1.0, size=40)
+        pred = ridge_fit_predict(x, y, rng.normal(size=(8, 3)), alpha=1e9)
+        np.testing.assert_allclose(pred, np.full(8, y.mean()), atol=0.05)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_finite_on_degenerate_features(self, seed):
+        """Constant (rank-deficient) feature columns must not blow up —
+        regularisation keeps the normal equations solvable."""
+        rng = np.random.default_rng(seed)
+        x = np.ones((20, 2))  # fully degenerate
+        y = rng.normal(size=20)
+        pred = ridge_fit_predict(x, y, np.ones((3, 2)), alpha=1e-3)
+        assert np.isfinite(pred).all()
+
+    def test_training_points_recovered_in_sample(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = 3 * x[:, 0] - x[:, 1] + 0.5
+        pred = ridge_fit_predict(x, y, x, alpha=1e-8)
+        np.testing.assert_allclose(pred, y, atol=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for the streaming (real-time) imputer."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import check_constraints
+from repro.imputation import (
+    IntervalMeasurement,
+    IterativeImputer,
+    StreamingImputer,
+    stream_from_telemetry,
+)
+from repro.telemetry import sample_trace
+from repro.telemetry.dataset import FeatureScaler
+
+
+@pytest.fixture()
+def streaming(small_trace, small_dataset, small_config):
+    return StreamingImputer(
+        model=IterativeImputer(num_iterations=3),
+        switch_config=small_config,
+        scaler=small_dataset.scaler,
+        interval=25,
+        window_intervals=4,
+        use_cem=True,
+    )
+
+
+@pytest.fixture()
+def measurements(small_trace):
+    telemetry = sample_trace(small_trace, 25)
+    return list(stream_from_telemetry(telemetry))
+
+
+class TestStreamingImputer:
+    def test_not_ready_before_window_fills(self, streaming, measurements):
+        for i in range(3):
+            assert streaming.push(measurements[i]) is None
+        assert not streaming.ready
+
+    def test_emits_once_full(self, streaming, measurements):
+        updates = [streaming.push(m) for m in measurements[:4]]
+        assert updates[-1] is not None
+        assert streaming.ready
+
+    def test_update_shapes(self, streaming, measurements, small_config):
+        for m in measurements[:3]:
+            streaming.push(m)
+        update = streaming.push(measurements[3])
+        assert update.imputed_window.shape == (small_config.num_queues, 100)
+        assert update.imputed_latest.shape == (small_config.num_queues, 25)
+        np.testing.assert_array_equal(
+            update.imputed_latest, update.imputed_window[:, -25:]
+        )
+
+    def test_constraints_hold_on_every_update(
+        self, streaming, measurements, small_config
+    ):
+        for i, m in enumerate(measurements[:8]):
+            update = streaming.push(m)
+            if update is None:
+                continue
+            sample = streaming._window_sample()
+            report = check_constraints(update.imputed_window, sample, small_config)
+            assert report.satisfied, (i, report)
+
+    def test_rolling_window_slides(self, streaming, measurements):
+        for m in measurements[:4]:
+            streaming.push(m)
+        first = streaming._window_sample().m_sample.copy()
+        streaming.push(measurements[4])
+        second = streaming._window_sample().m_sample
+        np.testing.assert_array_equal(first[:, 1:], second[:, :-1])
+
+    def test_latency_reported(self, streaming, measurements):
+        for m in measurements[:3]:
+            streaming.push(m)
+        update = streaming.push(measurements[3])
+        assert update.latency_seconds > 0
+
+    def test_interval_index_tracks_stream(self, streaming, measurements):
+        updates = [streaming.push(m) for m in measurements[:6]]
+        assert updates[3].interval_index == 3
+        assert updates[5].interval_index == 5
+
+    def test_shape_validation(self, streaming):
+        bad = IntervalMeasurement(
+            qlen_sample=np.zeros(3),
+            qlen_max=np.zeros(3),
+            received=np.zeros(2),
+            sent=np.zeros(2),
+            dropped=np.zeros(2),
+        )
+        with pytest.raises(ValueError):
+            streaming.push(bad)
+
+    def test_without_cem(self, small_dataset, small_config, measurements):
+        streaming = StreamingImputer(
+            model=IterativeImputer(num_iterations=2),
+            switch_config=small_config,
+            scaler=small_dataset.scaler,
+            interval=25,
+            window_intervals=4,
+            use_cem=False,
+        )
+        for m in measurements[:3]:
+            streaming.push(m)
+        assert streaming.push(measurements[3]) is not None
+
+
+class TestStreamFromTelemetry:
+    def test_replays_all_intervals(self, small_trace):
+        telemetry = sample_trace(small_trace, 25)
+        items = list(stream_from_telemetry(telemetry))
+        assert len(items) == telemetry.num_intervals
+        np.testing.assert_array_equal(items[0].sent, telemetry.sent[:, 0])
+        np.testing.assert_array_equal(items[-1].qlen_max, telemetry.qlen_max[:, -1])

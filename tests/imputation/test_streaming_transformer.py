@@ -1,0 +1,72 @@
+"""Streaming imputation driven by a (small) trained transformer."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import check_constraints
+from repro.imputation import StreamingImputer, Trainer, TrainerConfig
+from repro.imputation.streaming import stream_from_telemetry
+from repro.imputation.transformer_imputer import TransformerConfig, TransformerImputer
+from repro.telemetry import sample_trace
+
+
+@pytest.fixture(scope="module")
+def trained(small_dataset):
+    model = TransformerImputer(
+        TransformerConfig(
+            num_features=small_dataset.num_features,
+            num_queues=small_dataset.num_queues,
+            d_model=16,
+            num_heads=2,
+            num_layers=1,
+            d_ff=32,
+        ),
+        small_dataset.scaler,
+        seed=0,
+    )
+    train, val, _ = small_dataset.split(0.7, 0.15, seed=0)
+    Trainer(model, train, TrainerConfig(epochs=2, batch_size=4, seed=0), val=val).train()
+    return model
+
+
+class TestStreamingWithTransformer:
+    def test_full_stream_consistent_updates(self, trained, small_trace, small_dataset, small_config):
+        streaming = StreamingImputer(
+            model=trained,
+            switch_config=small_config,
+            scaler=small_dataset.scaler,
+            interval=25,
+            window_intervals=4,
+            use_cem=True,
+        )
+        telemetry = sample_trace(small_trace, 25)
+        updates = 0
+        for measurement in stream_from_telemetry(telemetry):
+            update = streaming.push(measurement)
+            if update is None:
+                continue
+            updates += 1
+            sample = streaming._window_sample()
+            assert check_constraints(
+                update.imputed_window, sample, small_config
+            ).satisfied
+        assert updates == telemetry.num_intervals - 3  # window_intervals - 1 warmup
+
+    def test_latest_interval_tracks_truth_scale(self, trained, small_trace, small_dataset, small_config):
+        """Streaming output magnitudes stay in the ballpark of the truth
+        (constraints pin samples and maxima, so gross scale errors are
+        impossible)."""
+        streaming = StreamingImputer(
+            model=trained,
+            switch_config=small_config,
+            scaler=small_dataset.scaler,
+            interval=25,
+            window_intervals=4,
+        )
+        telemetry = sample_trace(small_trace, 25)
+        peaks = []
+        for i, measurement in enumerate(stream_from_telemetry(telemetry)):
+            update = streaming.push(measurement)
+            if update is not None:
+                peaks.append(update.imputed_window.max())
+        assert max(peaks) <= small_trace.qlen.max() + 1e-9

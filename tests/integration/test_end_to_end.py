@@ -1,0 +1,106 @@
+"""End-to-end integration tests across all subsystems.
+
+These trace the full pipeline of Fig. 3 — simulate → sample → train →
+impute → enforce → evaluate — plus the FM-vs-CEM comparison, on small
+scenarios, asserting the *relationships* the paper reports rather than
+absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints import check_constraints
+from repro.downstream import evaluate_downstream
+from repro.eval import cem_timing, fm_scaling
+from repro.imputation import (
+    ConstraintEnforcer,
+    ImputationPipeline,
+    IterativeImputer,
+    PipelineConfig,
+)
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def splits(self, small_dataset):
+        return small_dataset.split(0.7, 0.15, seed=0)
+
+    def test_simulate_train_enforce_evaluate(self, splits, small_dataset):
+        train, val, test = splits
+        pipeline = ImputationPipeline(
+            train,
+            PipelineConfig(
+                use_kal=True,
+                use_cem=True,
+                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=dict(epochs=4, batch_size=4, seed=0),
+            ),
+            val=val,
+            seed=0,
+        ).fit()
+
+        for sample in test.samples:
+            corrected = pipeline.impute(sample)
+            assert check_constraints(
+                corrected, sample, small_dataset.switch_config
+            ).satisfied
+            report = evaluate_downstream(corrected, sample.target_raw)
+            assert np.isfinite(report.burst_detection)
+
+    def test_cem_improves_consistency_over_raw(self, splits, small_dataset):
+        train, val, test = splits
+        pipeline = ImputationPipeline(
+            train,
+            PipelineConfig(
+                use_kal=False,
+                use_cem=True,
+                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=dict(epochs=2, batch_size=4, seed=0),
+            ),
+            seed=0,
+        ).fit()
+        sample = test[0]
+        raw_report = check_constraints(
+            pipeline.impute_raw(sample), sample, small_dataset.switch_config
+        )
+        corrected_report = check_constraints(
+            pipeline.impute(sample), sample, small_dataset.switch_config
+        )
+        total_raw = (
+            raw_report.max_error + raw_report.periodic_error + raw_report.sent_error
+        )
+        assert corrected_report.satisfied
+        assert total_raw > 0  # the undertrained model was inconsistent
+
+
+class TestMethodOrdering:
+    def test_cem_applies_to_any_method(self, small_dataset):
+        """CEM composes with the statistical baseline too."""
+        _, _, test = small_dataset.split(0.7, 0.15, seed=0)
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        iterative = IterativeImputer(num_iterations=3)
+        sample = test[0]
+        corrected = enforcer.enforce(iterative.impute(sample), sample)
+        assert check_constraints(corrected, sample, small_dataset.switch_config).satisfied
+
+
+class TestScalabilityShape:
+    def test_fm_explodes_cem_does_not(self, small_dataset):
+        """§2.3/§4: FM effort grows with horizon; CEM stays ~constant."""
+        points = fm_scaling([4, 8], steps_per_interval=4, node_limit=10_000, seed=0)
+        assert all(p.status in ("sat", "unknown") for p in points)
+        assert points[1].nodes_explored >= points[0].nodes_explored
+
+        subset = small_dataset
+        subset_windows = [s.target_raw + 0.3 for s in subset.samples[:4]]
+        trimmed = type(subset)(
+            samples=subset.samples[:4],
+            scaler=subset.scaler,
+            switch_config=subset.switch_config,
+            interval=subset.interval,
+            window_bins=subset.window_bins,
+            steps_per_bin=subset.steps_per_bin,
+        )
+        timing = cem_timing(trimmed, subset_windows, max_milp_windows=1)
+        # The fast CEM is orders of magnitude below a second per window.
+        assert timing.greedy_seconds < 0.5

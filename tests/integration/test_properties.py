@@ -1,0 +1,109 @@
+"""Cross-subsystem property tests under randomised workloads.
+
+These assert the invariants the whole reproduction rests on: whatever the
+traffic, the simulated ground truth must satisfy the paper's constraints
+with respect to its own sampled telemetry, and the CEM must be able to
+reproduce it at zero cost.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import check_constraints
+from repro.imputation import ConstraintEnforcer
+from repro.switchsim import Simulation, SwitchConfig
+from repro.telemetry import build_dataset
+from repro.traffic import IncastTraffic, OnOffTraffic, PoissonFlowTraffic
+from repro.traffic.distributions import FixedSizes
+
+
+def random_setup(rng: np.random.Generator):
+    num_ports = int(rng.integers(1, 4))
+    config = SwitchConfig(
+        num_ports=num_ports,
+        queues_per_port=2,
+        buffer_capacity=int(rng.integers(20, 80)),
+        alphas=(float(rng.uniform(0.5, 2.0)), float(rng.uniform(0.3, 1.0))),
+    )
+    kind = rng.integers(3)
+    if kind == 0:
+        traffic = PoissonFlowTraffic(
+            num_sources=int(rng.integers(2, 8)),
+            num_ports=num_ports,
+            flows_per_step=float(rng.uniform(0.01, 0.2)),
+            sizes=FixedSizes(int(rng.integers(1, 8))),
+            seed=rng,
+        )
+    elif kind == 1:
+        traffic = IncastTraffic(
+            fan_in=int(rng.integers(2, 6)),
+            burst_size=int(rng.integers(5, 30)),
+            period=int(rng.integers(100, 400)),
+            dst_port=int(rng.integers(num_ports)),
+            jitter=int(rng.integers(0, 50)),
+            seed=rng,
+        )
+    else:
+        traffic = OnOffTraffic(
+            num_sources=int(rng.integers(2, 8)),
+            num_ports=num_ports,
+            p_on=float(rng.uniform(0.05, 0.3)),
+            p_off=float(rng.uniform(0.05, 0.3)),
+            seed=rng,
+        )
+    steps_per_bin = int(rng.integers(1, 8))
+    return config, traffic, steps_per_bin
+
+
+class TestGroundTruthConsistency:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=12, deadline=None)
+    def test_ground_truth_satisfies_its_own_telemetry(self, seed):
+        rng = np.random.default_rng(seed)
+        config, traffic, steps_per_bin = random_setup(rng)
+        trace = Simulation(config, traffic, steps_per_bin=steps_per_bin).run(120)
+        trace.validate()
+        dataset = build_dataset(trace, interval=10, window_intervals=3, stride_intervals=3)
+        for sample in dataset.samples:
+            report = check_constraints(sample.target_raw, sample, config)
+            assert report.satisfied, (seed, report)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=8, deadline=None)
+    def test_cem_fixed_point_on_ground_truth(self, seed):
+        rng = np.random.default_rng(seed)
+        config, traffic, steps_per_bin = random_setup(rng)
+        trace = Simulation(config, traffic, steps_per_bin=steps_per_bin).run(80)
+        dataset = build_dataset(trace, interval=10, window_intervals=2, stride_intervals=2)
+        enforcer = ConstraintEnforcer(config)
+        for sample in dataset.samples:
+            corrected = enforcer.enforce(sample.target_raw, sample)
+            cost = enforcer.correction_cost(sample.target_raw, corrected, sample)
+            assert cost == 0.0, seed
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=8, deadline=None)
+    def test_delay_bounded_by_backlog_extremes(self, seed):
+        """Per-packet delays are non-negative and no packet waits longer
+        than the run itself; the mean delay on a port is bounded by the
+        largest backlog any of its queues ever reached (FIFO service at
+        one packet per step cannot delay a packet by more than the queue
+        length in front of it plus the sibling queue's interleaving)."""
+        rng = np.random.default_rng(seed)
+        config, traffic, steps_per_bin = random_setup(rng)
+        trace = Simulation(config, traffic, steps_per_bin=steps_per_bin).run(150)
+        assert (trace.delay_sum >= 0).all()
+        horizon_steps = 150 * steps_per_bin
+        for port in range(config.num_ports):
+            sent_total = trace.sent[port].sum()
+            if sent_total == 0:
+                assert trace.delay_sum[port].sum() == 0
+                continue
+            mean_delay = trace.delay_sum[port].sum() / sent_total
+            assert mean_delay <= horizon_steps
+            rows = list(config.queues_of_port(port))
+            port_peak_backlog = trace.qlen_max[rows].sum(axis=0).max()
+            # A packet's delay is at most the port backlog ahead of it.
+            per_bin_mean = trace.mean_delay(port)
+            assert per_bin_mean.max() <= max(2 * port_peak_backlog + steps_per_bin, 1)

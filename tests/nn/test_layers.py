@@ -1,0 +1,97 @@
+"""Tests for basic nn layers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Sequential
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 3, seed=0)
+        out = layer(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_batched_input(self, rng):
+        layer = Linear(8, 3, seed=0)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, seed=0)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(out.numpy(), 0.0)
+
+    def test_deterministic_with_seed(self):
+        a = Linear(4, 4, seed=42).weight.data
+        b = Linear(4, 4, seed=42).weight.data
+        np.testing.assert_array_equal(a, b)
+
+    def test_xavier_scale(self):
+        layer = Linear(100, 100, seed=0)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_reach_weights(self, rng):
+        layer = Linear(4, 2, seed=0)
+        layer(Tensor(rng.normal(size=(3, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        layer = LayerNorm(16)
+        out = layer(Tensor(rng.normal(3.0, 2.0, size=(4, 16)))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, seed=0)
+        out = emb(np.array([1, 2, 3]))
+        assert out.shape == (3, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2, seed=0)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_gradient_accumulates_for_repeated_ids(self):
+        emb = Embedding(4, 2, seed=0)
+        emb(np.array([1, 1])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, seed=0)
+        layer.training = False
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert layer(x) is x
+
+    def test_rejects_p_of_one(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequential:
+    def test_runs_in_order(self, rng):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        out = model(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_parameters_discovered(self):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        assert len(model.parameters()) == 4

@@ -1,0 +1,108 @@
+"""Tests for the EMD loss, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autodiff import Tensor
+from repro.nn import emd_loss, emd_loss_1d
+from repro.nn.losses import emd_numpy
+
+
+def nonneg_series(length=20):
+    return arrays(
+        dtype=float,
+        shape=length,
+        elements=st.floats(0.0, 100.0, allow_nan=False),
+    )
+
+
+class TestEmd1d:
+    def test_zero_at_equality(self, rng):
+        x = rng.random(30)
+        assert emd_loss_1d(Tensor(x), Tensor(x.copy())).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_shifted_burst(self):
+        a = np.zeros(20)
+        a[5] = 10.0
+        b = np.zeros(20)
+        b[15] = 10.0
+        assert emd_loss_1d(Tensor(a), Tensor(b)).item() > 0.1
+
+    def test_distance_grows_with_shift(self):
+        base = np.zeros(50)
+        base[10] = 1.0
+        distances = []
+        for shift in (1, 5, 20):
+            other = np.zeros(50)
+            other[10 + shift] = 1.0
+            distances.append(emd_loss_1d(Tensor(base), Tensor(other)).item())
+        assert distances[0] < distances[1] < distances[2]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            emd_loss_1d(Tensor(np.zeros(3)), Tensor(np.zeros(4)))
+
+    @given(nonneg_series(), nonneg_series())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, p, q):
+        a = emd_loss_1d(Tensor(p), Tensor(q)).item()
+        b = emd_loss_1d(Tensor(q), Tensor(p)).item()
+        assert a == pytest.approx(b, abs=1e-9)
+
+    @given(nonneg_series())
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative(self, p):
+        assert emd_loss_1d(Tensor(p), Tensor(np.roll(p, 3))).item() >= -1e-12
+
+    @given(nonneg_series(), nonneg_series(), nonneg_series())
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, p, q, r):
+        d_pq = emd_numpy(p, q)
+        d_qr = emd_numpy(q, r)
+        d_pr = emd_numpy(p, r)
+        assert d_pr <= d_pq + d_qr + 1e-9
+
+
+class TestEmdBatched:
+    def test_batch_matches_manual_mean(self, rng):
+        p = rng.random((3, 25))
+        q = rng.random((3, 25))
+        batched = emd_loss(Tensor(p), Tensor(q), magnitude_weight=0.0).item()
+        manual = np.mean([emd_numpy(p[i], q[i]) for i in range(3)])
+        assert batched == pytest.approx(manual, abs=1e-9)
+
+    def test_magnitude_term_penalises_scaling(self, rng):
+        p = rng.random((2, 20)) + 0.5
+        shape_only = emd_loss(Tensor(p * 5), Tensor(p), magnitude_weight=0.0).item()
+        with_mag = emd_loss(Tensor(p * 5), Tensor(p), magnitude_weight=1.0).item()
+        assert shape_only == pytest.approx(0.0, abs=1e-9)  # same shape
+        assert with_mag > 0.1
+
+    def test_gradient_flows(self, rng):
+        p = Tensor(rng.random((2, 30)), requires_grad=True)
+        emd_loss(p, Tensor(rng.random((2, 30)))).backward()
+        assert p.grad is not None
+        assert np.abs(p.grad).sum() > 0
+
+    def test_gradient_matches_finite_difference(self, gradcheck, rng):
+        target = Tensor(rng.random((2, 8)) + 0.1)
+        gradcheck(
+            lambda t: emd_loss(t, target),
+            rng.random((2, 8)) + 0.5,
+            atol=1e-5,
+        )
+
+    def test_prefers_correct_burst_location(self):
+        """EMD (unlike MSE) prefers a slightly-misplaced burst over a flat
+        average — the paper's reason for choosing it (§4)."""
+        truth = np.zeros((1, 50))
+        truth[0, 20:25] = 10.0
+        near_burst = np.zeros((1, 50))
+        near_burst[0, 22:27] = 10.0
+        flat = np.full((1, 50), 1.0)
+        d_burst = emd_loss(Tensor(near_burst), Tensor(truth)).item()
+        d_flat = emd_loss(Tensor(flat), Tensor(truth)).item()
+        assert d_burst < d_flat

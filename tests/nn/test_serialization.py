@@ -1,0 +1,68 @@
+"""Tests for saving/loading model parameters."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Module, Parameter, Tensor
+from repro.nn import Linear
+from repro.nn.serialization import load_module, save_module
+
+
+class TinyModel(Module):
+    def __init__(self, seed=0):
+        self.a = Linear(4, 8, seed=seed)
+        self.b = Linear(8, 2, seed=seed)
+
+    def forward(self, x):
+        return self.b(self.a(x))
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path, rng):
+        model = TinyModel(seed=1)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+
+        other = TinyModel(seed=99)  # different init
+        load_module(other, path)
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_array_equal(model(x).numpy(), other(x).numpy())
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        save_module(TinyModel(), tmp_path / "m.npz")
+
+        class Different(Module):
+            def __init__(self):
+                self.a = Linear(4, 8, seed=0)
+
+        with pytest.raises(KeyError):
+            load_module(Different(), tmp_path / "m.npz")
+
+    def test_empty_module_rejected(self, tmp_path):
+        class Empty(Module):
+            pass
+
+        with pytest.raises(ValueError):
+            save_module(Empty(), tmp_path / "e.npz")
+
+    def test_transformer_imputer_roundtrip(self, tmp_path, small_dataset):
+        from repro.imputation.transformer_imputer import (
+            TransformerConfig,
+            TransformerImputer,
+        )
+
+        config = TransformerConfig(
+            num_features=small_dataset.num_features,
+            num_queues=small_dataset.num_queues,
+            d_model=16,
+            num_heads=2,
+            num_layers=1,
+            d_ff=32,
+        )
+        trained = TransformerImputer(config, small_dataset.scaler, seed=3)
+        save_module(trained, tmp_path / "imputer.npz")
+        fresh = TransformerImputer(config, small_dataset.scaler, seed=77)
+        load_module(fresh, tmp_path / "imputer.npz")
+        np.testing.assert_array_equal(
+            trained.impute(small_dataset[0]), fresh.impute(small_dataset[0])
+        )

@@ -1,0 +1,88 @@
+"""Tests for the expression AST: operators, bounds, validation."""
+
+import pytest
+
+from repro.smt import And, BoolVar, Implies, IntVar, Ite, Not, Or, RealVar, Sum
+from repro.smt.expr import Add, BoolConst, Cmp, Const, Scale
+
+
+class TestNumericBuilding:
+    def test_operator_overloads(self):
+        x = IntVar("x", 0, 5)
+        expr = 2 * x + 3 - x
+        lo, hi = expr.bounds()
+        assert (lo, hi) == (-2.0, 13.0)
+
+    def test_comparison_produces_cmp(self):
+        x = IntVar("x", 0, 5)
+        assert isinstance(x <= 3, Cmp)
+        assert (x <= 3).op == "le"
+        assert (x > 1).op == "gt"
+        assert x.eq(2).op == "eq"
+
+    def test_nonlinear_rejected(self):
+        x = IntVar("x", 0, 5)
+        with pytest.raises(TypeError):
+            x * x
+
+    def test_sum_empty_is_zero(self):
+        assert Sum([]).bounds() == (0.0, 0.0)
+
+    def test_var_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            IntVar("x", 5, 0)
+
+    def test_lift_rejects_strings(self):
+        with pytest.raises(TypeError):
+            IntVar("x", 0, 1) + "nope"
+
+
+class TestBounds:
+    def test_scale_flips_bounds(self):
+        x = IntVar("x", 1, 4)
+        assert Scale(-2.0, x).bounds() == (-8.0, -2.0)
+
+    def test_add_bounds(self):
+        x = IntVar("x", 0, 2)
+        y = RealVar("y", -1, 1)
+        assert Add([x, y]).bounds() == (-1.0, 3.0)
+
+    def test_ite_bounds_cover_both_branches(self):
+        x = IntVar("x", 0, 5)
+        ite = Ite(x >= 1, 10, -3)
+        assert ite.bounds() == (-3.0, 10.0)
+
+    def test_const_bounds(self):
+        assert Const(4.5).bounds() == (4.5, 4.5)
+
+
+class TestBooleanBuilding:
+    def test_and_flattens_lists(self):
+        x = IntVar("x", 0, 1)
+        conj = And([x >= 0, x <= 1], x.eq(0))
+        assert len(conj.args) == 3
+
+    def test_bitwise_operators(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_implies_is_or_not(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        impl = Implies(a, b)
+        assert isinstance(impl, Or)
+
+    def test_python_bool_lifted(self):
+        conj = And(True, BoolVar("a"))
+        assert isinstance(conj.args[0], BoolConst)
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(TypeError):
+            And(42)
+
+    def test_var_identity_semantics(self):
+        x = IntVar("x", 0, 1)
+        y = IntVar("x", 0, 1)  # same name, different variable
+        assert x != y
+        assert x == x

@@ -1,0 +1,99 @@
+"""Tests for the from-scratch simplex, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.milp import MilpProblem
+from repro.smt.simplex import solve_lp, solve_lp_scipy
+
+
+def two_var_problem():
+    p = MilpProblem()
+    x = p.add_variable("x", 0, 10)
+    y = p.add_variable("y", 0, 10)
+    return p, x, y
+
+
+class TestSolveLp:
+    def test_simple_minimisation(self):
+        p, x, y = two_var_problem()
+        p.add_constraint({x: 1.0, y: 1.0}, ">=", 4.0)
+        p.set_objective({x: 1.0, y: 2.0})
+        result = solve_lp(p)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(4.0)
+        assert result.x[x] == pytest.approx(4.0)
+
+    def test_equality_constraint(self):
+        p, x, y = two_var_problem()
+        p.add_constraint({x: 1.0, y: 1.0}, "==", 6.0)
+        p.set_objective({x: -1.0})
+        result = solve_lp(p)
+        assert result.is_optimal
+        assert result.x[x] == pytest.approx(6.0)
+
+    def test_infeasible(self):
+        p, x, _ = two_var_problem()
+        p.add_constraint({x: 1.0}, ">=", 20.0)  # above the upper bound
+        result = solve_lp(p)
+        assert result.status == "infeasible"
+
+    def test_nonzero_lower_bounds(self):
+        p = MilpProblem()
+        x = p.add_variable("x", 3, 8)
+        p.set_objective({x: 1.0})
+        result = solve_lp(p)
+        assert result.x[x] == pytest.approx(3.0)
+
+    def test_negative_bounds(self):
+        p = MilpProblem()
+        x = p.add_variable("x", -5, 5)
+        p.set_objective({x: 1.0})
+        result = solve_lp(p)
+        assert result.x[x] == pytest.approx(-5.0)
+
+    def test_bound_overrides(self):
+        p, x, _ = two_var_problem()
+        p.set_objective({x: -1.0})
+        result = solve_lp(p, upper_overrides={x: 7.0})
+        assert result.x[x] == pytest.approx(7.0)
+
+    def test_empty_override_box_infeasible(self):
+        p, x, _ = two_var_problem()
+        result = solve_lp(p, lower_overrides={x: 6.0}, upper_overrides={x: 5.0})
+        assert result.status == "infeasible"
+
+    def test_degenerate_constraints_terminate(self):
+        """Bland's rule prevents cycling on degenerate problems."""
+        p = MilpProblem()
+        xs = [p.add_variable(f"x{i}", 0, 1) for i in range(4)]
+        for i in range(3):
+            p.add_constraint({xs[i]: 1.0, xs[i + 1]: -1.0}, "<=", 0.0)
+        p.set_objective({xs[0]: -1.0, xs[3]: 1.0})
+        result = solve_lp(p)
+        assert result.is_optimal
+
+
+class TestAgainstScipy:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_lps_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        m = int(rng.integers(1, 5))
+        p = MilpProblem()
+        for i in range(n):
+            p.add_variable(f"x{i}", 0, float(rng.integers(1, 10)))
+        for _ in range(m):
+            coeffs = {i: float(rng.integers(-3, 4)) for i in range(n)}
+            sense = rng.choice(["<=", ">="])
+            p.add_constraint(coeffs, str(sense), float(rng.integers(-5, 15)))
+        p.set_objective({i: float(rng.integers(-5, 6)) for i in range(n)})
+
+        ours = solve_lp(p)
+        ref = solve_lp_scipy(p)
+        assert ours.status == ref.status
+        if ours.is_optimal:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)

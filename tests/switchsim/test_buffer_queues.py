@@ -1,0 +1,130 @@
+"""Tests for the shared buffer (Dynamic Threshold) and output queues."""
+
+import pytest
+
+from repro.switchsim import OutputQueue, Packet, SharedBuffer
+
+
+class TestSharedBuffer:
+    def test_threshold_shrinks_as_buffer_fills(self):
+        buf = SharedBuffer(100, alpha=1.0)
+        t0 = buf.threshold()
+        for _ in range(40):
+            buf.allocate()
+        assert buf.threshold() == t0 - 40
+
+    def test_admits_respects_threshold(self):
+        buf = SharedBuffer(10, alpha=0.5)
+        # threshold = 0.5 * 10 = 5; a queue at length 5 is rejected.
+        assert buf.admits(4)
+        assert not buf.admits(5)
+
+    def test_admits_false_when_full(self):
+        buf = SharedBuffer(2)
+        buf.allocate()
+        buf.allocate()
+        assert not buf.admits(0)
+
+    def test_per_queue_alpha_override(self):
+        buf = SharedBuffer(10, alpha=1.0)
+        assert buf.admits(4, alpha=0.5)
+        assert not buf.admits(5, alpha=0.5)
+
+    def test_overflow_raises(self):
+        buf = SharedBuffer(1)
+        buf.allocate()
+        with pytest.raises(RuntimeError):
+            buf.allocate()
+
+    def test_underflow_raises(self):
+        with pytest.raises(RuntimeError):
+            SharedBuffer(1).release()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(0)
+
+    def test_reset(self):
+        buf = SharedBuffer(5)
+        buf.allocate()
+        buf.reset()
+        assert buf.occupancy == 0
+
+
+class TestOutputQueue:
+    def _queue(self, capacity=10, alpha=1.0):
+        buf = SharedBuffer(capacity, alpha=alpha)
+        return OutputQueue(port=0, qclass=0, buffer=buf, alpha=alpha), buf
+
+    def test_fifo_order(self):
+        queue, _ = self._queue()
+        first = Packet(dst_port=0, flow_id=1)
+        second = Packet(dst_port=0, flow_id=2)
+        queue.offer(first)
+        queue.offer(second)
+        assert queue.dequeue().flow_id == 1
+        assert queue.dequeue().flow_id == 2
+
+    def test_dequeue_empty_returns_none(self):
+        queue, _ = self._queue()
+        assert queue.dequeue() is None
+
+    def test_offer_counts_drop_when_rejected(self):
+        # alpha=2 lets the queue use the whole buffer; the third packet is
+        # rejected by the capacity check, not the threshold.
+        queue, buf = self._queue(capacity=2, alpha=2.0)
+        assert queue.offer(Packet(0))
+        assert queue.offer(Packet(0))
+        assert not queue.offer(Packet(0))
+        assert queue.total_dropped == 1
+        assert buf.occupancy == 2
+
+    def test_dynamic_threshold_self_limits(self):
+        # With alpha=1 a single queue can fill only half the buffer: at
+        # length L the threshold is capacity - L, so growth stops at the
+        # fixed point L = capacity / 2 (Choudhury-Hahne).
+        queue, buf = self._queue(capacity=10, alpha=1.0)
+        admitted = 0
+        for _ in range(20):
+            if queue.offer(Packet(0)):
+                admitted += 1
+        assert admitted == 5
+
+    def test_buffer_accounting_on_dequeue(self):
+        queue, buf = self._queue()
+        queue.offer(Packet(0))
+        assert buf.occupancy == 1
+        queue.dequeue()
+        assert buf.occupancy == 0
+
+    def test_two_queues_compete_for_buffer(self):
+        buf = SharedBuffer(4, alpha=4.0)
+        a = OutputQueue(0, 0, buf, alpha=4.0)
+        b = OutputQueue(0, 1, buf, alpha=4.0)
+        for _ in range(4):
+            assert a.offer(Packet(0, qclass=0))
+        # Buffer full: queue b cannot grow — the cross-queue correlation
+        # the paper's insight 1 relies on.
+        assert not b.offer(Packet(0, qclass=1))
+
+    def test_long_queue_lowers_siblings_threshold(self):
+        buf = SharedBuffer(10, alpha=1.0)
+        a = OutputQueue(0, 0, buf, alpha=1.0)
+        b = OutputQueue(0, 1, buf, alpha=1.0)
+        empty_threshold = b.threshold()
+        for _ in range(5):
+            a.offer(Packet(0, qclass=0))
+        assert b.threshold() < empty_threshold
+
+    def test_clear_releases_buffer(self):
+        queue, buf = self._queue()
+        queue.offer(Packet(0))
+        queue.offer(Packet(0))
+        queue.clear()
+        assert len(queue) == 0
+        assert buf.occupancy == 0
+
+    def test_rejects_bad_alpha(self):
+        buf = SharedBuffer(4)
+        with pytest.raises(ValueError):
+            OutputQueue(0, 0, buf, alpha=0.0)

@@ -1,0 +1,49 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.switchsim.io import load_trace, save_trace
+from repro.telemetry import build_dataset
+
+
+class TestTraceIO:
+    def test_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        restored = load_trace(path)
+        np.testing.assert_array_equal(restored.qlen, small_trace.qlen)
+        np.testing.assert_array_equal(restored.sent, small_trace.sent)
+        np.testing.assert_array_equal(restored.delay_sum, small_trace.delay_sum)
+        assert restored.steps_per_bin == small_trace.steps_per_bin
+        assert restored.config.num_ports == small_trace.config.num_ports
+        assert restored.config.alphas == small_trace.config.alphas
+
+    def test_restored_trace_builds_identical_dataset(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        restored = load_trace(path)
+        original = build_dataset(small_trace, interval=25, window_intervals=4)
+        rebuilt = build_dataset(restored, interval=25, window_intervals=4)
+        assert len(original) == len(rebuilt)
+        np.testing.assert_array_equal(
+            original[0].features, rebuilt[0].features
+        )
+
+    def test_rejects_non_trace_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_validation_runs_on_load(self, small_trace, tmp_path):
+        """A corrupted archive (negative queue length) is rejected."""
+        path = tmp_path / "trace.npz"
+        save_trace(small_trace, path)
+        with np.load(path) as archive:
+            data = {name: archive[name] for name in archive.files}
+        data["qlen"] = data["qlen"].copy()
+        data["qlen"][0, 0] = -1
+        np.savez_compressed(path, **data)
+        with pytest.raises(AssertionError):
+            load_trace(path)

@@ -1,0 +1,105 @@
+"""Tests for the per-port schedulers (work conservation above all)."""
+
+import pytest
+
+from repro.switchsim import Packet, RoundRobinScheduler, SharedBuffer, StrictPriorityScheduler
+from repro.switchsim.queues import OutputQueue
+from repro.switchsim.scheduler import DeficitRoundRobinScheduler
+
+
+def make_queues(lengths, capacity=100):
+    buf = SharedBuffer(capacity)
+    queues = []
+    for qclass, n in enumerate(lengths):
+        queue = OutputQueue(0, qclass, buf, alpha=10.0)
+        for _ in range(n):
+            queue.offer(Packet(0, qclass=qclass))
+        queues.append(queue)
+    return queues
+
+
+class TestStrictPriority:
+    def test_prefers_lowest_index(self):
+        queues = make_queues([2, 2])
+        assert StrictPriorityScheduler().select(queues) == 0
+
+    def test_falls_through_when_high_empty(self):
+        queues = make_queues([0, 2])
+        assert StrictPriorityScheduler().select(queues) == 1
+
+    def test_none_when_all_empty(self):
+        queues = make_queues([0, 0])
+        assert StrictPriorityScheduler().select(queues) is None
+
+
+class TestRoundRobin:
+    def test_alternates(self):
+        queues = make_queues([3, 3])
+        sched = RoundRobinScheduler()
+        picks = []
+        for _ in range(4):
+            idx = sched.select(queues)
+            picks.append(idx)
+            queues[idx].dequeue()
+        assert picks == [0, 1, 0, 1]
+
+    def test_skips_empty_queue(self):
+        queues = make_queues([0, 3])
+        sched = RoundRobinScheduler()
+        assert sched.select(queues) == 1
+
+    def test_work_conserving(self):
+        """As long as any queue is non-empty, something is selected."""
+        queues = make_queues([1, 2])
+        sched = RoundRobinScheduler()
+        served = 0
+        while any(not q.is_empty for q in queues):
+            idx = sched.select(queues)
+            assert idx is not None
+            queues[idx].dequeue()
+            served += 1
+        assert served == 3
+
+    def test_none_when_empty(self):
+        assert RoundRobinScheduler().select(make_queues([0, 0])) is None
+
+    def test_empty_queue_list(self):
+        assert RoundRobinScheduler().select([]) is None
+
+
+class TestDeficitRoundRobin:
+    def test_rejects_bad_quanta(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobinScheduler([])
+        with pytest.raises(ValueError):
+            DeficitRoundRobinScheduler([1, 0])
+
+    def test_weighted_shares(self):
+        queues = make_queues([50, 50])
+        sched = DeficitRoundRobinScheduler([3, 1])
+        counts = [0, 0]
+        for _ in range(40):
+            idx = sched.select(queues)
+            counts[idx] += 1
+            queues[idx].dequeue()
+        # Queue 0 should get roughly 3x the service of queue 1.
+        assert counts[0] > counts[1] * 2
+
+    def test_work_conserving_single_backlog(self):
+        queues = make_queues([0, 5])
+        sched = DeficitRoundRobinScheduler([3, 1])
+        for _ in range(5):
+            idx = sched.select(queues)
+            assert idx == 1
+            queues[idx].dequeue()
+
+    def test_none_when_empty_and_deficits_reset(self):
+        queues = make_queues([0, 0])
+        sched = DeficitRoundRobinScheduler([2, 2])
+        assert sched.select(queues) is None
+        assert sched._deficits == [0, 0]
+
+    def test_queue_count_mismatch(self):
+        sched = DeficitRoundRobinScheduler([1])
+        with pytest.raises(ValueError):
+            sched.select(make_queues([1, 1]))

@@ -1,0 +1,145 @@
+"""Tests for the switch step semantics and the simulation driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switchsim import (
+    OutputQueuedSwitch,
+    Packet,
+    Simulation,
+    SwitchConfig,
+)
+from repro.traffic import ScriptedTraffic
+
+
+class TestSwitchConfig:
+    def test_queue_index_layout(self):
+        cfg = SwitchConfig(num_ports=3, queues_per_port=2)
+        assert cfg.queue_index(0, 0) == 0
+        assert cfg.queue_index(1, 0) == 2
+        assert cfg.queue_index(2, 1) == 5
+        assert list(cfg.queues_of_port(1)) == [2, 3]
+
+    def test_rejects_alpha_mismatch(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(queues_per_port=2, alphas=(1.0,))
+
+    def test_rejects_out_of_range_indexing(self):
+        cfg = SwitchConfig(num_ports=2, queues_per_port=2)
+        with pytest.raises(IndexError):
+            cfg.queue_index(2, 0)
+        with pytest.raises(IndexError):
+            cfg.queue_index(0, 2)
+
+
+class TestSwitchStep:
+    def _switch(self, **kwargs):
+        defaults = dict(num_ports=2, queues_per_port=2, buffer_capacity=10, alphas=(1.0, 1.0))
+        defaults.update(kwargs)
+        return OutputQueuedSwitch(SwitchConfig(**defaults))
+
+    def test_enqueue_then_dequeue_same_step(self):
+        switch = self._switch()
+        counters = switch.step([Packet(dst_port=0, qclass=0)])
+        assert counters.received[0] == 1
+        assert counters.sent[0] == 1
+        assert switch.queue(0, 0).length == 0  # arrived and left
+
+    def test_queue_builds_under_fanin(self):
+        switch = self._switch()
+        lengths = []
+        for _ in range(5):
+            switch.step([Packet(0), Packet(0), Packet(0)])
+            lengths.append(switch.queue(0, 0).length)
+        # Fan-in of 3 onto a port draining 1/step: the queue builds up
+        # (monotonically here) until the dynamic threshold caps it.
+        assert lengths == sorted(lengths)
+        assert lengths[-1] >= 4
+
+    def test_drops_when_buffer_full(self):
+        switch = self._switch(buffer_capacity=3)
+        total_dropped = 0
+        for _ in range(4):
+            counters = switch.step([Packet(0), Packet(0)])
+            total_dropped += counters.dropped[0]
+        assert total_dropped > 0
+
+    def test_ports_independent_service(self):
+        switch = self._switch()
+        counters = switch.step([Packet(0), Packet(1)])
+        assert counters.sent[0] == 1
+        assert counters.sent[1] == 1
+
+    def test_one_departure_per_port_per_step(self):
+        switch = self._switch()
+        switch.step([Packet(0, qclass=0), Packet(0, qclass=1), Packet(0, qclass=0)])
+        counters = switch.step([])
+        assert counters.sent[0] == 1
+
+    def test_reset(self):
+        switch = self._switch()
+        switch.step([Packet(0)] * 3)
+        switch.reset()
+        assert switch.queue_lengths().sum() == 0
+        assert switch.buffer.occupancy == 0
+        assert switch.step_count == 0
+
+    def test_conservation_invariant(self):
+        """enqueued == sent + still-queued, and received == enqueued + dropped."""
+        switch = self._switch(buffer_capacity=5)
+        received = enqueued = dropped = sent = 0
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            arrivals = [Packet(int(rng.integers(2)), int(rng.integers(2))) for _ in range(rng.integers(4))]
+            counters = switch.step(arrivals)
+            received += counters.received.sum()
+            enqueued += counters.enqueued.sum()
+            dropped += counters.dropped.sum()
+            sent += counters.sent.sum()
+        assert received == enqueued + dropped
+        assert enqueued == sent + switch.queue_lengths().sum()
+
+
+class TestSimulation:
+    def test_trace_shapes(self, small_trace, small_config):
+        assert small_trace.qlen.shape == (small_config.num_queues, 1200)
+        assert small_trace.sent.shape == (small_config.num_ports, 1200)
+
+    def test_trace_validates(self, small_trace):
+        small_trace.validate()  # raises on violation
+
+    def test_deterministic_with_seed(self):
+        cfg = SwitchConfig(num_ports=1, queues_per_port=2, buffer_capacity=10, alphas=(1.0, 1.0))
+
+        def run():
+            traffic = ScriptedTraffic({0: [(0, 0)], 3: [(0, 1), (0, 0)]})
+            return Simulation(cfg, traffic, steps_per_bin=2).run(4)
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.qlen, b.qlen)
+
+    def test_scripted_exact_lengths(self):
+        cfg = SwitchConfig(num_ports=1, queues_per_port=1, buffer_capacity=10, alphas=(1.0,))
+        # Three packets at step 0: one leaves at step 0, so len=2, then
+        # drains one per step.
+        traffic = ScriptedTraffic({0: [(0, 0), (0, 0), (0, 0)]})
+        trace = Simulation(cfg, traffic, steps_per_bin=1).run(4)
+        np.testing.assert_array_equal(trace.qlen[0], [2, 1, 0, 0])
+        np.testing.assert_array_equal(trace.sent[0], [1, 1, 1, 0])
+
+    def test_rejects_bad_bins(self, small_config):
+        sim = Simulation(small_config, ScriptedTraffic({}), steps_per_bin=1)
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    @given(st.integers(1, 4), st.integers(2, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_line_rate_invariant(self, fan, bins):
+        """Per-bin sent count never exceeds steps_per_bin (line rate)."""
+        cfg = SwitchConfig(num_ports=1, queues_per_port=2, buffer_capacity=20, alphas=(1.0, 0.5))
+        script = {t: [(0, t % 2)] * fan for t in range(0, bins * 4, 2)}
+        trace = Simulation(cfg, ScriptedTraffic(script), steps_per_bin=4).run(bins)
+        assert (trace.sent <= 4).all()
+        assert (trace.qlen >= 0).all()

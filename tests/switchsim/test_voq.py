@@ -1,0 +1,182 @@
+"""Tests for the input-queued VOQ switch and iSLIP scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switchsim.packet import Packet
+from repro.switchsim.voq import (
+    IslipScheduler,
+    VoqConfig,
+    VoqSimulation,
+    VoqSwitch,
+)
+from repro.traffic import ScriptedTraffic
+
+
+def pkt(input_port: int, output_port: int) -> Packet:
+    return Packet(dst_port=output_port, qclass=0, flow_id=input_port)
+
+
+class TestVoqConfig:
+    def test_index_layout(self):
+        cfg = VoqConfig(num_ports=3)
+        assert cfg.voq_index(0, 0) == 0
+        assert cfg.voq_index(1, 2) == 5
+        assert cfg.num_queues == 9
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            VoqConfig(num_ports=2).voq_index(2, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoqConfig(num_ports=0)
+
+
+class TestIslipMatching:
+    def test_matching_is_a_matching(self, rng):
+        """No input and no output appears twice, ever."""
+        sched = IslipScheduler(4)
+        for _ in range(50):
+            backlog = rng.integers(0, 3, size=(4, 4))
+            matches = sched.match(backlog)
+            inputs = [i for i, _ in matches]
+            outputs = [j for _, j in matches]
+            assert len(set(inputs)) == len(inputs)
+            assert len(set(outputs)) == len(outputs)
+            for i, j in matches:
+                assert backlog[i, j] > 0
+
+    def test_maximal_on_diagonal(self):
+        """With per-pair backlog on the diagonal, all N pairs match."""
+        sched = IslipScheduler(4)
+        matches = sched.match(np.eye(4, dtype=int) * 5)
+        assert sorted(matches) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_single_contender_always_served(self):
+        backlog = np.zeros((3, 3), dtype=int)
+        backlog[1, 2] = 4
+        assert IslipScheduler(3).match(backlog) == [(1, 2)]
+
+    def test_round_robin_fairness_under_contention(self):
+        """Two inputs fighting for one output share it ~50/50."""
+        sched = IslipScheduler(2)
+        served = {0: 0, 1: 0}
+        backlog = np.zeros((2, 2), dtype=int)
+        backlog[0, 0] = backlog[1, 0] = 100
+        for _ in range(100):
+            for i, j in sched.match(backlog):
+                served[i] += 1
+        assert abs(served[0] - served[1]) <= 2
+
+    def test_multiple_iterations_fill_matching(self):
+        """A second iSLIP iteration matches ports left over by the first:
+        with fresh pointers both outputs grant input 0, which accepts only
+        one — iteration 2 lets the losing output grant input 1."""
+        backlog = np.full((2, 2), 5)
+        single = IslipScheduler(2, iterations=1).match(backlog.copy())
+        multi = IslipScheduler(2, iterations=2).match(backlog.copy())
+        assert len(single) == 1
+        assert len(multi) == 2
+
+    def test_empty_backlog_no_matches(self):
+        assert IslipScheduler(3).match(np.zeros((3, 3), dtype=int)) == []
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            IslipScheduler(2).match(np.zeros((3, 3), dtype=int))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matching_property_random(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        sched = IslipScheduler(n, iterations=int(rng.integers(1, 3)))
+        backlog = rng.integers(0, 4, size=(n, n))
+        matches = sched.match(backlog)
+        assert len({i for i, _ in matches}) == len(matches)
+        assert len({j for _, j in matches}) == len(matches)
+        # Maximality for 1 iteration is not guaranteed, but every match
+        # must be backed by real backlog.
+        for i, j in matches:
+            assert backlog[i, j] > 0
+
+
+class TestVoqSwitch:
+    def test_transfer_one_per_output(self):
+        switch = VoqSwitch(VoqConfig(num_ports=2, buffer_per_input=10))
+        # Both inputs target output 0.
+        counters = switch.step([pkt(0, 0), pkt(1, 0)])
+        assert counters.sent[0] == 1
+        assert counters.sent[1] == 0
+        assert switch.backlog().sum() == 1  # one packet waits
+
+    def test_parallel_transfers(self):
+        switch = VoqSwitch(VoqConfig(num_ports=2, buffer_per_input=10))
+        counters = switch.step([pkt(0, 0), pkt(1, 1)])
+        assert counters.sent.tolist() == [1, 1]
+
+    def test_input_buffer_drops(self):
+        switch = VoqSwitch(VoqConfig(num_ports=2, buffer_per_input=2, alpha=10.0))
+        counters = switch.step([pkt(0, 1)] * 5)
+        assert counters.dropped[0] > 0
+        assert switch._buffers[0].occupancy <= 2
+
+    def test_rejects_bad_input_port(self):
+        switch = VoqSwitch(VoqConfig(num_ports=2))
+        with pytest.raises(ValueError):
+            switch.step([pkt(5, 0)])
+
+    def test_head_of_line_free_across_steps(self):
+        """VOQs avoid head-of-line blocking: input 0's packet for the idle
+        output 1 is not stuck behind its packet for the contended output 0
+        — within two steps both of input 0's packets have left, which a
+        single-FIFO input could not achieve under the same contention."""
+        switch = VoqSwitch(VoqConfig(num_ports=2, buffer_per_input=10))
+        switch.step([pkt(0, 0), pkt(0, 1), pkt(1, 0)])
+        switch.step([])
+        assert switch.voq(0, 0).length == 0
+        assert switch.voq(0, 1).length == 0
+
+
+class TestVoqSimulation:
+    def _traffic(self, script):
+        """ScriptedTraffic spec: (dst, qclass) — qclass carries the input."""
+        remapped = {
+            t: [(dst, src) for dst, src in specs] for t, specs in script.items()
+        }
+
+        class Adapter:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def arrivals(self, step):
+                return [
+                    Packet(dst_port=p.dst_port, qclass=0, flow_id=p.qclass, arrival_step=step)
+                    for p in self.inner.arrivals(step)
+                ]
+
+        return Adapter(ScriptedTraffic(remapped))
+
+    def test_trace_shapes(self):
+        config = VoqConfig(num_ports=2, buffer_per_input=10)
+        traffic = self._traffic({0: [(0, 0), (0, 1)], 3: [(1, 0)]})
+        trace = VoqSimulation(config, traffic, steps_per_bin=2).run(4)
+        assert trace.qlen.shape == (4, 4)
+        assert trace.sent.shape == (2, 4)
+        trace.validate()
+
+    def test_c3_violated_by_input_queueing(self):
+        """The paper's C3 (NE <= sent per output) fails on an input-queued
+        switch: persistent crossbar contention starves an output whose
+        VOQs are non-empty — knowledge is architecture-specific."""
+        config = VoqConfig(num_ports=2, buffer_per_input=20)
+        # Every step, both inputs send to output 0 AND input 0 also backs
+        # up traffic for output 1 that iSLIP can only serve some steps.
+        script = {t: [(0, 0), (0, 1), (1, 0)] for t in range(8)}
+        trace = VoqSimulation(config, self._traffic(script), steps_per_bin=1).run(8)
+        ne_output1 = trace.output_nonempty(1).sum()
+        sent_output1 = trace.sent[1].sum()
+        assert ne_output1 > sent_output1  # C3 would be violated

@@ -1,0 +1,61 @@
+"""Load/throughput behaviour of the VOQ switch under sustained traffic."""
+
+import numpy as np
+import pytest
+
+from repro.switchsim.packet import Packet
+from repro.switchsim.voq import VoqConfig, VoqSimulation
+
+
+class UniformVoqTraffic:
+    """Every step, every input sends one packet to a uniform random output."""
+
+    def __init__(self, num_ports: int, seed: int = 0, load: float = 1.0):
+        self.num_ports = num_ports
+        self.load = load
+        self._rng = np.random.default_rng(seed)
+
+    def arrivals(self, step: int) -> list[Packet]:
+        packets = []
+        for src in range(self.num_ports):
+            if self._rng.random() < self.load:
+                dst = int(self._rng.integers(self.num_ports))
+                packets.append(Packet(dst_port=dst, qclass=0, flow_id=src, arrival_step=step))
+        return packets
+
+
+class TestVoqThroughput:
+    def test_high_throughput_under_uniform_full_load(self):
+        """iSLIP's claim to fame: near-100% throughput under uniform
+        traffic.  Even the 1-iteration variant sustains well above the
+        ~58% of a single-FIFO input-queued switch."""
+        config = VoqConfig(num_ports=4, buffer_per_input=64, alpha=4.0)
+        traffic = UniformVoqTraffic(4, seed=1, load=1.0)
+        trace = VoqSimulation(config, traffic, steps_per_bin=10).run(100)
+        offered = trace.received.sum()
+        delivered = trace.sent.sum()
+        backlogged = trace.qlen[:, -1].sum()
+        # Conservation: everything offered is delivered, queued, or dropped.
+        assert delivered + backlogged + trace.dropped.sum() == offered
+        assert delivered / offered > 0.75
+
+    def test_moderate_load_is_lossless(self):
+        config = VoqConfig(num_ports=4, buffer_per_input=64, alpha=4.0)
+        traffic = UniformVoqTraffic(4, seed=2, load=0.5)
+        trace = VoqSimulation(config, traffic, steps_per_bin=10).run(80)
+        assert trace.dropped.sum() == 0
+        assert trace.qlen.max() < 20  # queues stay short at half load
+
+    def test_hotspot_output_saturates_at_line_rate(self):
+        """All inputs to one output: that output sends exactly one packet
+        per step (line rate) and the rest stay idle."""
+        config = VoqConfig(num_ports=3, buffer_per_input=100, alpha=10.0)
+
+        class Hotspot:
+            def arrivals(self, step):
+                return [Packet(dst_port=0, qclass=0, flow_id=s, arrival_step=step) for s in range(3)]
+
+        trace = VoqSimulation(config, Hotspot(), steps_per_bin=5).run(20)
+        assert (trace.sent[0] == 5).all()  # one per step, 5 steps per bin
+        assert trace.sent[1].sum() == 0
+        assert trace.sent[2].sum() == 0

@@ -1,0 +1,40 @@
+"""Tests for window cropping."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import crop_sample
+
+
+class TestCropSample:
+    def test_shapes(self, small_dataset):
+        sample = small_dataset[0]
+        cropped = crop_sample(sample, 2)
+        assert cropped.num_intervals == 2
+        assert cropped.num_bins == 2 * sample.interval
+        assert cropped.features.shape[0] == cropped.num_bins
+        assert cropped.m_sent.shape[1] == 2
+
+    def test_content_is_prefix(self, small_dataset):
+        sample = small_dataset[0]
+        cropped = crop_sample(sample, 3)
+        np.testing.assert_array_equal(
+            cropped.target_raw, sample.target_raw[:, : cropped.num_bins]
+        )
+        np.testing.assert_array_equal(cropped.m_max, sample.m_max[:, :3])
+
+    def test_cropped_window_still_consistent(self, small_dataset, small_config):
+        from repro.constraints import check_constraints
+
+        sample = small_dataset[0]
+        cropped = crop_sample(sample, 2)
+        report = check_constraints(cropped.target_raw, cropped, small_config)
+        assert report.satisfied
+
+    def test_rejects_too_many_intervals(self, small_dataset):
+        with pytest.raises(ValueError):
+            crop_sample(small_dataset[0], 99)
+
+    def test_rejects_zero(self, small_dataset):
+        with pytest.raises(ValueError):
+            crop_sample(small_dataset[0], 0)

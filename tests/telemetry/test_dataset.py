@@ -1,0 +1,130 @@
+"""Tests for windowing, feature construction and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import FeatureScaler, build_dataset, sample_trace
+
+
+class TestFeatureScaler:
+    def test_fit_uses_lanz_max(self, small_trace):
+        telemetry = sample_trace(small_trace, 25)
+        scaler = FeatureScaler.fit(telemetry, small_trace.steps_per_bin)
+        assert scaler.qlen_scale == telemetry.qlen_max.max()
+
+    def test_roundtrip(self):
+        scaler = FeatureScaler(qlen_scale=10.0, rate_scale=100.0)
+        x = np.array([0.0, 5.0, 10.0])
+        np.testing.assert_allclose(scaler.denormalise_qlen(scaler.normalise_qlen(x)), x)
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            FeatureScaler(qlen_scale=0.0, rate_scale=1.0)
+
+
+class TestBuildDataset:
+    def test_window_count_non_overlapping(self, small_trace):
+        ds = build_dataset(small_trace, interval=25, window_intervals=4)
+        # 1200 bins / (4*25) per window = 12 windows.
+        assert len(ds) == 12
+
+    def test_window_count_with_stride(self, small_dataset):
+        # (1200 - 100) / 50 + 1 = 23 windows.
+        assert len(small_dataset) == 23
+
+    def test_sample_shapes(self, small_dataset, small_config):
+        sample = small_dataset[0]
+        assert sample.features.shape == (100, small_dataset.num_features)
+        assert sample.target.shape == (small_config.num_queues, 100)
+        assert sample.m_max.shape == (small_config.num_queues, 4)
+        assert sample.m_sent.shape == (small_config.num_ports, 4)
+
+    def test_target_raw_matches_trace(self, small_trace, small_dataset):
+        sample = small_dataset[2]
+        start = sample.window_start
+        np.testing.assert_array_equal(
+            sample.target_raw, small_trace.qlen[:, start : start + 100]
+        )
+
+    def test_target_normalised(self, small_dataset):
+        sample = small_dataset[0]
+        np.testing.assert_allclose(
+            sample.target, sample.target_raw / small_dataset.scaler.qlen_scale
+        )
+
+    def test_c2_consistency(self, small_dataset):
+        """Ground truth at sample positions equals the periodic samples."""
+        for sample in small_dataset.samples:
+            np.testing.assert_array_equal(
+                sample.target_raw[:, sample.sample_positions], sample.m_sample
+            )
+
+    def test_c1_consistency(self, small_dataset):
+        """Ground-truth per-interval max equals LANZ max (C1 satisfiable)."""
+        for sample in small_dataset.samples:
+            by_interval = sample.target_raw.reshape(
+                sample.num_queues, sample.num_intervals, sample.interval
+            )
+            np.testing.assert_array_equal(by_interval.max(axis=2), sample.m_max)
+
+    def test_c3_consistency(self, small_dataset, small_config):
+        """Ground truth satisfies NE <= sent per port-interval."""
+        for sample in small_dataset.samples:
+            for port in range(small_config.num_ports):
+                rows = list(small_config.queues_of_port(port))
+                busy = (sample.target_raw[rows] > 0).any(axis=0)
+                ne = busy.reshape(sample.num_intervals, sample.interval).sum(axis=1)
+                assert (ne <= sample.m_sent[port]).all()
+
+    def test_features_include_sample_indicator(self, small_dataset):
+        sample = small_dataset[0]
+        indicator = sample.features[:, -1]
+        expected = np.zeros(100)
+        expected[sample.sample_positions] = 1.0
+        np.testing.assert_array_equal(indicator, expected)
+
+    def test_phase_channel(self, small_dataset):
+        phase = small_dataset[0].features[:, -2]
+        assert phase[0] == 0.0
+        assert phase[24] == pytest.approx(24 / 25)
+        assert phase[25] == 0.0
+
+    def test_scaler_reuse(self, small_trace):
+        first = build_dataset(small_trace, interval=25, window_intervals=4)
+        second = build_dataset(
+            small_trace, interval=25, window_intervals=4, scaler=first.scaler
+        )
+        assert second.scaler is first.scaler
+
+
+class TestSplitAndBatches:
+    def test_split_partitions(self, small_dataset):
+        train, val, test = small_dataset.split(0.6, 0.2, seed=0)
+        assert len(train) + len(val) + len(test) == len(small_dataset)
+        starts = sorted(
+            s.window_start for part in (train, val, test) for s in part.samples
+        )
+        assert starts == sorted(s.window_start for s in small_dataset.samples)
+
+    def test_split_deterministic(self, small_dataset):
+        a = small_dataset.split(seed=3)[0]
+        b = small_dataset.split(seed=3)[0]
+        assert [s.window_start for s in a.samples] == [s.window_start for s in b.samples]
+
+    def test_split_rejects_bad_fractions(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.split(0.9, 0.2)
+
+    def test_batches_cover_everything(self, small_dataset):
+        seen = []
+        for batch in small_dataset.batches(4, seed=0):
+            assert len(batch) <= 4
+            seen.extend(s.window_start for s in batch)
+        assert sorted(seen) == sorted(s.window_start for s in small_dataset.samples)
+
+    def test_stack_shapes(self, small_dataset):
+        batch = small_dataset.samples[:3]
+        feats = small_dataset.stack_features(batch)
+        targets = small_dataset.stack_targets(batch)
+        assert feats.shape == (3, 100, small_dataset.num_features)
+        assert targets.shape == (3, small_dataset.num_queues, 100)

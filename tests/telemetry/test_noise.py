@@ -1,0 +1,90 @@
+"""Tests for telemetry degradation models."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import sample_trace
+from repro.telemetry.noise import (
+    apply_lanz_threshold,
+    drop_snmp_intervals,
+    quantise_counters,
+)
+
+
+@pytest.fixture()
+def telemetry(small_trace):
+    return sample_trace(small_trace, 25)
+
+
+class TestLanzThreshold:
+    def test_small_maxima_replaced_by_samples(self, telemetry):
+        degraded = apply_lanz_threshold(telemetry, threshold=3)
+        suppressed = telemetry.qlen_max <= 3
+        np.testing.assert_array_equal(
+            degraded.qlen_max[suppressed], telemetry.qlen_sample[suppressed]
+        )
+
+    def test_large_maxima_untouched(self, telemetry):
+        degraded = apply_lanz_threshold(telemetry, threshold=3)
+        kept = telemetry.qlen_max > 3
+        np.testing.assert_array_equal(
+            degraded.qlen_max[kept], telemetry.qlen_max[kept]
+        )
+
+    def test_stays_consistent(self, telemetry):
+        degraded = apply_lanz_threshold(telemetry, threshold=10)
+        assert (degraded.qlen_max >= degraded.qlen_sample).all()
+
+    def test_zero_threshold_is_identity(self, telemetry):
+        degraded = apply_lanz_threshold(telemetry, threshold=0)
+        # qlen_max <= 0 only where max == 0, where the sample is also 0.
+        np.testing.assert_array_equal(degraded.qlen_max, telemetry.qlen_max)
+
+    def test_rejects_negative(self, telemetry):
+        with pytest.raises(ValueError):
+            apply_lanz_threshold(telemetry, threshold=-1)
+
+
+class TestDropSnmp:
+    def test_no_loss_is_identity(self, telemetry):
+        degraded, lost = drop_snmp_intervals(telemetry, 0.0, seed=0)
+        assert not lost.any()
+        np.testing.assert_array_equal(degraded.sent, telemetry.sent)
+
+    def test_lost_cells_interpolated(self, telemetry):
+        degraded, lost = drop_snmp_intervals(telemetry, 0.3, seed=1)
+        assert lost.any()
+        surviving = ~lost
+        np.testing.assert_array_equal(
+            degraded.sent[surviving], telemetry.sent[surviving].astype(float)
+        )
+        assert np.isfinite(degraded.sent).all()
+
+    def test_deterministic_given_seed(self, telemetry):
+        a, lost_a = drop_snmp_intervals(telemetry, 0.2, seed=5)
+        b, lost_b = drop_snmp_intervals(telemetry, 0.2, seed=5)
+        np.testing.assert_array_equal(lost_a, lost_b)
+        np.testing.assert_array_equal(a.sent, b.sent)
+
+    def test_rejects_bad_probability(self, telemetry):
+        with pytest.raises(ValueError):
+            drop_snmp_intervals(telemetry, 1.0)
+
+
+class TestQuantise:
+    def test_counters_on_grid(self, telemetry):
+        degraded = quantise_counters(telemetry, step=10)
+        assert (degraded.sent % 10 == 0).all()
+        assert (degraded.received % 10 == 0).all()
+
+    def test_step_one_is_identity(self, telemetry):
+        degraded = quantise_counters(telemetry, step=1)
+        np.testing.assert_array_equal(degraded.sent, telemetry.sent)
+
+    def test_error_bounded_by_half_step(self, telemetry):
+        degraded = quantise_counters(telemetry, step=8)
+        assert np.abs(degraded.sent - telemetry.sent).max() <= 4
+
+    def test_rejects_bad_step(self, telemetry):
+        with pytest.raises(ValueError):
+            quantise_counters(telemetry, step=0)

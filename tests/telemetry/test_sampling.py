@@ -1,0 +1,74 @@
+"""Tests for coarse-grained sampling (the monitoring tools of §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import sample_trace
+
+
+class TestSampleTrace:
+    def test_shapes(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        assert telemetry.num_intervals == 24  # 1200 / 50
+        assert telemetry.qlen_sample.shape == (small_trace.num_queues, 24)
+        assert telemetry.sent.shape == (small_trace.num_ports, 24)
+
+    def test_periodic_is_last_bin_of_interval(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        np.testing.assert_array_equal(
+            telemetry.qlen_sample[:, 0], small_trace.qlen[:, 49]
+        )
+        np.testing.assert_array_equal(
+            telemetry.qlen_sample[:, 3], small_trace.qlen[:, 199]
+        )
+
+    def test_max_is_interval_max_of_fine_series(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        np.testing.assert_array_equal(
+            telemetry.qlen_max[:, 2], small_trace.qlen[:, 100:150].max(axis=1)
+        )
+
+    def test_max_dominates_sample(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        assert (telemetry.qlen_max >= telemetry.qlen_sample).all()
+
+    def test_snmp_counters_are_sums(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        np.testing.assert_array_equal(
+            telemetry.sent[:, 0], small_trace.sent[:, :50].sum(axis=1)
+        )
+        np.testing.assert_array_equal(
+            telemetry.dropped[:, 1], small_trace.dropped[:, 50:100].sum(axis=1)
+        )
+
+    def test_sample_positions(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        positions = telemetry.sample_positions()
+        assert positions[0] == 49
+        assert positions[-1] == 1199
+        assert len(positions) == 24
+
+    def test_sample_positions_window(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=50)
+        np.testing.assert_array_equal(
+            telemetry.sample_positions(150), [49, 99, 149]
+        )
+
+    def test_trailing_partial_interval_discarded(self, small_trace):
+        telemetry = sample_trace(small_trace, interval=70)  # 1200 = 17*70 + 10
+        assert telemetry.num_intervals == 17
+
+    def test_interval_longer_than_trace_raises(self, small_trace):
+        with pytest.raises(ValueError):
+            sample_trace(small_trace, interval=5000)
+
+    def test_rejects_non_positive_interval(self, small_trace):
+        with pytest.raises(ValueError):
+            sample_trace(small_trace, interval=0)
+
+    def test_sampling_hides_peaks(self, small_trace):
+        """Fig. 1's premise: the periodic samples can miss the peak; LANZ
+        max recovers the magnitude but not the timing."""
+        telemetry = sample_trace(small_trace, interval=50)
+        gaps = telemetry.qlen_max - telemetry.qlen_sample
+        assert gaps.max() > 0

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.profile == "quick"
+        assert args.seed == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSimulate:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        code = main(["simulate", "--duration", "300", "--out", str(out), "--seed", "1"])
+        assert code == 0
+        with np.load(out) as archive:
+            assert archive["qlen"].shape[1] == 300
+            assert (archive["sent"] >= 0).all()
+        assert "simulated 300 bins" in capsys.readouterr().out
+
+
+class TestTrainImpute:
+    def test_train_then_impute(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        code = main(
+            [
+                "train",
+                "--profile",
+                "quick",
+                "--epochs",
+                "1",
+                "--out",
+                str(model_path),
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert model_path.exists()
+
+        code = main(
+            ["impute", "--profile", "quick", "--model", str(model_path), "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert "constraint-satisfied" in out
+        assert code == 0  # CEM makes every window consistent
+
+
+class TestVerify:
+    def test_train_then_verify(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        assert main(["train", "--epochs", "1", "--out", str(model_path)]) == 0
+        code = main(
+            [
+                "verify",
+                "--model",
+                str(model_path),
+                "--tolerance",
+                "100.0",  # a 1-epoch model passes only a huge tolerance
+                "--required-rate",
+                "1.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "constraint satisfaction" in out
+        assert code == 0
+
+    def test_verify_fails_below_required_rate(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        main(["train", "--epochs", "1", "--out", str(model_path)])
+        code = main(
+            [
+                "verify",
+                "--model",
+                str(model_path),
+                "--tolerance",
+                "1e-9",  # exact satisfaction: a raw model cannot pass
+                "--required-rate",
+                "1.0",
+            ]
+        )
+        assert code == 1
+
+
+class TestScalability:
+    def test_prints_table(self, capsys):
+        code = main(["scalability", "--horizons", "4", "--node-limit", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "horizon" in out
+        assert "4" in out

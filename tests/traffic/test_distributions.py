@@ -1,0 +1,66 @@
+"""Tests for flow-size distributions."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import FixedSizes, ParetoSizes, WebsearchSizes
+
+
+class TestFixedSizes:
+    def test_constant(self, rng):
+        dist = FixedSizes(7)
+        assert all(dist.sample(rng) == 7 for _ in range(10))
+        assert dist.mean() == 7.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedSizes(0)
+
+
+class TestParetoSizes:
+    def test_within_bounds(self, rng):
+        dist = ParetoSizes(shape=1.2, minimum=2, maximum=50)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert min(samples) >= 2
+        assert max(samples) <= 50
+
+    def test_heavy_tail(self, rng):
+        dist = ParetoSizes(shape=1.1, minimum=1, maximum=10000)
+        samples = np.array([dist.sample(rng) for _ in range(5000)])
+        # Median far below mean is the heavy-tail signature.
+        assert np.median(samples) < samples.mean() / 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ParetoSizes(shape=0)
+        with pytest.raises(ValueError):
+            ParetoSizes(minimum=10, maximum=5)
+
+
+class TestWebsearchSizes:
+    def test_sizes_positive(self, rng):
+        dist = WebsearchSizes()
+        assert all(dist.sample(rng) >= 1 for _ in range(200))
+
+    def test_mostly_mice(self, rng):
+        dist = WebsearchSizes()
+        samples = np.array([dist.sample(rng) for _ in range(3000)])
+        # Per the CDF, ~60% of flows are <= 10 packets.
+        assert (samples <= 10).mean() > 0.45
+
+    def test_elephants_carry_most_bytes(self, rng):
+        dist = WebsearchSizes()
+        samples = np.sort([dist.sample(rng) for _ in range(3000)])
+        top_decile_bytes = samples[-300:].sum()
+        assert top_decile_bytes > 0.5 * samples.sum()
+
+    def test_scale_parameter(self, rng):
+        small = WebsearchSizes(scale=0.1)
+        big = WebsearchSizes(scale=1.0)
+        mean_small = np.mean([small.sample(rng) for _ in range(2000)])
+        mean_big = np.mean([big.sample(rng) for _ in range(2000)])
+        assert mean_small < mean_big
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            WebsearchSizes(scale=0)

@@ -1,0 +1,135 @@
+"""Tests for traffic generators and source pacing."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    CompositeTraffic,
+    IncastTraffic,
+    PoissonFlowTraffic,
+    ScriptedTraffic,
+)
+from repro.traffic.distributions import FixedSizes
+
+
+def drain(generator, steps):
+    return [generator.arrivals(t) for t in range(steps)]
+
+
+class TestSourcePacing:
+    def test_at_most_one_packet_per_source_per_step(self):
+        gen = PoissonFlowTraffic(
+            num_sources=3, num_ports=2, flows_per_step=2.0, sizes=FixedSizes(5), seed=0
+        )
+        for step, packets in enumerate(drain(gen, 50)):
+            assert len(packets) <= 3, f"step {step} emitted {len(packets)} > sources"
+
+    def test_flow_fully_delivered(self):
+        gen = PoissonFlowTraffic(
+            num_sources=1, num_ports=1, flows_per_step=0.2, sizes=FixedSizes(4), seed=1
+        )
+        packets = [p for step in drain(gen, 400) for p in step]
+        # Completed flows deliver exactly 4 packets each; count by flow id.
+        by_flow = {}
+        for p in packets:
+            by_flow.setdefault(p.flow_id, 0)
+            by_flow[p.flow_id] += 1
+        counts = list(by_flow.values())
+        # All but possibly the last in-flight flow are complete.
+        assert sum(c == 4 for c in counts) >= len(counts) - 1
+
+
+class TestPoissonFlowTraffic:
+    def test_rate_roughly_matches(self):
+        gen = PoissonFlowTraffic(
+            num_sources=50, num_ports=4, flows_per_step=0.05, sizes=FixedSizes(2), seed=2
+        )
+        total = sum(len(p) for p in drain(gen, 4000))
+        expected = 0.05 * 2 * 4000  # flows/step * pkts/flow * steps
+        assert 0.7 * expected < total < 1.3 * expected
+
+    def test_out_of_order_steps_rejected(self):
+        gen = PoissonFlowTraffic(num_sources=1, num_ports=1, flows_per_step=0.1, seed=0)
+        gen.arrivals(0)
+        with pytest.raises(ValueError):
+            gen.arrivals(0)
+
+    def test_class_weights_respected(self):
+        gen = PoissonFlowTraffic(
+            num_sources=20,
+            num_ports=1,
+            flows_per_step=0.5,
+            sizes=FixedSizes(1),
+            class_weights=(1.0, 0.0),
+            seed=3,
+        )
+        packets = [p for step in drain(gen, 500) for p in step]
+        assert packets and all(p.qclass == 0 for p in packets)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            PoissonFlowTraffic(1, 1, 0.1, class_weights=(0.0, 0.0))
+
+    def test_dst_ports_in_range(self):
+        gen = PoissonFlowTraffic(
+            num_sources=5, num_ports=3, flows_per_step=0.5, sizes=FixedSizes(1), seed=4
+        )
+        packets = [p for step in drain(gen, 200) for p in step]
+        assert all(0 <= p.dst_port < 3 for p in packets)
+
+
+class TestIncastTraffic:
+    def test_burst_shape(self):
+        gen = IncastTraffic(fan_in=4, burst_size=3, period=100, dst_port=0, jitter=0, seed=0)
+        steps = drain(gen, 10)
+        # Steps 0..2: all 4 sources transmit in parallel.
+        assert [len(s) for s in steps[:4]] == [4, 4, 4, 0]
+        assert all(p.dst_port == 0 for s in steps[:3] for p in s)
+
+    def test_total_burst_volume(self):
+        gen = IncastTraffic(fan_in=5, burst_size=4, period=50, dst_port=1, jitter=0, seed=0)
+        total = sum(len(s) for s in drain(gen, 50))
+        assert total == 20  # fan_in * burst_size
+
+    def test_periodic_repeats(self):
+        gen = IncastTraffic(fan_in=2, burst_size=1, period=10, dst_port=0, jitter=0, seed=0)
+        steps = drain(gen, 25)
+        burst_steps = [t for t, s in enumerate(steps) if s]
+        assert burst_steps == [0, 10, 20]
+
+    def test_jitter_bounds_respected(self):
+        gen = IncastTraffic(fan_in=1, burst_size=1, period=100, dst_port=0, jitter=10, seed=5)
+        steps = drain(gen, 300)
+        burst_steps = [t for t, s in enumerate(steps) if s]
+        assert len(burst_steps) >= 2
+        gaps = np.diff(burst_steps)
+        assert all(80 <= g <= 120 for g in gaps)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            IncastTraffic(fan_in=0, burst_size=1, period=10, dst_port=0)
+        with pytest.raises(ValueError):
+            IncastTraffic(fan_in=1, burst_size=1, period=10, dst_port=0, jitter=-1)
+
+
+class TestCompositeTraffic:
+    def test_superposition(self):
+        a = ScriptedTraffic({0: [(0, 0)]})
+        b = ScriptedTraffic({0: [(1, 1)], 1: [(0, 0)]})
+        gen = CompositeTraffic([a, b])
+        assert len(gen.arrivals(0)) == 2
+        assert len(gen.arrivals(1)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeTraffic([])
+
+
+class TestScriptedTraffic:
+    def test_replays_script(self):
+        gen = ScriptedTraffic({2: [(1, 0), (0, 1)]})
+        assert gen.arrivals(0) == []
+        assert gen.arrivals(1) == []
+        packets = gen.arrivals(2)
+        assert [(p.dst_port, p.qclass) for p in packets] == [(1, 0), (0, 1)]
+        assert all(p.arrival_step == 2 for p in packets)

@@ -1,0 +1,73 @@
+"""Tests for rng plumbing and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_generator,
+    check_1d,
+    check_2d,
+    check_non_negative,
+    check_positive,
+    check_same_length,
+    spawn_generators,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        children = spawn_generators(7, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_generators(1, 2)]
+        b = [g.random() for g in spawn_generators(1, 2)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_1d(self):
+        out = check_1d("x", [1, 2, 3])
+        assert out.dtype == float
+        with pytest.raises(ValueError):
+            check_1d("x", [[1, 2]])
+
+    def test_check_2d(self):
+        assert check_2d("x", [[1.0, 2.0]]).shape == (1, 2)
+        with pytest.raises(ValueError):
+            check_2d("x", [1.0])
+
+    def test_check_same_length(self):
+        check_same_length("a", np.zeros(3), "b", np.ones(3))
+        with pytest.raises(ValueError):
+            check_same_length("a", np.zeros(3), "b", np.ones(2))

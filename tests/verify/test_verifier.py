@@ -1,0 +1,102 @@
+"""Tests for the constraint verifier (model audit)."""
+
+import numpy as np
+import pytest
+
+from repro.imputation import ConstraintEnforcer, IterativeImputer
+from repro.imputation.base import Imputer
+from repro.verify import ConstraintVerifier, VerificationReport
+
+
+class PerfectImputer(Imputer):
+    """Oracle: returns the ground truth (always constraint-satisfying)."""
+
+    def impute(self, sample):
+        # For perturbed samples, patch the ground truth to match the
+        # perturbed measurements exactly (sampled bins + per-interval max).
+        out = sample.target_raw.astype(float).copy()
+        out[:, sample.sample_positions] = sample.m_sample
+        interval = sample.interval
+        for i in range(sample.num_intervals):
+            span = slice(i * interval, (i + 1) * interval)
+            np.minimum(out[:, span], sample.m_max[:, i : i + 1], out=out[:, span])
+            for q in range(out.shape[0]):
+                if sample.m_max[q, i] > 0 and out[q, span].max() < sample.m_max[q, i]:
+                    out[q, i * interval + np.argmax(out[q, span])] = sample.m_max[q, i]
+        return out
+
+
+class ZeroImputer(Imputer):
+    """Worst case: always outputs zeros (violates C1/C2 on busy windows)."""
+
+    def impute(self, sample):
+        return np.zeros_like(sample.target_raw, dtype=float)
+
+
+class TestConstraintVerifier:
+    def test_ground_truth_fully_verified(self, small_dataset):
+        verifier = ConstraintVerifier(small_dataset)
+
+        class TruthImputer(Imputer):
+            def impute(self, sample):
+                return sample.target_raw.astype(float)
+
+        report = verifier.verify(TruthImputer())
+        assert report.satisfaction_rate == 1.0
+        assert report.num_windows == len(small_dataset)
+
+    def test_zero_imputer_flagged(self, small_dataset):
+        report = ConstraintVerifier(small_dataset).verify(ZeroImputer())
+        assert report.satisfaction_rate < 1.0
+        errors = report.mean_errors()
+        assert errors["max"] > 0 or errors["periodic"] > 0
+
+    def test_cem_wrapped_imputer_passes(self, small_dataset):
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        iterative = IterativeImputer(num_iterations=2)
+
+        class Enforced(Imputer):
+            def impute(self, sample):
+                return enforcer.enforce(iterative.impute(sample), sample)
+
+        report = ConstraintVerifier(small_dataset).verify(Enforced())
+        assert report.satisfaction_rate == 1.0
+
+    def test_perturbations_extend_corpus(self, small_dataset):
+        verifier = ConstraintVerifier(small_dataset)
+        report = verifier.verify(PerfectImputer(), perturbations=2, seed=0)
+        assert report.num_windows == 3 * len(small_dataset)
+        assert any(v.perturbed for v in report.verdicts)
+
+    def test_perturbed_measurements_stay_consistent(self, small_dataset):
+        verifier = ConstraintVerifier(small_dataset)
+        rng = np.random.default_rng(0)
+        variant = verifier._perturb(small_dataset[0], rng, scale=0.3)
+        assert (variant.m_max >= variant.m_sample).all()
+        assert variant.features.shape == small_dataset[0].features.shape
+
+    def test_summary_and_worst_window(self, small_dataset):
+        report = ConstraintVerifier(small_dataset, tolerance=0.1).verify(ZeroImputer())
+        text = report.summary()
+        assert "verified" in text
+        assert report.worst_window() is not None
+
+    def test_tolerant_rate_between_exact_and_one(self, small_dataset):
+        report = ConstraintVerifier(small_dataset, tolerance=10.0).verify(ZeroImputer())
+        assert report.tolerant_rate >= report.satisfaction_rate
+
+    def test_empty_dataset_rejected(self, small_dataset):
+        import dataclasses
+
+        empty = dataclasses.replace(small_dataset, samples=[])
+        with pytest.raises(ValueError):
+            ConstraintVerifier(empty)
+
+    def test_negative_perturbations_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            ConstraintVerifier(small_dataset).verify(ZeroImputer(), perturbations=-1)
+
+    def test_empty_report_defaults(self):
+        report = VerificationReport()
+        assert report.satisfaction_rate == 0.0
+        assert report.worst_window() is None
