@@ -36,7 +36,9 @@ def cmd_simulate(args) -> int:
     from repro.switchsim.io import save_trace
 
     scenario = _scenario(args)
-    trace = generate_trace(scenario, seed=args.seed)
+    trace = generate_trace(
+        scenario, seed=args.seed, cache=args.cache, engine=args.engine
+    )
     save_trace(trace, args.out)
     print(
         f"simulated {trace.num_bins} bins x {trace.num_queues} queues "
@@ -179,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--duration", type=int, help="fine bins to simulate")
     p.add_argument("--out", type=Path, default=Path("trace.npz"))
+    p.add_argument(
+        "--engine",
+        choices=("auto", "array", "reference"),
+        default="auto",
+        help="simulation core (both produce bit-identical traces)",
+    )
+    p.add_argument(
+        "--cache",
+        type=Path,
+        help="trace cache directory; re-runs skip simulation entirely",
+    )
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train the transformer imputer")

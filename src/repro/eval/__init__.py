@@ -2,6 +2,8 @@
 
 * :mod:`~repro.eval.scenarios` — the evaluation scenario of §4 (websearch +
   incast traffic through a shared-buffer switch) and dataset generation.
+* :mod:`~repro.eval.parallel` — multiprocessing fan-out of multi-seed /
+  multi-scenario trace generation, composing with the on-disk trace cache.
 * :mod:`~repro.eval.table1` — Table 1: consistency + downstream errors for
   the four methods.
 * :mod:`~repro.eval.figures` — the data behind Fig. 1 (sampling hides
@@ -13,10 +15,18 @@
 
 from repro.eval.scenarios import (
     ScenarioConfig,
+    dataset_from_trace,
     generate_dataset,
     generate_trace,
     paper_scenario,
     quick_scenario,
+    trace_cache_params,
+)
+from repro.eval.parallel import (
+    derive_seeds,
+    generate_datasets,
+    generate_traces,
+    simulate_jobs,
 )
 from repro.eval.table1 import Table1Config, Table1Result, run_table1
 from repro.eval.figures import fig1_data, fig4_data, pick_representative
@@ -29,8 +39,14 @@ __all__ = [
     "ScenarioConfig",
     "generate_trace",
     "generate_dataset",
+    "dataset_from_trace",
+    "trace_cache_params",
     "paper_scenario",
     "quick_scenario",
+    "derive_seeds",
+    "simulate_jobs",
+    "generate_traces",
+    "generate_datasets",
     "Table1Config",
     "Table1Result",
     "run_table1",

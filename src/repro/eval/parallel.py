@@ -1,0 +1,152 @@
+"""Parallel multi-seed / multi-scenario dataset generation.
+
+Ground-truth generation is embarrassingly parallel across seeds and
+scenarios: every (scenario, seed) pair is an independent deterministic
+simulation.  This module fans those jobs out over a ``multiprocessing``
+pool and composes with :class:`~repro.switchsim.cache.TraceCache` so that
+only cache *misses* are simulated — a re-run of an unchanged sweep spawns
+no workers at all.
+
+Determinism
+-----------
+
+Workers receive integer seeds, and :func:`repro.eval.scenarios.
+build_traffic` derives all component RNGs from the seed alone, so a trace
+is bit-identical whether it is produced serially, by a pool worker, or
+read back from the cache (the equivalence is asserted in
+``tests/eval/test_parallel.py``).  :func:`derive_seeds` turns one base
+seed into a reproducible family of per-job seeds via
+:class:`numpy.random.SeedSequence`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.eval.scenarios import (
+    CacheLike,
+    ScenarioConfig,
+    _coerce_cache,
+    dataset_from_trace,
+    generate_trace,
+    trace_cache_params,
+)
+from repro.telemetry.dataset import TelemetryDataset
+from repro.switchsim.cache import TraceCache
+from repro.switchsim.simulation import SimulationTrace
+
+#: A single unit of work: simulate this scenario with this seed.
+Job = tuple[ScenarioConfig, int]
+
+DatasetSplits = tuple[TelemetryDataset, TelemetryDataset, TelemetryDataset]
+
+
+def derive_seeds(base_seed: int, count: int) -> list[int]:
+    """``count`` reproducible, statistically independent integer seeds.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, the supported way
+    to key independent streams off one root seed; the same
+    ``(base_seed, count)`` always yields the same list, and any prefix of
+    a longer family matches the shorter one.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(int(base_seed)).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def _simulate_job(job_engine: tuple[ScenarioConfig, int, str]) -> SimulationTrace:
+    """Pool worker: one uncached simulation (module-level, so picklable)."""
+    config, seed, engine = job_engine
+    return generate_trace(config, seed=seed, cache=None, engine=engine)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (no re-import cost); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def simulate_jobs(
+    jobs: Sequence[Job],
+    workers: int | None = None,
+    cache: CacheLike = None,
+    engine: str = "auto",
+) -> list[SimulationTrace]:
+    """Simulate every (scenario, seed) job, in input order.
+
+    The parent process resolves cache hits first; only misses are
+    dispatched to the pool, and their results are stored back into the
+    cache by the parent.  ``workers=None`` sizes the pool to
+    ``min(len(misses), cpu_count)``; ``workers<=1`` (or a single miss)
+    runs serially in-process, avoiding pool overhead.
+    """
+    cache = _coerce_cache(cache)
+    jobs = [(config, int(seed)) for config, seed in jobs]
+    traces: list[SimulationTrace | None] = [None] * len(jobs)
+
+    misses: list[int] = []
+    for i, (config, seed) in enumerate(jobs):
+        if cache is not None:
+            cached = cache.get(trace_cache_params(config, seed))
+            if cached is not None:
+                traces[i] = cached
+                continue
+        misses.append(i)
+
+    if misses:
+        if workers is None:
+            workers = min(len(misses), os.cpu_count() or 1)
+        work = [(jobs[i][0], jobs[i][1], engine) for i in misses]
+        if workers <= 1 or len(misses) == 1:
+            results = [_simulate_job(item) for item in work]
+        else:
+            with _pool_context().Pool(processes=workers) as pool:
+                results = pool.map(_simulate_job, work)
+        for i, trace in zip(misses, results):
+            traces[i] = trace
+            if cache is not None:
+                cache.put(trace_cache_params(jobs[i][0], jobs[i][1]), trace)
+
+    return traces  # type: ignore[return-value]  # every slot is filled above
+
+
+def generate_traces(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    workers: int | None = None,
+    cache: CacheLike = None,
+    engine: str = "auto",
+) -> list[SimulationTrace]:
+    """Multi-seed fan-out of :func:`~repro.eval.scenarios.generate_trace`."""
+    return simulate_jobs(
+        [(config, seed) for seed in seeds], workers=workers, cache=cache, engine=engine
+    )
+
+
+def generate_datasets(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    workers: int | None = None,
+    cache: CacheLike = None,
+    engine: str = "auto",
+) -> list[DatasetSplits]:
+    """Multi-seed fan-out of :func:`~repro.eval.scenarios.generate_dataset`.
+
+    Simulation happens in the pool; the (cheap, seed-deterministic)
+    windowing and splitting happen in the parent, so each returned
+    (train, val, test) triple equals a serial ``generate_dataset`` call.
+    """
+    traces = generate_traces(
+        config, seeds, workers=workers, cache=cache, engine=engine
+    )
+    return [
+        dataset_from_trace(config, trace, seed=int(seed))
+        for trace, seed in zip(traces, seeds)
+    ]

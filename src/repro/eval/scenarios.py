@@ -9,15 +9,26 @@ variant for tests and smoke runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Union
 
+import numpy as np
+
+from repro.switchsim.cache import TraceCache
 from repro.switchsim.simulation import Simulation, SimulationTrace
 from repro.switchsim.switch import SwitchConfig
 from repro.telemetry.dataset import TelemetryDataset, build_dataset
 from repro.traffic.distributions import WebsearchSizes
 from repro.traffic.generators import CompositeTraffic, IncastTraffic, PoissonFlowTraffic
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_positive
+
+#: Revision of build_traffic()'s RNG stream layout; part of the cache key
+#: so behavioural changes to traffic construction invalidate old traces.
+TRAFFIC_REV = 2
+
+CacheLike = Union[TraceCache, str, Path, None]
 
 
 @dataclass(frozen=True)
@@ -75,8 +86,14 @@ def quick_scenario() -> ScenarioConfig:
 
 
 def build_traffic(config: ScenarioConfig, seed: RngLike = 0) -> CompositeTraffic:
-    """Websearch background + periodic incast, as in §4."""
-    rng = as_generator(seed)
+    """Websearch background + periodic incast, as in §4.
+
+    Each component generator gets its own deterministic child RNG (spawned
+    from ``seed``): independent streams keep the components statistically
+    uncoupled and let the composite batch arrivals for the array engine —
+    a shared stream would force per-step interleaving of the draws.
+    """
+    child_rngs = spawn_generators(seed, 1 + len(config.incast_dsts))
     sizes = WebsearchSizes()
     mean_flow = sizes.mean()
     # Offered load (packets/step) = flows_per_step * mean_flow_size; the
@@ -87,7 +104,7 @@ def build_traffic(config: ScenarioConfig, seed: RngLike = 0) -> CompositeTraffic
         num_ports=config.num_ports,
         flows_per_step=flows_per_step,
         sizes=sizes,
-        seed=rng,
+        seed=child_rngs[0],
     )
     incasts = []
     period_steps = config.incast_period * config.steps_per_bin
@@ -100,7 +117,7 @@ def build_traffic(config: ScenarioConfig, seed: RngLike = 0) -> CompositeTraffic
                 dst_port=dst % config.num_ports,
                 qclass=min(1, config.queues_per_port - 1),
                 jitter=config.incast_jitter * config.steps_per_bin,
-                seed=rng,
+                seed=child_rngs[1 + i],
                 # Phase-shift the victims so their bursts interleave.
                 start_step=(i * period_steps) // max(len(config.incast_dsts), 1),
             )
@@ -108,23 +125,66 @@ def build_traffic(config: ScenarioConfig, seed: RngLike = 0) -> CompositeTraffic
     return CompositeTraffic([background, *incasts])
 
 
-def generate_trace(config: ScenarioConfig, seed: RngLike = 0) -> SimulationTrace:
-    """Simulate the scenario and return the fine-grained ground truth."""
+def trace_cache_params(config: ScenarioConfig, seed: int) -> dict[str, Any]:
+    """The parameter mapping that content-addresses a scenario trace.
+
+    Everything that determines the trace bit-for-bit: the scenario
+    dataclass (switch config, traffic parameters, duration), the seed,
+    and the traffic-construction revision.  The engine is deliberately
+    absent — both engines produce identical traces.
+    """
+    return {
+        "kind": "scenario_trace",
+        "traffic_rev": TRAFFIC_REV,
+        "scenario": asdict(config),
+        "seed": int(seed),
+    }
+
+
+def _coerce_cache(cache: CacheLike) -> TraceCache | None:
+    if cache is None or isinstance(cache, TraceCache):
+        return cache
+    return TraceCache(cache)
+
+
+def generate_trace(
+    config: ScenarioConfig,
+    seed: RngLike = 0,
+    cache: CacheLike = None,
+    engine: str = "auto",
+) -> SimulationTrace:
+    """Simulate the scenario and return the fine-grained ground truth.
+
+    With ``cache`` (a :class:`TraceCache`, or a directory path), the
+    trace is looked up by content hash first and stored after a miss; a
+    cached re-run of an unchanged scenario performs zero simulation
+    steps.  Caching requires an integer ``seed`` (a generator object's
+    stream position is not hashable state); generator seeds bypass it.
+    """
     check_positive("duration_bins", config.duration_bins)
+    cache = _coerce_cache(cache)
+    cacheable = isinstance(seed, (int, np.integer))
+    params = trace_cache_params(config, int(seed)) if cacheable else None
+    if cache is not None and cacheable:
+        cached = cache.get(params)
+        if cached is not None:
+            return cached
     simulation = Simulation(
         config.switch_config(),
         build_traffic(config, seed=seed),
         steps_per_bin=config.steps_per_bin,
+        engine=engine,
     )
-    return simulation.run(config.duration_bins)
+    trace = simulation.run(config.duration_bins)
+    if cache is not None and cacheable:
+        cache.put(params, trace)
+    return trace
 
 
-def generate_dataset(
-    config: ScenarioConfig | None = None, seed: RngLike = 0
+def dataset_from_trace(
+    config: ScenarioConfig, trace: SimulationTrace, seed: RngLike = 0
 ) -> tuple[TelemetryDataset, TelemetryDataset, TelemetryDataset]:
-    """Simulate, window, and split into (train, val, test) datasets."""
-    config = config if config is not None else paper_scenario()
-    trace = generate_trace(config, seed=seed)
+    """Window a trace and split it into (train, val, test) datasets."""
     dataset = build_dataset(
         trace,
         interval=config.interval,
@@ -132,3 +192,15 @@ def generate_dataset(
         stride_intervals=config.stride_intervals,
     )
     return dataset.split(train_fraction=0.7, val_fraction=0.15, seed=seed)
+
+
+def generate_dataset(
+    config: ScenarioConfig | None = None,
+    seed: RngLike = 0,
+    cache: CacheLike = None,
+    engine: str = "auto",
+) -> tuple[TelemetryDataset, TelemetryDataset, TelemetryDataset]:
+    """Simulate, window, and split into (train, val, test) datasets."""
+    config = config if config is not None else paper_scenario()
+    trace = generate_trace(config, seed=seed, cache=cache, engine=engine)
+    return dataset_from_trace(config, trace, seed=seed)

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.autodiff.optim import Adam, clip_grad_norm
-from repro.autodiff.tensor import Tensor
+from repro.autodiff.tensor import Tensor, no_grad
 from repro.constraints.differentiable import phi_max, phi_periodic, psi_sent
 from repro.constraints.spec import check_constraints
 from repro.imputation.transformer_imputer import TransformerImputer
@@ -263,20 +263,22 @@ class Trainer:
         self.model.eval()
         total = 0.0
         count = 0
-        for batch in dataset.batches(self.config.batch_size, shuffle=False):
-            features = Tensor(dataset.stack_features(batch))
-            target = Tensor(dataset.stack_targets(batch))
-            pred = self.model(features)
-            total += self._base_loss(pred, target).item() * len(batch)
-            count += len(batch)
+        with no_grad():  # inference only: skip graph construction
+            for batch in dataset.batches(self.config.batch_size, shuffle=False):
+                features = Tensor(dataset.stack_features(batch))
+                target = Tensor(dataset.stack_targets(batch))
+                pred = self.model(features)
+                total += self._base_loss(pred, target).item() * len(batch)
+                count += len(batch)
         return total / max(count, 1)
 
     def constraint_report(self, dataset: TelemetryDataset) -> dict[str, float]:
         """Mean exact constraint errors of the model over a dataset."""
-        reports = [
-            check_constraints(self.model.impute(s), s, dataset.switch_config)
-            for s in dataset.samples
-        ]
+        with no_grad():  # inference only: skip graph construction
+            reports = [
+                check_constraints(self.model.impute(s), s, dataset.switch_config)
+                for s in dataset.samples
+            ]
         return {
             "max_error": float(np.mean([r.max_error for r in reports])),
             "periodic_error": float(np.mean([r.periodic_error for r in reports])),

@@ -24,6 +24,8 @@ from repro.switchsim.scheduler import (
 )
 from repro.switchsim.switch import OutputQueuedSwitch, StepCounters, SwitchConfig
 from repro.switchsim.simulation import Simulation, SimulationTrace
+from repro.switchsim.engine import ArraySwitchEngine, EngineUnsupported
+from repro.switchsim.cache import TraceCache
 from repro.switchsim.io import load_trace, save_trace
 from repro.switchsim.voq import (
     IslipScheduler,
@@ -45,6 +47,9 @@ __all__ = [
     "StepCounters",
     "Simulation",
     "SimulationTrace",
+    "ArraySwitchEngine",
+    "EngineUnsupported",
+    "TraceCache",
     "save_trace",
     "load_trace",
     "VoqConfig",

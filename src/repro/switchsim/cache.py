@@ -1,0 +1,163 @@
+"""On-disk cache of simulation traces, keyed by a content hash.
+
+Simulating long traces is the expensive step of dataset generation: every
+benchmark or training re-run of an unchanged scenario repeats the exact
+same deterministic simulation.  :class:`TraceCache` persists traces as
+``.npz`` archives (via :mod:`repro.switchsim.io`) under a content hash of
+the *parameters that determine the trace* — switch configuration, traffic
+generator parameters, seed, and duration — so repeated runs skip the
+simulation entirely.
+
+Keying and invalidation
+-----------------------
+
+Keys are SHA-256 hashes of a canonical JSON encoding of the parameter
+mapping, with :data:`TRACE_CACHE_VERSION` mixed in.  Bump the version
+whenever the simulator or a traffic generator changes behaviour for the
+same parameters — every old entry then misses (stale files are simply
+never read again and can be garbage-collected with :meth:`TraceCache.
+clear`).  Callers that change *their* trace-producing code independently
+of this module should include their own revision marker in the params
+(see ``traffic_rev`` in :mod:`repro.eval.scenarios`).
+
+The cache directory defaults to the ``REPRO_TRACE_CACHE`` environment
+variable, falling back to ``~/.cache/repro/traces``.  Writes go through a
+temporary file plus :func:`os.replace`, so concurrent writers (e.g. the
+workers of :mod:`repro.eval.parallel`) at worst do redundant work, never
+corrupt an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+import numpy as np
+
+from repro.switchsim.io import load_trace, save_trace
+from repro.switchsim.simulation import SimulationTrace
+
+PathLike = Union[str, Path]
+
+#: Bump to invalidate every existing cache entry (simulator semantics change).
+TRACE_CACHE_VERSION = 1
+
+_ENV_VAR = "REPRO_TRACE_CACHE"
+_DEFAULT_ROOT = "~/.cache/repro/traces"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to canonical JSON-encodable primitives.
+
+    Deterministic across processes and numpy versions: numpy scalars
+    collapse to Python numbers, tuples to lists, mappings are key-sorted
+    by :func:`json.dumps` later.  Rejects anything whose encoding would
+    be ambiguous (objects, callables) instead of guessing.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_canonical(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    raise TypeError(
+        f"cache params must be JSON-encodable primitives, got {type(value).__name__}"
+    )
+
+
+def trace_key(params: Mapping[str, Any]) -> str:
+    """Content hash of a parameter mapping (stable across processes)."""
+    payload = {
+        "__trace_cache_version__": TRACE_CACHE_VERSION,
+        "params": _canonical(dict(params)),
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:32]
+
+
+class TraceCache:
+    """Content-addressed store of :class:`SimulationTrace` archives.
+
+    Tracks ``hits``/``misses``/``stores`` counters so callers (and tests)
+    can assert that a re-run skipped simulation entirely.
+    """
+
+    def __init__(self, root: PathLike | None = None):
+        if root is None:
+            root = os.environ.get(_ENV_VAR) or _DEFAULT_ROOT
+        self.root = Path(root).expanduser()
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"trace cache root exists but is not a directory: {self.root}"
+            )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, params: Mapping[str, Any]) -> Path:
+        """The archive path a parameter mapping hashes to."""
+        return self.root / f"{trace_key(params)}.npz"
+
+    def get(self, params: Mapping[str, Any]) -> SimulationTrace | None:
+        """The cached trace for ``params``, or None (counting hit/miss).
+
+        An unreadable or corrupt entry counts as a miss; the caller will
+        re-simulate and overwrite it.
+        """
+        path = self.path_for(params)
+        if path.exists():
+            try:
+                trace = load_trace(path)
+            except (OSError, ValueError, KeyError, AssertionError):
+                pass
+            else:
+                self.hits += 1
+                return trace
+        self.misses += 1
+        return None
+
+    def put(self, params: Mapping[str, Any], trace: SimulationTrace) -> Path:
+        """Store ``trace`` under the hash of ``params`` (atomic replace)."""
+        path = self.path_for(params)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # np.savez appends ".npz" to other suffixes, so keep it explicit.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp.npz"
+        )
+        os.close(fd)
+        try:
+            save_trace(trace, tmp_name)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for entry in self.root.glob("*.npz"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.npz"))

@@ -100,23 +100,54 @@ class SimulationTrace:
 
 
 class Simulation:
-    """Runs a traffic generator through the switch and records the trace."""
+    """Runs a traffic generator through the switch and records the trace.
+
+    ``engine`` selects the simulation core:
+
+    * ``"reference"`` — the object-based :class:`OutputQueuedSwitch`, one
+      packet time step at a time;
+    * ``"array"`` — the vectorized :class:`~repro.switchsim.engine.
+      ArraySwitchEngine` (whole bins per inner call, batched arrival
+      materialisation); raises :class:`~repro.switchsim.engine.
+      EngineUnsupported` for scheduler configurations it cannot reproduce
+      bit-exactly;
+    * ``"auto"`` (default) — the array engine when it supports the
+      configuration, the reference engine otherwise.
+
+    Both engines produce bit-identical :class:`SimulationTrace`s (asserted
+    by the equivalence property tests), so the choice only affects speed.
+    """
 
     def __init__(
         self,
         config: SwitchConfig,
         traffic: "TrafficGenerator",
         steps_per_bin: int = 16,
+        engine: str = "auto",
     ):
         check_positive("steps_per_bin", steps_per_bin)
+        if engine not in ("auto", "array", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'array', or 'reference', got {engine!r}"
+            )
         self.config = config
         self.traffic = traffic
         self.steps_per_bin = int(steps_per_bin)
         self.switch = OutputQueuedSwitch(config)
+        from repro.switchsim.engine import ArraySwitchEngine  # deferred: cycle
+
+        if engine == "auto":
+            engine = "array" if ArraySwitchEngine.supports(config) else "reference"
+        self.engine = engine
+        self._array_engine = (
+            ArraySwitchEngine(config) if engine == "array" else None
+        )
 
     def run(self, num_bins: int) -> SimulationTrace:
         """Simulate ``num_bins`` fine-grained bins and return the trace."""
         check_positive("num_bins", num_bins)
+        if self._array_engine is not None:
+            return self._array_engine.run(self.traffic, num_bins, self.steps_per_bin)
         cfg = self.config
         steps = self.steps_per_bin
         qlen = np.zeros((cfg.num_queues, num_bins), dtype=np.int64)

@@ -101,6 +101,9 @@ class OutputQueuedSwitch:
         self.schedulers: list[Scheduler] = [
             config.scheduler_factory() for _ in range(config.num_ports)
         ]
+        # Incrementally maintained mirror of the per-queue lengths, so
+        # queue_lengths() need not rebuild a list + array every step.
+        self._lengths = np.zeros(config.num_queues, dtype=np.int64)
         self.step_count = 0
 
     # ------------------------------------------------------------------
@@ -111,8 +114,14 @@ class OutputQueuedSwitch:
         return self.queues[self.config.queue_index(port, qclass)]
 
     def queue_lengths(self) -> np.ndarray:
-        """Current lengths of all queues, in flat queue order."""
-        return np.array([q.length for q in self.queues], dtype=np.int64)
+        """Current lengths of all queues, in flat queue order.
+
+        Returns a copy of the incrementally maintained lengths array; the
+        mirror tracks every enqueue/dequeue made through :meth:`step`.
+        Callers mutating queues directly (e.g. ``queue.offer`` in a unit
+        test) should read ``queue.length`` instead.
+        """
+        return self._lengths.copy()
 
     def port_queues(self, port: int) -> Sequence[OutputQueue]:
         return [self.queues[i] for i in self.config.queues_of_port(port)]
@@ -130,7 +139,8 @@ class OutputQueuedSwitch:
         delay_sum = np.zeros(cfg.num_ports, dtype=np.int64)
 
         for packet in arrivals:
-            queue = self.queue(packet.dst_port, packet.qclass)
+            queue_index = cfg.queue_index(packet.dst_port, packet.qclass)
+            queue = self.queues[queue_index]
             received[packet.dst_port] += 1
             # Stamp untimed packets so per-packet delay is well defined.
             if packet.arrival_step < 0:
@@ -142,6 +152,7 @@ class OutputQueuedSwitch:
                 )
             if queue.offer(packet):
                 enqueued[packet.dst_port] += 1
+                self._lengths[queue_index] += 1
             else:
                 dropped[packet.dst_port] += 1
 
@@ -154,6 +165,7 @@ class OutputQueuedSwitch:
                     raise RuntimeError(
                         f"scheduler selected empty queue {choice} on port {port}"
                     )
+                self._lengths[port * cfg.queues_per_port + choice] -= 1
                 sent[port] += 1
                 if packet.arrival_step >= 0:
                     delay_sum[port] += self.step_count - packet.arrival_step
@@ -176,4 +188,5 @@ class OutputQueuedSwitch:
             queue.total_dequeued = 0
         self.buffer.reset()
         self.schedulers = [self.config.scheduler_factory() for _ in range(self.config.num_ports)]
+        self._lengths[:] = 0
         self.step_count = 0

@@ -57,7 +57,9 @@ class TestScenarios:
 
 class TestFigures:
     def test_fig1_series(self, quick_cfg):
-        trace = generate_trace(quick_cfg, seed=0)
+        # Seed chosen so the interval max genuinely exceeds the sampled
+        # max on queue 2 (for some seeds the peak lands on a sample).
+        trace = generate_trace(quick_cfg, seed=3)
         data = fig1_data(trace, queue=2, interval=50)
         assert len(data.fine_qlen) == len(data.periodic_samples) * 50
         assert (data.max_per_interval >= data.periodic_samples).all()

@@ -1,0 +1,104 @@
+"""Parallel fan-out: determinism, serial equivalence, cache composition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import (
+    derive_seeds,
+    generate_dataset,
+    generate_datasets,
+    generate_trace,
+    generate_traces,
+    quick_scenario,
+    simulate_jobs,
+)
+from repro.switchsim import Simulation, TraceCache
+
+FIELDS = ("qlen", "qlen_max", "received", "sent", "dropped", "delay_sum", "buffer_occupancy")
+
+
+def small_scenario():
+    """quick_scenario shrunk further: multi-process tests stay fast."""
+    cfg = quick_scenario()
+    return cfg.__class__(**{**cfg.__dict__, "duration_bins": 600})
+
+
+def assert_traces_equal(a, b):
+    for field in FIELDS:
+        assert (getattr(a, field) == getattr(b, field)).all(), field
+
+
+class TestDeriveSeeds:
+    def test_deterministic_and_prefix_stable(self):
+        seeds = derive_seeds(123, 4)
+        assert seeds == derive_seeds(123, 4)
+        assert derive_seeds(123, 8)[:4] == seeds
+        assert len(set(seeds)) == 4
+        assert derive_seeds(124, 4) != seeds
+
+    def test_empty(self):
+        assert derive_seeds(0, 0) == []
+
+
+class TestParallelGeneration:
+    def test_parallel_equals_serial(self):
+        cfg = small_scenario()
+        seeds = derive_seeds(7, 3)
+        parallel = generate_traces(cfg, seeds, workers=2)
+        for seed, trace in zip(seeds, parallel):
+            assert_traces_equal(trace, generate_trace(cfg, seed=seed))
+
+    def test_serial_inprocess_path(self):
+        cfg = small_scenario()
+        seeds = derive_seeds(7, 2)
+        assert_traces_equal(
+            generate_traces(cfg, seeds, workers=1)[0],
+            generate_trace(cfg, seed=seeds[0]),
+        )
+
+    def test_multi_scenario_jobs_preserve_order(self):
+        small = small_scenario()
+        tiny = small.__class__(**{**small.__dict__, "duration_bins": 300})
+        jobs = [(small, 1), (tiny, 2), (small, 3)]
+        traces = simulate_jobs(jobs, workers=2)
+        assert [t.num_bins for t in traces] == [600, 300, 600]
+        assert_traces_equal(traces[1], generate_trace(tiny, seed=2))
+
+    def test_cache_composition_zero_steps_on_rerun(self, tmp_path, monkeypatch):
+        cfg = small_scenario()
+        seeds = derive_seeds(11, 3)
+        cache = TraceCache(tmp_path)
+        cold = generate_traces(cfg, seeds, workers=2, cache=cache)
+        assert cache.stores == 3
+
+        def boom(self, num_bins):
+            raise AssertionError("simulation ran despite warm cache")
+
+        monkeypatch.setattr(Simulation, "run", boom)
+        warm = generate_traces(cfg, seeds, workers=2, cache=cache)
+        assert cache.hits == 3
+        for a, b in zip(cold, warm):
+            assert_traces_equal(a, b)
+
+    def test_partial_cache_only_simulates_misses(self, tmp_path):
+        cfg = small_scenario()
+        seeds = derive_seeds(21, 3)
+        cache = TraceCache(tmp_path)
+        generate_traces(cfg, seeds[:1], workers=1, cache=cache)
+        traces = generate_traces(cfg, seeds, workers=1, cache=cache)
+        # 1 old miss + 1 hit + 2 new misses; all three slots filled.
+        assert cache.hits == 1 and cache.misses == 3
+        assert len(traces) == 3 and all(t is not None for t in traces)
+
+    def test_generate_datasets_matches_generate_dataset(self):
+        cfg = quick_scenario()
+        seeds = derive_seeds(31, 2)
+        fanned = generate_datasets(cfg, seeds, workers=2)
+        for seed, splits in zip(seeds, fanned):
+            expected = generate_dataset(cfg, seed=seed)
+            for got, want in zip(splits, expected):
+                assert len(got) == len(want)
+                for s_got, s_want in zip(got.samples, want.samples):
+                    assert s_got.window_start == s_want.window_start
+                    assert (s_got.target_raw == s_want.target_raw).all()

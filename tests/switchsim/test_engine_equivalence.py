@@ -1,0 +1,323 @@
+"""Array engine ≡ reference engine, bit for bit.
+
+The vectorized :class:`ArraySwitchEngine` is only admissible because it
+reproduces the reference :class:`OutputQueuedSwitch` loop exactly — same
+admission order, same scheduler decisions, same RNG consumption.  These
+property tests drive both engines with independently constructed but
+identically seeded traffic over randomised switch configurations and
+require every trace field to match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switchsim import (
+    ArraySwitchEngine,
+    EngineUnsupported,
+    Simulation,
+    StrictPriorityScheduler,
+    SwitchConfig,
+)
+from repro.switchsim.scheduler import DeficitRoundRobinScheduler
+from repro.traffic import (
+    CompositeTraffic,
+    IncastTraffic,
+    OnOffTraffic,
+    PoissonFlowTraffic,
+    ScriptedTraffic,
+)
+from repro.traffic.distributions import FixedSizes, WebsearchSizes
+
+TRACE_FIELDS = (
+    "qlen",
+    "qlen_max",
+    "received",
+    "sent",
+    "dropped",
+    "delay_sum",
+    "buffer_occupancy",
+)
+
+
+def assert_traces_equal(a, b):
+    for field in TRACE_FIELDS:
+        left, right = getattr(a, field), getattr(b, field)
+        assert left.shape == right.shape, field
+        assert (left == right).all(), f"trace field {field!r} diverged"
+
+
+def random_config(rng: np.random.Generator) -> SwitchConfig:
+    from repro.switchsim import RoundRobinScheduler
+
+    scheduler = [RoundRobinScheduler, StrictPriorityScheduler][int(rng.integers(2))]
+    queues_per_port = int(rng.integers(1, 4))
+    alphas = tuple(
+        float(rng.uniform(0.2, 2.0)) for _ in range(queues_per_port)
+    )
+    return SwitchConfig(
+        num_ports=int(rng.integers(1, 5)),
+        queues_per_port=queues_per_port,
+        buffer_capacity=int(rng.integers(10, 120)),
+        alphas=alphas,
+        scheduler_factory=scheduler,
+    )
+
+
+def random_traffic(rng: np.random.Generator, config: SwitchConfig, seed: int):
+    """A randomly chosen generator, deterministically built from ``seed``.
+
+    Called twice with the same arguments to hand each engine its own
+    identically seeded (hence identically consuming) traffic instance.
+    """
+    num_ports = config.num_ports
+    hi_class = min(1, config.queues_per_port - 1)
+    class_weights = (1.0,) * config.queues_per_port
+    kind = int(rng.integers(4))
+    if kind == 0:
+        return PoissonFlowTraffic(
+            num_sources=int(rng.integers(2, 10)),
+            num_ports=num_ports,
+            flows_per_step=float(rng.uniform(0.02, 0.4)),
+            sizes=WebsearchSizes() if rng.integers(2) else FixedSizes(int(rng.integers(1, 6))),
+            class_weights=class_weights,
+            seed=seed,
+        )
+    if kind == 1:
+        return IncastTraffic(
+            fan_in=int(rng.integers(2, 8)),
+            burst_size=int(rng.integers(2, 30)),
+            period=int(rng.integers(10, 60)),
+            dst_port=int(rng.integers(num_ports)),
+            qclass=hi_class,
+            jitter=int(rng.integers(0, 12)),
+            seed=seed,
+        )
+    if kind == 2:
+        script_rng = np.random.default_rng(seed)
+        script = {
+            int(step): [
+                (int(script_rng.integers(num_ports)), int(script_rng.integers(config.queues_per_port)))
+                for _ in range(int(script_rng.integers(1, 5)))
+            ]
+            for step in script_rng.integers(0, 200, size=20)
+        }
+        return ScriptedTraffic(script)
+    return CompositeTraffic(
+        [
+            PoissonFlowTraffic(
+                num_sources=int(rng.integers(2, 6)),
+                num_ports=num_ports,
+                flows_per_step=float(rng.uniform(0.02, 0.2)),
+                sizes=FixedSizes(int(rng.integers(1, 5))),
+                class_weights=class_weights,
+                seed=seed,
+            ),
+            IncastTraffic(
+                fan_in=int(rng.integers(2, 5)),
+                burst_size=int(rng.integers(2, 15)),
+                period=int(rng.integers(15, 50)),
+                dst_port=int(rng.integers(num_ports)),
+                qclass=hi_class,
+                jitter=int(rng.integers(0, 8)),
+                seed=seed + 1,
+            ),
+        ]
+    )
+
+
+def run_both(config, make_traffic, num_bins, steps_per_bin):
+    ref = Simulation(
+        config, make_traffic(), steps_per_bin=steps_per_bin, engine="reference"
+    ).run(num_bins)
+    arr = Simulation(
+        config, make_traffic(), steps_per_bin=steps_per_bin, engine="array"
+    ).run(num_bins)
+    return ref, arr
+
+
+class TestEngineEquivalence:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_scenarios_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        config = random_config(rng)
+        traffic_seed = int(rng.integers(2**31))
+        state = rng.bit_generator.state
+
+        def make_traffic():
+            # Restore the state so both calls draw identical parameters.
+            rng.bit_generator.state = state
+            return random_traffic(rng, config, traffic_seed)
+
+        steps_per_bin = int(np.random.default_rng(seed + 1).integers(1, 20))
+        ref, arr = run_both(config, make_traffic, num_bins=30, steps_per_bin=steps_per_bin)
+        assert_traces_equal(ref, arr)
+
+    def test_paper_scenario_bit_identical(self):
+        from repro.eval.scenarios import build_traffic, quick_scenario
+
+        cfg = quick_scenario()
+        ref, arr = run_both(
+            cfg.switch_config(),
+            lambda: build_traffic(cfg, seed=7),
+            num_bins=200,
+            steps_per_bin=cfg.steps_per_bin,
+        )
+        assert_traces_equal(ref, arr)
+
+    def test_multiple_run_calls_keep_state(self):
+        """run() twice on one Simulation == one longer run, both engines."""
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+
+        def traffic():
+            return PoissonFlowTraffic(
+                num_sources=4, num_ports=2, flows_per_step=0.5,
+                sizes=FixedSizes(3), seed=11,
+            )
+
+        for engine in ("reference", "array"):
+            whole = Simulation(config, traffic(), steps_per_bin=8, engine=engine).run(40)
+            sim = Simulation(config, traffic(), steps_per_bin=8, engine=engine)
+            first, second = sim.run(15), sim.run(25)
+            for field in TRACE_FIELDS:
+                joined = np.concatenate(
+                    [getattr(first, field), getattr(second, field)], axis=-1
+                )
+                assert (joined == getattr(whole, field)).all(), (engine, field)
+
+
+class TestEngineSupport:
+    def test_drr_unsupported(self):
+        config = SwitchConfig(
+            num_ports=2,
+            queues_per_port=2,
+            buffer_capacity=40,
+            scheduler_factory=lambda: DeficitRoundRobinScheduler([2, 1]),
+        )
+        assert not ArraySwitchEngine.supports(config)
+        traffic = ScriptedTraffic({0: [(0, 0)]})
+        with pytest.raises(EngineUnsupported):
+            Simulation(config, traffic, steps_per_bin=4, engine="array")
+
+    def test_auto_falls_back_to_reference_for_drr(self):
+        config = SwitchConfig(
+            num_ports=2,
+            queues_per_port=2,
+            buffer_capacity=40,
+            scheduler_factory=lambda: DeficitRoundRobinScheduler([2, 1]),
+        )
+        sim = Simulation(config, ScriptedTraffic({0: [(0, 0)]}), steps_per_bin=4)
+        assert sim.engine == "reference"
+        sim.run(4)  # still simulates fine
+
+    def test_auto_picks_array_when_supported(self):
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+        sim = Simulation(config, ScriptedTraffic({}), steps_per_bin=4)
+        assert sim.engine == "array"
+
+    def test_non_batchable_traffic_still_identical(self):
+        """Generators without arrivals_batch run via the per-step fallback."""
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+
+        def make_traffic():
+            return OnOffTraffic(
+                num_sources=5, num_ports=2, p_on=0.2, p_off=0.3, seed=13
+            )
+
+        assert not make_traffic().can_batch()
+        ref, arr = run_both(config, make_traffic, num_bins=50, steps_per_bin=8)
+        assert_traces_equal(ref, arr)
+
+    def test_shared_rng_composite_declines_batching(self):
+        """Children sharing one Generator must not batch (stream interleaving)."""
+        shared = np.random.default_rng(3)
+        composite = CompositeTraffic(
+            [
+                PoissonFlowTraffic(
+                    num_sources=3, num_ports=2, flows_per_step=0.2,
+                    sizes=FixedSizes(2), seed=shared,
+                ),
+                IncastTraffic(
+                    fan_in=2, burst_size=5, period=20, dst_port=1,
+                    jitter=4, seed=shared,
+                ),
+            ]
+        )
+        assert not composite.can_batch()
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+
+        def make_traffic():
+            rng = np.random.default_rng(3)
+            return CompositeTraffic(
+                [
+                    PoissonFlowTraffic(
+                        num_sources=3, num_ports=2, flows_per_step=0.2,
+                        sizes=FixedSizes(2), seed=rng,
+                    ),
+                    IncastTraffic(
+                        fan_in=2, burst_size=5, period=20, dst_port=1,
+                        jitter=4, seed=rng,
+                    ),
+                ]
+            )
+
+        ref, arr = run_both(config, make_traffic, num_bins=40, steps_per_bin=8)
+        assert_traces_equal(ref, arr)
+
+
+class TestBatchedArrivals:
+    """arrivals_batch must replay arrivals() exactly, including RNG state."""
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_poisson_batch_matches_per_step(self, seed):
+        num_steps = 400
+        serial = PoissonFlowTraffic(
+            num_sources=5, num_ports=3, flows_per_step=0.3,
+            sizes=WebsearchSizes(), seed=seed,
+        )
+        batched = PoissonFlowTraffic(
+            num_sources=5, num_ports=3, flows_per_step=0.3,
+            sizes=WebsearchSizes(), seed=seed,
+        )
+        expected = []
+        for step in range(num_steps):
+            for packet in serial.arrivals(step):
+                expected.append((step, packet.dst_port, packet.qclass))
+        steps, dsts, qclasses = batched.arrivals_batch(0, num_steps)
+        got = list(zip(steps.tolist(), dsts.tolist(), qclasses.tolist()))
+        assert got == expected
+        assert (
+            serial._rng.bit_generator.state == batched._rng.bit_generator.state
+        )
+
+    def test_batch_then_per_step_continues_stream(self):
+        """Mixing batch and per-step consumption keeps the same bitstream."""
+        serial = IncastTraffic(
+            fan_in=3, burst_size=6, period=25, dst_port=0, jitter=5, seed=9
+        )
+        mixed = IncastTraffic(
+            fan_in=3, burst_size=6, period=25, dst_port=0, jitter=5, seed=9
+        )
+        expected = []
+        for step in range(300):
+            for packet in serial.arrivals(step):
+                expected.append((step, packet.dst_port, packet.qclass))
+        steps, dsts, qclasses = mixed.arrivals_batch(0, 120)
+        got = list(zip(steps.tolist(), dsts.tolist(), qclasses.tolist()))
+        for step in range(120, 180):
+            for packet in mixed.arrivals(step):
+                got.append((step, packet.dst_port, packet.qclass))
+        s2, d2, q2 = mixed.arrivals_batch(180, 120)
+        got += list(zip(s2.tolist(), d2.tolist(), q2.tolist()))
+        assert got == expected
+
+    def test_batch_requires_contiguous_steps(self):
+        traffic = ScriptedTraffic({0: [(0, 0)]})
+        traffic.arrivals_batch(0, 10)
+        with pytest.raises(ValueError):
+            traffic.arrivals_batch(20, 10)  # gap: steps 10..19 skipped
