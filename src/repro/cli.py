@@ -37,7 +37,11 @@ def cmd_simulate(args) -> int:
 
     scenario = _scenario(args)
     trace = generate_trace(
-        scenario, seed=args.seed, cache=args.cache, engine=args.engine
+        scenario,
+        seed=args.seed,
+        cache=args.cache,
+        engine=args.engine,
+        selfcheck=args.selfcheck,
     )
     save_trace(trace, args.out)
     print(
@@ -76,7 +80,7 @@ def cmd_impute(args) -> int:
     from repro.nn.serialization import load_module
 
     scenario = _scenario(args)
-    train, _, test = generate_dataset(scenario, seed=args.seed)
+    train, _, test = generate_dataset(scenario, seed=args.seed, selfcheck=args.selfcheck)
     table_config = Table1Config(scenario=scenario, seed=args.seed)
     model = TransformerImputer(
         TransformerConfig(
@@ -97,6 +101,10 @@ def cmd_impute(args) -> int:
     mae_total = 0.0
     for sample in test.samples:
         imputed = enforcer.enforce(model.impute(sample), sample)
+        if args.selfcheck:
+            from repro.testing.selfcheck import selfcheck_enforced
+
+            selfcheck_enforced(imputed, sample, test.switch_config)
         report = check_constraints(imputed, sample, test.switch_config)
         satisfied += report.satisfied
         mae_total += float(np.abs(imputed - sample.target_raw).mean())
@@ -113,7 +121,12 @@ def cmd_table1(args) -> int:
 
     scenario = _scenario(args)
     config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
-    result = run_table1(config)
+    datasets = None
+    if args.selfcheck:
+        from repro.eval.scenarios import generate_dataset
+
+        datasets = generate_dataset(scenario, seed=args.seed, selfcheck=True)
+    result = run_table1(config, datasets=datasets)
     print(result.render())
     print()
     for key, value in result.improvement_over_transformer().items():
@@ -177,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", choices=("paper", "quick"), default="quick")
         p.add_argument("--seed", type=int, default=0)
 
+    def selfcheckable(p):
+        p.add_argument(
+            "--selfcheck",
+            action="store_true",
+            help="run the invariant oracles inline; violations abort with a "
+            "serialized repro (off by default)",
+        )
+
     p = sub.add_parser("simulate", help="simulate a switch trace")
     common(p)
     p.add_argument("--duration", type=int, help="fine bins to simulate")
@@ -192,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         help="trace cache directory; re-runs skip simulation entirely",
     )
+    selfcheckable(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train the transformer imputer")
@@ -204,11 +226,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("impute", help="impute the test split with a trained model")
     common(p)
     p.add_argument("--model", type=Path, required=True)
+    selfcheckable(p)
     p.set_defaults(func=cmd_impute)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     common(p)
     p.add_argument("--epochs", type=int, default=10)
+    selfcheckable(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("verify", help="audit a trained model against C1-C3")
@@ -233,9 +257,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Domain errors (infeasible CEM input, unsupported engine, a bad
+    ``--cache`` path, self-check violations) are reported on stderr with a
+    non-zero exit code instead of a traceback.
+    """
+    from repro.imputation.cem import CEMInfeasibleError
+    from repro.switchsim.engine import EngineUnsupported
+    from repro.testing.selfcheck import SelfCheckError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CEMInfeasibleError as exc:
+        print(f"error: constraint enforcement infeasible: {exc}", file=sys.stderr)
+        return 2
+    except SelfCheckError as exc:
+        print(f"error: self-check violation: {exc}", file=sys.stderr)
+        return 3
+    except EngineUnsupported as exc:
+        print(
+            f"error: --engine array cannot reproduce this configuration: {exc}\n"
+            "hint: use --engine auto (falls back) or --engine reference",
+            file=sys.stderr,
+        )
+        return 2
+    except NotADirectoryError as exc:
+        print(
+            f"error: --cache must point to a directory: {exc}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":

@@ -152,6 +152,7 @@ def generate_trace(
     seed: RngLike = 0,
     cache: CacheLike = None,
     engine: str = "auto",
+    selfcheck: bool = False,
 ) -> SimulationTrace:
     """Simulate the scenario and return the fine-grained ground truth.
 
@@ -160,22 +161,40 @@ def generate_trace(
     cached re-run of an unchanged scenario performs zero simulation
     steps.  Caching requires an integer ``seed`` (a generator object's
     stream position is not hashable state); generator seeds bypass it.
+
+    With ``selfcheck=True`` the invariant oracles run on the trace —
+    including cache hits, so a corrupted cache entry is caught too.  On
+    violation the raised :class:`~repro.testing.selfcheck.SelfCheckError`
+    embeds the scenario parameters and seed as a serialized repro.
     """
     check_positive("duration_bins", config.duration_bins)
     cache = _coerce_cache(cache)
     cacheable = isinstance(seed, (int, np.integer))
     params = trace_cache_params(config, int(seed)) if cacheable else None
+
+    def checked(trace: SimulationTrace, source: str) -> SimulationTrace:
+        if selfcheck:
+            from repro.testing.selfcheck import selfcheck_trace
+
+            repro = params if params is not None else {
+                "kind": "scenario_trace",
+                "scenario": asdict(config),
+                "seed": repr(seed),
+            }
+            selfcheck_trace(trace, repro={**repro, "source": source})
+        return trace
+
     if cache is not None and cacheable:
         cached = cache.get(params)
         if cached is not None:
-            return cached
+            return checked(cached, "cache")
     simulation = Simulation(
         config.switch_config(),
         build_traffic(config, seed=seed),
         steps_per_bin=config.steps_per_bin,
         engine=engine,
     )
-    trace = simulation.run(config.duration_bins)
+    trace = checked(simulation.run(config.duration_bins), "simulation")
     if cache is not None and cacheable:
         cache.put(params, trace)
     return trace
@@ -199,8 +218,11 @@ def generate_dataset(
     seed: RngLike = 0,
     cache: CacheLike = None,
     engine: str = "auto",
+    selfcheck: bool = False,
 ) -> tuple[TelemetryDataset, TelemetryDataset, TelemetryDataset]:
     """Simulate, window, and split into (train, val, test) datasets."""
     config = config if config is not None else paper_scenario()
-    trace = generate_trace(config, seed=seed, cache=cache, engine=engine)
+    trace = generate_trace(
+        config, seed=seed, cache=cache, engine=engine, selfcheck=selfcheck
+    )
     return dataset_from_trace(config, trace, seed=seed)

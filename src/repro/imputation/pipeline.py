@@ -22,10 +22,17 @@ from repro.utils.rng import RngLike
 
 @dataclass
 class PipelineConfig:
-    """Configuration for the full imputation pipeline."""
+    """Configuration for the full imputation pipeline.
+
+    ``selfcheck`` re-verifies every CEM-corrected window against the
+    exactness oracle (C1–C3 satisfied, sampled bins pinned, non-negative)
+    and raises :class:`~repro.testing.selfcheck.SelfCheckError` with a
+    window-level repro on violation; off by default.
+    """
 
     use_kal: bool = True
     use_cem: bool = True
+    selfcheck: bool = False
     model: dict = field(default_factory=dict)  # overrides for TransformerConfig
     trainer: dict = field(default_factory=dict)  # overrides for TrainerConfig
 
@@ -74,7 +81,17 @@ class ImputationPipeline(Imputer):
         raw = self.model.impute(sample)
         if not self.config.use_cem:
             return raw
-        return self.enforcer.enforce(raw, sample)
+        corrected = self.enforcer.enforce(raw, sample)
+        if self.config.selfcheck:
+            from repro.testing.selfcheck import selfcheck_enforced
+
+            selfcheck_enforced(
+                corrected,
+                sample,
+                self.enforcer.config,
+                repro={"use_kal": self.config.use_kal},
+            )
+        return corrected
 
     def impute_raw(self, sample: ImputationSample) -> np.ndarray:
         """The transformer's output before constraint enforcement."""

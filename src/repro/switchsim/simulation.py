@@ -116,6 +116,14 @@ class Simulation:
 
     Both engines produce bit-identical :class:`SimulationTrace`s (asserted
     by the equivalence property tests), so the choice only affects speed.
+
+    With ``selfcheck=True`` every produced trace additionally runs the
+    invariant oracles of :mod:`repro.testing.oracles` (packet
+    conservation, buffer occupancy, Dynamic-Threshold bound, work
+    conservation); a violation raises :class:`~repro.testing.selfcheck.
+    SelfCheckError` carrying a serialized repro.  Off by default — the
+    oracles are vectorised and cheap, but production sweeps should opt in
+    deliberately.
     """
 
     def __init__(
@@ -124,6 +132,7 @@ class Simulation:
         traffic: "TrafficGenerator",
         steps_per_bin: int = 16,
         engine: str = "auto",
+        selfcheck: bool = False,
     ):
         check_positive("steps_per_bin", steps_per_bin)
         if engine not in ("auto", "array", "reference"):
@@ -133,6 +142,7 @@ class Simulation:
         self.config = config
         self.traffic = traffic
         self.steps_per_bin = int(steps_per_bin)
+        self.selfcheck = bool(selfcheck)
         self.switch = OutputQueuedSwitch(config)
         from repro.switchsim.engine import ArraySwitchEngine  # deferred: cycle
 
@@ -143,11 +153,36 @@ class Simulation:
             ArraySwitchEngine(config) if engine == "array" else None
         )
 
+    def _selfcheck_trace(self, trace: SimulationTrace, initial_qlen) -> None:
+        from repro.testing.selfcheck import selfcheck_trace  # deferred: cycle
+
+        selfcheck_trace(
+            trace,
+            repro={
+                "engine": self.engine,
+                "steps_per_bin": self.steps_per_bin,
+                "num_bins": trace.num_bins,
+                "num_ports": self.config.num_ports,
+                "queues_per_port": self.config.queues_per_port,
+                "buffer_capacity": self.config.buffer_capacity,
+                "alphas": list(self.config.alphas),
+                "traffic": repr(self.traffic),
+            },
+            initial_qlen=initial_qlen,
+        )
+
     def run(self, num_bins: int) -> SimulationTrace:
         """Simulate ``num_bins`` fine-grained bins and return the trace."""
         check_positive("num_bins", num_bins)
         if self._array_engine is not None:
-            return self._array_engine.run(self.traffic, num_bins, self.steps_per_bin)
+            initial_qlen = (
+                self._array_engine.queue_lengths() if self.selfcheck else None
+            )
+            trace = self._array_engine.run(self.traffic, num_bins, self.steps_per_bin)
+            if self.selfcheck:
+                self._selfcheck_trace(trace, initial_qlen)
+            return trace
+        initial_qlen = self.switch.queue_lengths() if self.selfcheck else None
         cfg = self.config
         steps = self.steps_per_bin
         qlen = np.zeros((cfg.num_queues, num_bins), dtype=np.int64)
@@ -185,4 +220,6 @@ class Simulation:
             buffer_occupancy=occupancy,
         )
         trace.validate()
+        if self.selfcheck:
+            self._selfcheck_trace(trace, initial_qlen)
         return trace

@@ -1,0 +1,357 @@
+"""Differential harnesses: fast implementations vs their reference twins.
+
+Each harness takes one serializable case (:mod:`repro.testing.strategies`)
+and returns ``None`` when the implementations agree, or a human-readable
+detail string describing the first divergence:
+
+* :func:`diff_engines` — :class:`~repro.switchsim.engine.ArraySwitchEngine`
+  vs the reference per-packet :class:`~repro.switchsim.switch.
+  OutputQueuedSwitch` loop, compared bit-for-bit on every trace field
+  (plus the invariant oracles on the reference trace, so a bug shared by
+  both engines still surfaces);
+* :func:`diff_cem` — the combinatorial :class:`~repro.imputation.cem.
+  ConstraintEnforcer` vs the :class:`~repro.fm.cem_milp.MilpCem`
+  reference: both must agree on feasibility, both outputs must satisfy
+  C1–C3, and the L1 correction costs must match (both projections are
+  optimal, so equal cost is the equivalence criterion — the argmin need
+  not be unique);
+* :func:`diff_simplex` — the native two-phase simplex + branch-and-bound
+  vs exhaustive enumeration over small all-integer domains.
+
+:func:`run_fuzz` drives the three harnesses over seeded random cases and
+greedily minimizes every discrepancy before reporting it; the nightly CI
+job is a thin wrapper around it (:mod:`repro.testing.fuzz`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.testing.minimize import minimize_case
+from repro.testing.oracles import OracleViolation, check_trace_invariants
+from repro.testing.strategies import (
+    SHRINKERS,
+    CemCase,
+    EngineCase,
+    LpCase,
+    random_cem_case,
+    random_engine_case,
+    random_lp_case,
+)
+
+#: Trace fields compared bit-for-bit by the engine harness.
+TRACE_FIELDS = (
+    "qlen",
+    "qlen_max",
+    "received",
+    "sent",
+    "dropped",
+    "delay_sum",
+    "buffer_occupancy",
+)
+
+
+def compare_traces(reference, candidate) -> str | None:
+    """First field where two traces differ, or None when bit-identical."""
+    for name in TRACE_FIELDS:
+        left = getattr(reference, name)
+        right = getattr(candidate, name)
+        if left.shape != right.shape:
+            return f"{name}: shape {left.shape} vs {right.shape}"
+        diff = np.nonzero(left != right)
+        if diff[0].size:
+            where = tuple(int(d[0]) for d in diff)
+            return (
+                f"{name}{list(where)}: reference {left[where]} vs "
+                f"candidate {right[where]}"
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Harnesses
+# ----------------------------------------------------------------------
+def diff_engines(case: EngineCase) -> str | None:
+    """Array engine vs reference loop on one randomized configuration."""
+    from repro.switchsim.simulation import Simulation
+
+    config = case.switch_config()
+    reference = Simulation(
+        config, case.build_traffic(), steps_per_bin=case.steps_per_bin,
+        engine="reference",
+    ).run(case.num_bins)
+    candidate = Simulation(
+        config, case.build_traffic(), steps_per_bin=case.steps_per_bin,
+        engine="array",
+    ).run(case.num_bins)
+    detail = compare_traces(reference, candidate)
+    if detail is not None:
+        return detail
+    try:
+        check_trace_invariants(reference)
+    except OracleViolation as violation:
+        return f"shared invariant violation: {violation}"
+    return None
+
+
+def diff_cem(case: CemCase) -> str | None:
+    """Combinatorial CEM vs the MILP reference on one tiny window."""
+    from repro.fm.cem_milp import MilpCem
+    from repro.imputation.cem import CEMInfeasibleError, ConstraintEnforcer
+    from repro.testing.oracles import check_cem_exactness
+
+    sample, imputed = case.build()
+    config = case.switch_config()
+    enforcer = ConstraintEnforcer(config)
+    milp = MilpCem(config, lp_backend="scipy")
+
+    try:
+        greedy = enforcer.enforce(imputed, sample)
+    except CEMInfeasibleError as error:
+        reference = milp.enforce(imputed, sample)
+        if reference.status == "sat":
+            return (
+                f"greedy CEM declared infeasible ({error}) but the MILP found "
+                f"a projection with objective {reference.objective:.6g}"
+            )
+        return None  # both infeasible: agreement
+
+    try:
+        check_cem_exactness(greedy, sample, config)
+    except OracleViolation as violation:
+        return f"greedy output inexact: {violation}"
+
+    reference = milp.enforce(imputed, sample)
+    if reference.status != "sat":
+        return f"greedy CEM succeeded but the MILP reported {reference.status}"
+    try:
+        check_cem_exactness(reference.corrected, sample, config)
+    except OracleViolation as violation:
+        return f"MILP output inexact: {violation}"
+
+    greedy_cost = enforcer.correction_cost(imputed, greedy, sample)
+    if abs(greedy_cost - reference.objective) > 1e-6:
+        return (
+            f"correction cost diverged: greedy {greedy_cost:.6g} vs "
+            f"MILP optimum {reference.objective:.6g}"
+        )
+    return None
+
+
+def _lp_case_formulas(case: LpCase):
+    from repro.smt import IntVar, Sum
+
+    variables = [IntVar(f"x{i}", 0, d) for i, d in enumerate(case.domains)]
+    formulas = []
+    for constraint in case.constraints:
+        expr = Sum(c * v for c, v in zip(constraint["coeffs"], variables))
+        if constraint["sense"] == "<=":
+            formulas.append(expr <= constraint["rhs"])
+        elif constraint["sense"] == ">=":
+            formulas.append(expr >= constraint["rhs"])
+        else:
+            formulas.append(expr.eq(constraint["rhs"]))
+    objective = Sum(c * v for c, v in zip(case.objective, variables))
+    return variables, formulas, objective
+
+
+def _lp_case_brute_force(case: LpCase) -> int | None:
+    """Optimal objective value by exhaustive enumeration, None if unsat."""
+    best = None
+    for values in itertools.product(*(range(d + 1) for d in case.domains)):
+        feasible = True
+        for constraint in case.constraints:
+            total = sum(c * v for c, v in zip(constraint["coeffs"], values))
+            if constraint["sense"] == "<=" and total > constraint["rhs"]:
+                feasible = False
+            elif constraint["sense"] == ">=" and total < constraint["rhs"]:
+                feasible = False
+            elif constraint["sense"] == "==" and total != constraint["rhs"]:
+                feasible = False
+            if not feasible:
+                break
+        if feasible:
+            score = sum(c * v for c, v in zip(case.objective, values))
+            best = score if best is None else min(best, score)
+    return best
+
+
+def diff_simplex(case: LpCase) -> str | None:
+    """Native simplex + branch-and-bound vs brute-force enumeration."""
+    from repro.smt import Solver
+
+    variables, formulas, objective = _lp_case_formulas(case)
+    brute = _lp_case_brute_force(case)
+
+    solver = Solver(lp_backend="native")
+    solver.add(*formulas)
+    result = solver.minimize(objective)
+
+    if brute is None:
+        return None if result.status == "unsat" else (
+            f"enumeration says unsat but solver returned {result.status}"
+        )
+    if not result.is_sat:
+        return f"enumeration found optimum {brute} but solver returned {result.status}"
+    if abs(result.objective - brute) > 1e-6:
+        return (
+            f"objective diverged: solver {result.objective:.6g} vs "
+            f"enumeration {brute}"
+        )
+    model = {v: result.model[v] for v in variables}
+    for value, domain in zip(model.values(), case.domains):
+        if not (-1e-6 <= value <= domain + 1e-6):
+            return f"solver model value {value} outside domain [0, {domain}]"
+    return None
+
+
+#: harness name -> (diff function, random case factory)
+HARNESSES: dict[str, tuple[Callable, Callable]] = {
+    "engine": (diff_engines, random_engine_case),
+    "cem": (diff_cem, random_cem_case),
+    "lp": (diff_simplex, random_lp_case),
+}
+
+_CASE_TYPES = {"engine": EngineCase, "cem": CemCase, "lp": LpCase}
+
+
+# ----------------------------------------------------------------------
+# Fuzz driver
+# ----------------------------------------------------------------------
+@dataclass
+class Discrepancy:
+    """One confirmed divergence, with its minimized repro."""
+
+    harness: str
+    detail: str
+    case: dict  # minimized case, serialized
+    original_case: dict
+
+    def render(self) -> str:
+        return (
+            f"[{self.harness}] {self.detail}\n"
+            f"repro: {json.dumps(self.case, sort_keys=True)}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run: cases executed and discrepancies found."""
+
+    cases_run: dict[str, int] = field(default_factory=dict)
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+
+    @property
+    def total_cases(self) -> int:
+        return sum(self.cases_run.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    def summary(self) -> str:
+        per_harness = ", ".join(f"{k}={v}" for k, v in sorted(self.cases_run.items()))
+        status = "OK" if self.ok else f"{len(self.discrepancies)} DISCREPANCIES"
+        return f"fuzz: {self.total_cases} cases ({per_harness}) — {status}"
+
+
+def _minimized(harness: str, diff: Callable, case) -> Discrepancy:
+    detail = diff(case)
+
+    def still_fails(candidate) -> bool:
+        try:
+            return diff(candidate) is not None
+        except Exception:
+            # A shrunk case that crashes outright is a *different* bug;
+            # don't chase it while minimizing this one.
+            return False
+
+    small = minimize_case(case, still_fails, SHRINKERS[type(case)])
+    return Discrepancy(
+        harness=harness,
+        detail=diff(small) or detail,
+        case=small.to_dict(),
+        original_case=case.to_dict(),
+    )
+
+
+def run_fuzz(
+    seed: int = 0,
+    engine_cases: int = 0,
+    cem_cases: int = 0,
+    lp_cases: int = 0,
+    minimize: bool = True,
+    max_discrepancies: int = 5,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run the differential harnesses over seeded random cases.
+
+    Deterministic given ``seed`` and the case counts.  Stops collecting
+    after ``max_discrepancies`` failures (minimization dominates the cost
+    of a failing run).
+    """
+    report = FuzzReport()
+    budgets = {"engine": engine_cases, "cem": cem_cases, "lp": lp_cases}
+    streams = {"engine": 1, "cem": 2, "lp": 3}  # stable sub-stream ids
+    for harness, budget in budgets.items():
+        diff, make_case = HARNESSES[harness]
+        rng = np.random.default_rng([seed, streams[harness]])
+        for index in range(budget):
+            case = make_case(rng)
+            detail = diff(case)
+            report.cases_run[harness] = report.cases_run.get(harness, 0) + 1
+            if detail is not None:
+                if minimize:
+                    report.discrepancies.append(_minimized(harness, diff, case))
+                else:
+                    report.discrepancies.append(
+                        Discrepancy(harness, detail, case.to_dict(), case.to_dict())
+                    )
+                if log:
+                    log(f"{harness} case {index}: {detail}")
+                if len(report.discrepancies) >= max_discrepancies:
+                    return report
+            elif log and (index + 1) % 25 == 0:
+                log(f"{harness}: {index + 1}/{budget} cases clean")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Seed corpus
+# ----------------------------------------------------------------------
+def replay_corpus(path: str | Path) -> FuzzReport:
+    """Re-run every case in a corpus file (see ``tests/corpus/``).
+
+    The corpus pins previously interesting configurations — near-boundary
+    buffer sizes, single-port switches, degenerate traffic — so refactors
+    are always exercised against them before the random sweep.
+    """
+    data = json.loads(Path(path).read_text())
+    report = FuzzReport()
+    for harness, cases in data.items():
+        diff, _ = HARNESSES[harness]
+        case_type = _CASE_TYPES[harness]
+        for entry in cases:
+            case = case_type.from_dict(entry)
+            detail = diff(case)
+            report.cases_run[harness] = report.cases_run.get(harness, 0) + 1
+            if detail is not None:
+                report.discrepancies.append(
+                    Discrepancy(harness, detail, case.to_dict(), case.to_dict())
+                )
+    return report
+
+
+def write_corpus(path: str | Path, cases: dict[str, Sequence]) -> None:
+    """Serialize a harness->cases mapping as a corpus file."""
+    payload = {
+        harness: [case.to_dict() for case in entries]
+        for harness, entries in cases.items()
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,44 @@
+"""Content fingerprints of simulation traces for golden regression tests.
+
+PR 1 changed ``build_traffic``'s RNG stream layout (``TRAFFIC_REV`` 1→2)
+and every per-seed dataset silently changed with it.  The golden tests pin
+the current streams: a few tiny scenarios are simulated and their traces
+hashed; any future refactor that alters the generated data — intentionally
+or not — fails the comparison and must bump ``TRAFFIC_REV`` (and the
+recorded hashes) explicitly.
+
+Fingerprints cover every trace array with its shape and dtype.  All trace
+fields are int64 counters, so the bytes are exact and the hash is stable
+across platforms and numpy versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.switchsim.simulation import SimulationTrace
+
+_FIELDS = (
+    "qlen",
+    "qlen_max",
+    "received",
+    "sent",
+    "dropped",
+    "delay_sum",
+    "buffer_occupancy",
+)
+
+
+def trace_fingerprint(trace: SimulationTrace) -> str:
+    """SHA-256 over the trace's arrays, shapes, dtypes, and bin width."""
+    digest = hashlib.sha256()
+    digest.update(f"steps_per_bin={trace.steps_per_bin}".encode())
+    for name in _FIELDS:
+        array = np.ascontiguousarray(getattr(trace, name))
+        digest.update(name.encode())
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()

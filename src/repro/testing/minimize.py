@@ -1,0 +1,43 @@
+"""Greedy counterexample minimization for differential-fuzz failures.
+
+A raw fuzz failure is a large randomized configuration; what a human needs
+is the smallest case that still diverges.  :func:`minimize_case` runs the
+classic greedy shrink loop (delta debugging without the set partitioning —
+the shrinkers in :mod:`repro.testing.strategies` already know the
+structure of each case type): try every candidate reduction in order,
+restart from the first one that still fails, stop at a fixpoint.
+
+Shrinkers yield candidates most-aggressive-first (bisect the time horizon,
+then drop ports/queues, then thin the traffic), so the loop converges in
+``O(log)`` of the original size along each axis.  The ``still_fails``
+predicate is expected to swallow unrelated crashes and return False for
+them — shrinking must not wander from one bug to a different one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TypeVar
+
+Case = TypeVar("Case")
+
+
+def minimize_case(
+    case: Case,
+    still_fails: Callable[[Case], bool],
+    shrink: Callable[[Case], Iterable[Case]],
+    max_steps: int = 200,
+) -> Case:
+    """Smallest case (under ``shrink``'s reductions) that still fails.
+
+    ``case`` itself is assumed failing; returns it unchanged when every
+    reduction passes.  ``max_steps`` bounds the number of *successful*
+    reductions, a safety net against shrinkers that loop.
+    """
+    for _ in range(max_steps):
+        for candidate in shrink(case):
+            if still_fails(candidate):
+                case = candidate
+                break
+        else:
+            return case  # fixpoint: no reduction still fails
+    return case

@@ -1,0 +1,295 @@
+"""Physical invariant oracles for traces, CEM outputs, and gradients.
+
+Each oracle states one property that must hold for *every* correct
+implementation, independent of which engine or solver produced the data:
+
+* :func:`check_packet_conservation` — per port, arrivals = departures +
+  drops + backlog change (flow conservation through the switch);
+* :func:`check_buffer_occupancy` — the recorded shared-buffer occupancy
+  equals the summed queue lengths and never exceeds capacity;
+* :func:`check_dt_admission_bound` — Dynamic-Threshold admission caps any
+  queue at ``alpha * B / (1 + alpha) + 1`` packets (Choudhury & Hahne's
+  steady bound: admission requires ``len < alpha * (B - occ)`` and
+  ``occ >= len``);
+* :func:`check_work_conservation` — a port with a non-empty queue at a
+  bin's end transmitted during the bin, and no port exceeds line rate;
+* :func:`check_dataset_consistency` — the ground truth of every imputation
+  window satisfies the paper's constraints C1–C3 against its own coarse
+  measurements (the end-to-end telemetry path is self-consistent);
+* :func:`check_cem_exactness` — a CEM-corrected series satisfies C1–C3
+  exactly, keeps sampled bins pinned, and stays non-negative;
+* :func:`check_gradients` — autodiff gradients match central finite
+  differences (the correctness anchor of the losses/KAL stack).
+
+Oracles raise :class:`OracleViolation` with a human-readable detail; they
+return nothing on success so callers can chain them cheaply.  The
+functions are deliberately vectorised — running every trace oracle costs a
+few array passes, which is what makes the runtime ``selfcheck=`` hook
+affordable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.switchsim.simulation import SimulationTrace
+
+
+class OracleViolation(AssertionError):
+    """An invariant oracle failed.
+
+    ``oracle`` names the violated invariant; ``detail`` localises the
+    failure (port/queue/bin indices and the offending values).
+    """
+
+    def __init__(self, oracle: str, detail: str):
+        super().__init__(f"{oracle}: {detail}")
+        self.oracle = oracle
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# Trace oracles
+# ----------------------------------------------------------------------
+def _port_backlog(trace: SimulationTrace) -> np.ndarray:
+    """(P, bins) summed queue lengths of each port at bin end."""
+    cfg = trace.config
+    return trace.qlen.reshape(cfg.num_ports, cfg.queues_per_port, -1).sum(axis=1)
+
+
+def check_packet_conservation(
+    trace: SimulationTrace, initial_qlen: np.ndarray | None = None
+) -> None:
+    """Per port and bin: cumulative received = sent + dropped + backlog.
+
+    ``initial_qlen`` is the per-queue backlog at the start of the trace
+    (non-zero when ``run`` continued a previous installment); defaults to
+    an empty switch.
+    """
+    cfg = trace.config
+    if initial_qlen is None:
+        initial = np.zeros(cfg.num_ports, dtype=np.int64)
+    else:
+        initial = (
+            np.asarray(initial_qlen, dtype=np.int64)
+            .reshape(cfg.num_ports, cfg.queues_per_port)
+            .sum(axis=1)
+        )
+    flow = np.cumsum(trace.received - trace.sent - trace.dropped, axis=1)
+    backlog = _port_backlog(trace) - initial[:, None]
+    bad = np.nonzero(flow != backlog)
+    if bad[0].size:
+        port, b = int(bad[0][0]), int(bad[1][0])
+        raise OracleViolation(
+            "packet_conservation",
+            f"port {port} bin {b}: cumulative received-sent-dropped = "
+            f"{int(flow[port, b])} but backlog changed by {int(backlog[port, b])}",
+        )
+
+
+def check_buffer_occupancy(trace: SimulationTrace) -> None:
+    """Occupancy equals summed queue lengths and stays within capacity."""
+    totals = trace.qlen.sum(axis=0)
+    mismatch = np.nonzero(totals != trace.buffer_occupancy)[0]
+    if mismatch.size:
+        b = int(mismatch[0])
+        raise OracleViolation(
+            "buffer_occupancy",
+            f"bin {b}: queues hold {int(totals[b])} packets but recorded "
+            f"occupancy is {int(trace.buffer_occupancy[b])}",
+        )
+    capacity = trace.config.buffer_capacity
+    over = np.nonzero(
+        (trace.buffer_occupancy < 0) | (trace.buffer_occupancy > capacity)
+    )[0]
+    if over.size:
+        b = int(over[0])
+        raise OracleViolation(
+            "buffer_occupancy",
+            f"bin {b}: occupancy {int(trace.buffer_occupancy[b])} outside "
+            f"[0, {capacity}]",
+        )
+
+
+def check_dt_admission_bound(trace: SimulationTrace) -> None:
+    """No queue ever exceeds its Dynamic-Threshold steady bound.
+
+    Admission requires ``len < alpha * (B - occ)`` with ``occ >= len``, so
+    a queue of class alpha can never grow past
+    ``alpha * B / (1 + alpha) + 1`` packets.
+    """
+    cfg = trace.config
+    capacity = cfg.buffer_capacity
+    alphas = np.array(
+        [cfg.alphas[q % cfg.queues_per_port] for q in range(cfg.num_queues)]
+    )
+    bounds = alphas * capacity / (1.0 + alphas) + 1.0
+    peak = trace.qlen_max.max(axis=1)
+    over = np.nonzero(peak > bounds + 1e-9)[0]
+    if over.size:
+        q = int(over[0])
+        raise OracleViolation(
+            "dt_admission_bound",
+            f"queue {q} (alpha={alphas[q]:g}) reached {int(peak[q])} packets, "
+            f"above the DT bound {bounds[q]:.2f} for capacity {capacity}",
+        )
+
+
+def check_work_conservation(trace: SimulationTrace) -> None:
+    """Busy ports transmit; no port exceeds line rate.
+
+    At a bin's end a non-empty queue implies the port dequeued during the
+    bin (the step order is arrivals-then-departures), so the count of
+    non-empty bins lower-bounds the sent count; and one packet per step
+    per port upper-bounds it.
+    """
+    over = np.nonzero(trace.sent > trace.steps_per_bin)
+    if over[0].size:
+        p, b = int(over[0][0]), int(over[1][0])
+        raise OracleViolation(
+            "work_conservation",
+            f"port {p} bin {b}: sent {int(trace.sent[p, b])} packets above "
+            f"line rate {trace.steps_per_bin}",
+        )
+    backlog = _port_backlog(trace)
+    idle_busy = np.nonzero((backlog > 0) & (trace.sent == 0))
+    if idle_busy[0].size:
+        p, b = int(idle_busy[0][0]), int(idle_busy[1][0])
+        raise OracleViolation(
+            "work_conservation",
+            f"port {p} bin {b}: queues hold {int(backlog[p, b])} packets at "
+            f"bin end but the port sent nothing during the bin",
+        )
+    negative = np.nonzero(
+        (trace.sent < 0) | (trace.dropped < 0) | (trace.received < 0)
+    )
+    if negative[0].size:
+        p, b = int(negative[0][0]), int(negative[1][0])
+        raise OracleViolation(
+            "work_conservation", f"port {p} bin {b}: negative counter"
+        )
+
+
+#: The cheap whole-trace oracles, in the order the runtime hook runs them.
+TRACE_ORACLES: tuple[Callable[..., None], ...] = (
+    check_packet_conservation,
+    check_buffer_occupancy,
+    check_dt_admission_bound,
+    check_work_conservation,
+)
+
+
+def check_trace_invariants(
+    trace: SimulationTrace, initial_qlen: np.ndarray | None = None
+) -> list[str]:
+    """Run every trace oracle; returns the names checked.
+
+    Raises :class:`OracleViolation` at the first failure.
+    """
+    check_packet_conservation(trace, initial_qlen=initial_qlen)
+    check_buffer_occupancy(trace)
+    check_dt_admission_bound(trace)
+    check_work_conservation(trace)
+    return [oracle.__name__ for oracle in TRACE_ORACLES]
+
+
+# ----------------------------------------------------------------------
+# Telemetry / CEM oracles
+# ----------------------------------------------------------------------
+def check_dataset_consistency(dataset, max_samples: int | None = None) -> int:
+    """Ground truth of every window satisfies C1–C3 (the paper's claim).
+
+    ``dataset`` is a :class:`~repro.telemetry.dataset.TelemetryDataset`;
+    returns the number of windows checked.
+    """
+    from repro.constraints.spec import check_constraints
+
+    samples = dataset.samples if max_samples is None else dataset.samples[:max_samples]
+    for index, sample in enumerate(samples):
+        report = check_constraints(sample.target_raw, sample, dataset.switch_config)
+        if not report.satisfied:
+            raise OracleViolation(
+                "dataset_consistency",
+                f"window {index} (start bin {sample.window_start}): ground "
+                f"truth violates its own measurements — max={report.max_error:.3g} "
+                f"periodic={report.periodic_error:.3g} sent={report.sent_error:.3g}",
+            )
+    return len(samples)
+
+
+def check_cem_exactness(corrected: np.ndarray, sample, config) -> None:
+    """A CEM output satisfies C1–C3 exactly, pins samples, stays >= 0."""
+    from repro.constraints.spec import check_constraints
+
+    corrected = np.asarray(corrected, dtype=float)
+    if (corrected < -1e-9).any():
+        q, t = (int(i[0]) for i in np.nonzero(corrected < -1e-9))
+        raise OracleViolation(
+            "cem_exactness", f"queue {q} bin {t}: negative value {corrected[q, t]:.3g}"
+        )
+    pinned = corrected[:, sample.sample_positions]
+    if not np.allclose(pinned, sample.m_sample, atol=1e-9):
+        raise OracleViolation(
+            "cem_exactness",
+            "sampled bins were moved away from their measured values "
+            f"(max deviation {np.abs(pinned - sample.m_sample).max():.3g})",
+        )
+    report = check_constraints(corrected, sample, config)
+    if not report.satisfied:
+        raise OracleViolation(
+            "cem_exactness",
+            f"corrected series violates C1–C3: max={report.max_error:.3g} "
+            f"periodic={report.periodic_error:.3g} sent={report.sent_error:.3g}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Gradient oracle
+# ----------------------------------------------------------------------
+def finite_difference_gradient(
+    f: Callable, x0: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central finite differences of a scalar-valued Tensor function."""
+    from repro.autodiff import Tensor
+
+    x0 = np.asarray(x0, dtype=float)
+    grad = np.zeros_like(x0)
+    it = np.nditer(x0, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        plus = x0.copy()
+        plus[idx] += eps
+        minus = x0.copy()
+        minus[idx] -= eps
+        grad[idx] = (f(Tensor(plus)).item() - f(Tensor(minus)).item()) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    f: Callable,
+    x0: np.ndarray,
+    eps: float = 1e-6,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> None:
+    """Autodiff gradient of ``f`` at ``x0`` must match finite differences.
+
+    ``f`` maps a Tensor to a scalar Tensor.  Pick ``x0`` away from
+    non-differentiable points (ties in a max, zeros under an abs): finite
+    differences straddle the kink there and the comparison is meaningless.
+    """
+    from repro.autodiff import Tensor
+
+    x = Tensor(np.asarray(x0, dtype=float).copy(), requires_grad=True)
+    f(x).backward()
+    numeric = finite_difference_gradient(f, x0, eps=eps)
+    mismatch = np.abs(x.grad - numeric) - (atol + rtol * np.abs(numeric))
+    if (mismatch > 0).any():
+        idx = np.unravel_index(int(np.argmax(mismatch)), numeric.shape)
+        raise OracleViolation(
+            "gradient_check",
+            f"at index {idx}: autodiff {x.grad[idx]:.6g} vs finite "
+            f"difference {numeric[idx]:.6g}",
+        )

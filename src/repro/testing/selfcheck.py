@@ -1,0 +1,95 @@
+"""Runtime self-checks: cheap oracles inline with simulation and imputation.
+
+The differential fuzzer catches divergence between implementations at test
+time; the self-check hooks catch invariant violations *in production runs*
+— a corrupted cache entry, a miscompiled numpy, a refactor that slipped
+past the suite.  They are off by default and cost a few vectorised array
+passes when enabled:
+
+* ``Simulation(..., selfcheck=True)`` / ``generate_trace(...,
+  selfcheck=True)`` run the trace oracles (packet conservation, buffer
+  occupancy, DT admission bound, work conservation) on every produced
+  trace;
+* ``ImputationPipeline`` with ``PipelineConfig(selfcheck=True)`` re-checks
+  every CEM-corrected window for exact C1–C3 satisfaction;
+* the CLI exposes both behind ``--selfcheck``.
+
+A violation raises :class:`SelfCheckError` whose message embeds a
+serialized repro — the scenario/sample parameters as compact JSON, small
+enough to paste into a bug report or replay through the fuzzer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.testing.oracles import (
+    OracleViolation,
+    check_cem_exactness,
+    check_trace_invariants,
+)
+
+
+class SelfCheckError(RuntimeError):
+    """A runtime invariant oracle failed.
+
+    ``oracle`` names the violated invariant and ``repro`` holds the
+    serializable parameters that reproduce the failing computation.
+    """
+
+    def __init__(self, oracle: str, detail: str, repro: Mapping[str, Any] | None = None):
+        self.oracle = oracle
+        self.detail = detail
+        self.repro = dict(repro) if repro else {}
+        message = f"self-check failed — {oracle}: {detail}"
+        if self.repro:
+            message += f"\nrepro: {serialize_repro(self.repro)}"
+        super().__init__(message)
+
+
+def serialize_repro(repro: Mapping[str, Any]) -> str:
+    """Compact, deterministic JSON for a repro mapping."""
+
+    def default(value):
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        return repr(value)
+
+    return json.dumps(repro, sort_keys=True, default=default)
+
+
+def selfcheck_trace(
+    trace,
+    repro: Mapping[str, Any] | None = None,
+    initial_qlen: np.ndarray | None = None,
+) -> None:
+    """Run the trace oracles; wrap violations into :class:`SelfCheckError`."""
+    try:
+        check_trace_invariants(trace, initial_qlen=initial_qlen)
+    except OracleViolation as violation:
+        raise SelfCheckError(violation.oracle, violation.detail, repro) from violation
+
+
+def selfcheck_enforced(
+    corrected: np.ndarray,
+    sample,
+    config,
+    repro: Mapping[str, Any] | None = None,
+) -> None:
+    """Check a CEM-corrected window; raise with a window-level repro."""
+    context = dict(repro or {})
+    context.setdefault("window_start", int(sample.window_start))
+    context.setdefault("interval", int(sample.interval))
+    context.setdefault("num_queues", int(sample.num_queues))
+    context.setdefault("num_bins", int(sample.num_bins))
+    try:
+        check_cem_exactness(corrected, sample, config)
+    except OracleViolation as violation:
+        raise SelfCheckError(violation.oracle, violation.detail, context) from violation

@@ -84,3 +84,35 @@ class TestPsiSent:
         res = psi_sent(Tensor(pred_data), np.array([[0.0]]), cfg, interval=4, indicator_scale=50.0)
         ne_estimate = res.numpy()[0, 0, 0] * 4
         assert ne_estimate == pytest.approx(2.0, abs=1e-3)
+
+
+class TestGradientsMatchFiniteDifferences:
+    """Each KAL penalty term against the central-difference oracle.
+
+    Inputs are chosen away from non-differentiable points: distinct values
+    under the max (no ties) and magnitudes well clear of zero.
+    """
+
+    def test_phi_max_gradient(self, gradcheck):
+        x0 = np.array([[[1.0, 4.0, 2.0, 0.5], [3.0, 0.2, 5.0, 1.1]]])
+        m_max = np.array([[3.0], [4.0]])
+        gradcheck(lambda t: (phi_max(t, m_max, interval=4) ** 2).sum(), x0)
+
+    def test_phi_periodic_gradient(self, gradcheck, rng):
+        x0 = rng.random((1, 2, 6)) + 0.5
+        m_sample = np.array([[1.0, 2.0], [0.5, 1.5]])
+        positions = np.array([1, 4])
+        gradcheck(
+            lambda t: (phi_periodic(t, m_sample, positions) ** 2).sum(), x0
+        )
+
+    def test_psi_sent_gradient(self, gradcheck, cfg):
+        # tanh indicator: smooth everywhere, but keep values moderate so
+        # the indicator is not saturated flat (finite differences vanish).
+        x0 = np.array([[[0.3, 0.8, 0.1, 0.6], [0.2, 0.5, 0.9, 0.4]]])
+        m_sent = np.array([[1.0]])
+        gradcheck(
+            lambda t: (psi_sent(t, m_sent, cfg, interval=4) ** 2).sum(),
+            x0,
+            atol=1e-5,
+        )

@@ -1,0 +1,70 @@
+"""Micro-scenario smoke test for the Table-1 experiment (< 30 s).
+
+A deliberately tiny scenario and a 1-epoch model: the point is not
+imputation quality but the experiment plumbing — every method column is
+produced, and the CEM column nullifies the consistency rows a-c exactly
+(the paper's headline property of constraint enforcement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scenarios import ScenarioConfig
+from repro.eval.table1 import METHODS, ROW_LABELS, Table1Config, run_table1
+
+
+@pytest.fixture(scope="module")
+def micro_result():
+    scenario = ScenarioConfig(
+        num_ports=2,
+        buffer_capacity=60,
+        steps_per_bin=4,
+        duration_bins=1000,
+        interval=25,
+        window_intervals=4,
+        stride_intervals=2,
+        websearch_sources=6,
+        incast_fan_in=4,
+        incast_burst=15,
+        incast_period=250,
+        incast_jitter=60,
+        incast_dsts=(1,),
+    )
+    config = Table1Config(
+        scenario=scenario, epochs=1, d_model=16, num_heads=2, num_layers=1,
+        d_ff=32, seed=0,
+    )
+    return run_table1(config)
+
+
+class TestTable1Micro:
+    def test_all_rows_and_methods_present(self, micro_result):
+        assert set(micro_result.values) == set(ROW_LABELS)
+        for key in ROW_LABELS:
+            assert set(micro_result.values[key]) == set(METHODS)
+
+    def test_cem_nullifies_consistency_rows_exactly(self, micro_result):
+        for row in ("max", "periodic", "sent"):
+            error = micro_result.values[row]["Transformer+KAL+CEM"]
+            assert error == pytest.approx(0.0, abs=1e-9), (row, error)
+
+    def test_uncorrected_methods_are_inconsistent(self, micro_result):
+        """A 1-epoch transformer cannot satisfy the constraints on its own
+        — which is what makes the CEM zeros meaningful."""
+        total = sum(
+            micro_result.values[row]["Transformer"]
+            for row in ("max", "periodic", "sent")
+        )
+        assert total > 1e-6
+
+    def test_errors_are_finite_and_nonnegative(self, micro_result):
+        for row, methods in micro_result.values.items():
+            for method, value in methods.items():
+                assert value >= 0.0, (row, method)
+                assert value == value, (row, method)  # not NaN
+
+    def test_render_includes_every_label(self, micro_result):
+        rendered = micro_result.render()
+        for label in ROW_LABELS.values():
+            assert label in rendered

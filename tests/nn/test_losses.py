@@ -95,6 +95,19 @@ class TestEmdBatched:
             atol=1e-5,
         )
 
+    def test_1d_gradient_matches_finite_difference(self, gradcheck, rng):
+        target = Tensor(rng.random(12) + 0.1)
+        gradcheck(lambda t: emd_loss_1d(t, target), rng.random(12) + 0.5, atol=1e-5)
+
+    def test_magnitude_term_gradient(self, gradcheck, rng):
+        """The magnitude-weight penalty contributes a correct gradient too."""
+        target = Tensor(rng.random((2, 10)) + 0.2)
+        gradcheck(
+            lambda t: emd_loss(t, target, magnitude_weight=1.0),
+            rng.random((2, 10)) + 0.5,
+            atol=1e-5,
+        )
+
     def test_prefers_correct_burst_location(self):
         """EMD (unlike MSE) prefers a slightly-misplaced burst over a flat
         average — the paper's reason for choosing it (§4)."""

@@ -19,7 +19,6 @@ from repro.switchsim import (
     ArraySwitchEngine,
     EngineUnsupported,
     Simulation,
-    StrictPriorityScheduler,
     SwitchConfig,
 )
 from repro.switchsim.scheduler import DeficitRoundRobinScheduler
@@ -50,85 +49,6 @@ def assert_traces_equal(a, b):
         assert (left == right).all(), f"trace field {field!r} diverged"
 
 
-def random_config(rng: np.random.Generator) -> SwitchConfig:
-    from repro.switchsim import RoundRobinScheduler
-
-    scheduler = [RoundRobinScheduler, StrictPriorityScheduler][int(rng.integers(2))]
-    queues_per_port = int(rng.integers(1, 4))
-    alphas = tuple(
-        float(rng.uniform(0.2, 2.0)) for _ in range(queues_per_port)
-    )
-    return SwitchConfig(
-        num_ports=int(rng.integers(1, 5)),
-        queues_per_port=queues_per_port,
-        buffer_capacity=int(rng.integers(10, 120)),
-        alphas=alphas,
-        scheduler_factory=scheduler,
-    )
-
-
-def random_traffic(rng: np.random.Generator, config: SwitchConfig, seed: int):
-    """A randomly chosen generator, deterministically built from ``seed``.
-
-    Called twice with the same arguments to hand each engine its own
-    identically seeded (hence identically consuming) traffic instance.
-    """
-    num_ports = config.num_ports
-    hi_class = min(1, config.queues_per_port - 1)
-    class_weights = (1.0,) * config.queues_per_port
-    kind = int(rng.integers(4))
-    if kind == 0:
-        return PoissonFlowTraffic(
-            num_sources=int(rng.integers(2, 10)),
-            num_ports=num_ports,
-            flows_per_step=float(rng.uniform(0.02, 0.4)),
-            sizes=WebsearchSizes() if rng.integers(2) else FixedSizes(int(rng.integers(1, 6))),
-            class_weights=class_weights,
-            seed=seed,
-        )
-    if kind == 1:
-        return IncastTraffic(
-            fan_in=int(rng.integers(2, 8)),
-            burst_size=int(rng.integers(2, 30)),
-            period=int(rng.integers(10, 60)),
-            dst_port=int(rng.integers(num_ports)),
-            qclass=hi_class,
-            jitter=int(rng.integers(0, 12)),
-            seed=seed,
-        )
-    if kind == 2:
-        script_rng = np.random.default_rng(seed)
-        script = {
-            int(step): [
-                (int(script_rng.integers(num_ports)), int(script_rng.integers(config.queues_per_port)))
-                for _ in range(int(script_rng.integers(1, 5)))
-            ]
-            for step in script_rng.integers(0, 200, size=20)
-        }
-        return ScriptedTraffic(script)
-    return CompositeTraffic(
-        [
-            PoissonFlowTraffic(
-                num_sources=int(rng.integers(2, 6)),
-                num_ports=num_ports,
-                flows_per_step=float(rng.uniform(0.02, 0.2)),
-                sizes=FixedSizes(int(rng.integers(1, 5))),
-                class_weights=class_weights,
-                seed=seed,
-            ),
-            IncastTraffic(
-                fan_in=int(rng.integers(2, 5)),
-                burst_size=int(rng.integers(2, 15)),
-                period=int(rng.integers(15, 50)),
-                dst_port=int(rng.integers(num_ports)),
-                qclass=hi_class,
-                jitter=int(rng.integers(0, 8)),
-                seed=seed + 1,
-            ),
-        ]
-    )
-
-
 def run_both(config, make_traffic, num_bins, steps_per_bin):
     ref = Simulation(
         config, make_traffic(), steps_per_bin=steps_per_bin, engine="reference"
@@ -143,19 +63,17 @@ class TestEngineEquivalence:
     @given(st.integers(0, 2**32 - 1))
     @settings(max_examples=25, deadline=None)
     def test_random_scenarios_bit_identical(self, seed):
-        rng = np.random.default_rng(seed)
-        config = random_config(rng)
-        traffic_seed = int(rng.integers(2**31))
-        state = rng.bit_generator.state
+        """Shared differential harness: same envelope the nightly fuzz uses.
 
-        def make_traffic():
-            # Restore the state so both calls draw identical parameters.
-            rng.bit_generator.state = state
-            return random_traffic(rng, config, traffic_seed)
+        ``diff_engines`` builds both engines from the serializable case,
+        compares every trace field bit-for-bit, and also runs the
+        invariant oracles on the reference trace.
+        """
+        from repro.testing import diff_engines, random_engine_case
 
-        steps_per_bin = int(np.random.default_rng(seed + 1).integers(1, 20))
-        ref, arr = run_both(config, make_traffic, num_bins=30, steps_per_bin=steps_per_bin)
-        assert_traces_equal(ref, arr)
+        case = random_engine_case(np.random.default_rng(seed))
+        detail = diff_engines(case)
+        assert detail is None, f"{detail}\nrepro: {case.to_dict()}"
 
     def test_paper_scenario_bit_identical(self):
         from repro.eval.scenarios import build_traffic, quick_scenario

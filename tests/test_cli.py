@@ -20,6 +20,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_selfcheck_off_by_default(self):
+        for command in (["simulate"], ["impute", "--model", "m.npz"], ["table1"]):
+            assert build_parser().parse_args(command).selfcheck is False
+
+    def test_bad_engine_rejected_with_usable_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["simulate", "--engine", "warp"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "'warp'" in err
+        # The message names the valid engines, so the fix is obvious.
+        assert "array" in err and "reference" in err
+
 
 class TestSimulate:
     def test_writes_trace(self, tmp_path, capsys):
@@ -30,6 +43,29 @@ class TestSimulate:
             assert archive["qlen"].shape[1] == 300
             assert (archive["sent"] >= 0).all()
         assert "simulated 300 bins" in capsys.readouterr().out
+
+    def test_selfcheck_passes_on_healthy_run(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        code = main(
+            ["simulate", "--duration", "200", "--out", str(out), "--selfcheck"]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_cache_pointing_at_file_errors_usably(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("something else lives here")
+        code = main(
+            [
+                "simulate", "--duration", "50",
+                "--out", str(tmp_path / "t.npz"),
+                "--cache", str(not_a_dir),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--cache must point to a directory" in err
+        assert str(not_a_dir) in err
 
 
 class TestTrainImpute:
@@ -57,6 +93,36 @@ class TestTrainImpute:
         out = capsys.readouterr().out
         assert "constraint-satisfied" in out
         assert code == 0  # CEM makes every window consistent
+
+    def test_infeasible_cem_exits_nonzero_with_message(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.imputation.cem import CEMInfeasibleError, ConstraintEnforcer
+
+        model_path = tmp_path / "model.npz"
+        assert main(["train", "--epochs", "1", "--out", str(model_path)]) == 0
+
+        def infeasible(self, raw, sample):
+            raise CEMInfeasibleError("sample pins exceed the interval maximum")
+
+        monkeypatch.setattr(ConstraintEnforcer, "enforce", infeasible)
+        code = main(["impute", "--model", str(model_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "constraint enforcement infeasible" in err
+        assert "sample pins exceed" in err
+
+    def test_selfcheck_violation_exits_three(self, tmp_path, capsys, monkeypatch):
+        from repro.imputation.cem import ConstraintEnforcer
+
+        model_path = tmp_path / "model.npz"
+        assert main(["train", "--epochs", "1", "--out", str(model_path)]) == 0
+        # A broken enforcer that returns the raw imputation untouched: the
+        # --selfcheck oracle must catch it before the consistency report.
+        monkeypatch.setattr(ConstraintEnforcer, "enforce", lambda self, raw, s: raw)
+        code = main(["impute", "--model", str(model_path), "--selfcheck"])
+        assert code == 3
+        assert "self-check violation" in capsys.readouterr().err
 
 
 class TestVerify:

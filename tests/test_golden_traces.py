@@ -1,0 +1,78 @@
+"""Golden-trace regression tests: the RNG streams of TRAFFIC_REV=2, pinned.
+
+PR 1 changed ``build_traffic``'s stream layout and silently regenerated
+every per-seed dataset.  These hashes make that class of change explicit:
+any refactor that alters the simulated data — traffic construction,
+admission order, scheduler decisions, RNG consumption — fails here and
+must bump ``TRAFFIC_REV`` and re-record the fingerprints deliberately.
+
+To re-record after an intentional change::
+
+    PYTHONPATH=src python -c "
+    import dataclasses
+    from repro.eval.scenarios import generate_trace, quick_scenario, paper_scenario
+    from repro.testing.golden import trace_fingerprint
+    q = dataclasses.replace(quick_scenario(), duration_bins=300)
+    for seed in (0, 1):
+        print('quick', seed, trace_fingerprint(generate_trace(q, seed=seed)))
+    p = dataclasses.replace(paper_scenario(), duration_bins=200)
+    print('paper', 0, trace_fingerprint(generate_trace(p, seed=0)))"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.eval.scenarios import (
+    TRAFFIC_REV,
+    generate_trace,
+    paper_scenario,
+    quick_scenario,
+)
+from repro.testing import trace_fingerprint
+
+# Fingerprints recorded under TRAFFIC_REV=2 (spawn_generators child RNGs).
+GOLDEN = {
+    ("quick", 0): "14ff120411fc8ec25bd79f17a363efddc3b0f8e543f9bfcfe031e82cbfc851fe",
+    ("quick", 1): "d996de5053b66f0d7eca82ce5dff57550e2ad511726c1dd010a815edc79bdf0f",
+    ("paper", 0): "b26cb4123e31bdb98d449636824b78f27ffe25845f832a11a4bc69964bbfd6b6",
+}
+
+
+def _scenario(profile):
+    if profile == "quick":
+        return dataclasses.replace(quick_scenario(), duration_bins=300)
+    return dataclasses.replace(paper_scenario(), duration_bins=200)
+
+
+class TestGoldenTraces:
+    def test_hashes_recorded_for_current_rev(self):
+        # If this fails you bumped TRAFFIC_REV: re-record GOLDEN (see
+        # the module docstring) and update this pin in the same commit.
+        assert TRAFFIC_REV == 2
+
+    @pytest.mark.parametrize(("profile", "seed"), sorted(GOLDEN))
+    def test_trace_fingerprint_is_pinned(self, profile, seed):
+        trace = generate_trace(_scenario(profile), seed=seed)
+        assert trace_fingerprint(trace) == GOLDEN[(profile, seed)], (
+            f"{profile} scenario (seed {seed}) no longer reproduces its "
+            "golden trace; if the generation change is intentional, bump "
+            "TRAFFIC_REV and re-record the fingerprints"
+        )
+
+    def test_fingerprint_engine_independent(self):
+        scenario = _scenario("quick")
+        reference = generate_trace(scenario, seed=0, engine="reference")
+        assert trace_fingerprint(reference) == GOLDEN[("quick", 0)]
+
+    def test_seeds_produce_distinct_traces(self):
+        assert GOLDEN[("quick", 0)] != GOLDEN[("quick", 1)]
+
+    def test_fingerprint_sensitivity(self):
+        """One flipped counter changes the hash (the test has teeth)."""
+        trace = generate_trace(_scenario("quick"), seed=0)
+        doctored = dataclasses.replace(trace, sent=trace.sent.copy())
+        doctored.sent[0, 0] += 1
+        assert trace_fingerprint(doctored) != GOLDEN[("quick", 0)]

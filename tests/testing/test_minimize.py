@@ -1,0 +1,109 @@
+"""Tests for the greedy counterexample minimizer.
+
+A synthetic failure predicate with a known minimal region lets us check
+that the shrink loop lands on (or near) the smallest failing case, and
+that it never wanders outside the failing region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.testing import minimize_case
+from repro.testing.strategies import (
+    LpCase,
+    random_engine_case,
+    shrink_engine_case,
+    shrink_lp_case,
+)
+
+
+def big_engine_case():
+    case = random_engine_case(np.random.default_rng(0))
+    return type(case)(
+        **{
+            **case.to_dict(),
+            "num_bins": 57,
+            "buffer_capacity": 100,
+            "num_ports": 4,
+            "steps_per_bin": 16,
+        }
+    )
+
+
+class TestMinimizeEngineCase:
+    def test_shrinks_to_threshold(self):
+        # "Fails" iff the horizon is at least 8 bins: the minimizer should
+        # bisect 57 down and stop exactly at the boundary.
+        case = big_engine_case()
+        small = minimize_case(
+            case, lambda c: c.num_bins >= 8, shrink_engine_case
+        )
+        assert small.num_bins == 8
+        # Orthogonal dimensions shrink too (they don't affect failure).
+        assert small.num_ports == 1
+        assert small.steps_per_bin == 1
+
+    def test_conjunction_of_conditions(self):
+        case = big_engine_case()
+        small = minimize_case(
+            case,
+            lambda c: c.num_bins >= 8 and c.buffer_capacity >= 5,
+            shrink_engine_case,
+        )
+        assert small.num_bins == 8
+        # buffer_capacity only shrinks by halving (100 -> 50 -> 25 -> 12 -> 6),
+        # so the reachable minimum above the threshold is 6.
+        assert 5 <= small.buffer_capacity <= 6
+
+    def test_never_leaves_failing_region(self):
+        case = big_engine_case()
+        seen = []
+
+        def still_fails(c):
+            seen.append(c)
+            return c.num_bins >= 20
+
+        small = minimize_case(case, still_fails, shrink_engine_case)
+        assert small.num_bins >= 20
+        assert still_fails(small)
+
+    def test_already_minimal_case_unchanged(self):
+        case = big_engine_case()
+        small = minimize_case(case, lambda c: True, shrink_engine_case)
+        # Everything that can shrink does; a second pass is a fixpoint.
+        again = minimize_case(small, lambda c: True, shrink_engine_case)
+        assert again == small
+
+    def test_max_steps_caps_the_loop(self):
+        case = big_engine_case()
+        capped = minimize_case(
+            case, lambda c: c.num_bins >= 2, shrink_engine_case, max_steps=1
+        )
+        # One greedy step: the first successful shrink is the bisection.
+        assert capped.num_bins == case.num_bins // 2
+
+
+class TestMinimizeLpCase:
+    def test_drops_irrelevant_constraints(self):
+        case = LpCase(
+            domains=[3, 3, 3],
+            constraints=[
+                {"coeffs": [1, 0, 0], "sense": ">=", "rhs": 2},  # the culprit
+                {"coeffs": [0, 1, 0], "sense": "<=", "rhs": 3},  # vacuous
+                {"coeffs": [0, 0, 1], "sense": "<=", "rhs": 3},  # vacuous
+            ],
+            objective=[1, 1, 1],
+        )
+
+        def still_fails(c):
+            # "Fails" while some constraint forces x >= 2 somewhere.
+            return any(
+                constraint["sense"] == ">=" and constraint["rhs"] >= 2
+                for constraint in c.constraints
+            )
+
+        small = minimize_case(case, still_fails, shrink_lp_case)
+        assert len(small.constraints) == 1
+        assert small.constraints[0]["sense"] == ">="
+        assert len(small.domains) == 1  # irrelevant variables dropped too

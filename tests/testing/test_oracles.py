@@ -1,0 +1,193 @@
+"""Tests for the invariant oracles: healthy data passes, doctored data fails.
+
+Each oracle is exercised in both directions — on a real simulated trace
+(or real CEM output) it must stay silent, and on a minimally corrupted
+copy it must raise :class:`OracleViolation` naming the broken invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.imputation.cem import ConstraintEnforcer
+from repro.testing import (
+    OracleViolation,
+    check_buffer_occupancy,
+    check_cem_exactness,
+    check_dataset_consistency,
+    check_dt_admission_bound,
+    check_gradients,
+    check_packet_conservation,
+    check_trace_invariants,
+    check_work_conservation,
+    finite_difference_gradient,
+)
+from repro.testing.oracles import TRACE_ORACLES
+
+
+def doctored(trace, **overrides):
+    """A deep-enough copy of a trace with some arrays replaced."""
+    fields = {
+        name: getattr(trace, name).copy()
+        for name in (
+            "qlen",
+            "qlen_max",
+            "received",
+            "sent",
+            "dropped",
+            "delay_sum",
+            "buffer_occupancy",
+        )
+    }
+    fields.update(overrides)
+    return dataclasses.replace(trace, **fields)
+
+
+class TestTraceOracles:
+    def test_healthy_trace_passes_all(self, small_trace):
+        names = check_trace_invariants(small_trace)
+        assert names == [oracle.__name__ for oracle in TRACE_ORACLES]
+
+    def test_packet_conservation_catches_lost_packets(self, small_trace):
+        bad = doctored(small_trace)
+        bad.sent[0, 10] += 1  # a packet left that never existed
+        with pytest.raises(OracleViolation, match="packet_conservation"):
+            check_packet_conservation(bad)
+
+    def test_packet_conservation_initial_backlog(self, small_config, small_trace):
+        """A second installment only balances given the carried-over backlog."""
+        from repro.switchsim import Simulation
+        from repro.traffic import PoissonFlowTraffic
+        from repro.traffic.distributions import FixedSizes
+
+        sim = Simulation(
+            small_config,
+            PoissonFlowTraffic(
+                num_sources=4, num_ports=2, flows_per_step=0.5,
+                sizes=FixedSizes(4), seed=5,
+            ),
+            steps_per_bin=8,
+        )
+        sim.run(50)
+        carried = sim.switch.queue_lengths() if sim.engine == "reference" else (
+            sim._array_engine.queue_lengths()
+        )
+        second = sim.run(50)
+        assert carried.sum() > 0, "want a non-empty switch between installments"
+        check_packet_conservation(second, initial_qlen=carried)
+        with pytest.raises(OracleViolation, match="packet_conservation"):
+            check_packet_conservation(second)  # assumes an empty start: wrong
+
+    def test_buffer_occupancy_catches_mismatch(self, small_trace):
+        bad = doctored(small_trace)
+        bad.buffer_occupancy[5] += 3
+        with pytest.raises(OracleViolation, match="buffer_occupancy"):
+            check_buffer_occupancy(bad)
+
+    def test_buffer_occupancy_catches_over_capacity(self, small_trace):
+        capacity = small_trace.config.buffer_capacity
+        bad = doctored(small_trace)
+        bad.qlen[:, 7] = capacity  # every queue full: sum far over capacity
+        bad.buffer_occupancy[7] = bad.qlen[:, 7].sum()
+        with pytest.raises(OracleViolation, match="outside"):
+            check_buffer_occupancy(bad)
+
+    def test_dt_bound_catches_overgrown_queue(self, small_trace):
+        bad = doctored(small_trace)
+        bad.qlen_max[0, 3] = small_trace.config.buffer_capacity  # above any DT bound
+        with pytest.raises(OracleViolation, match="dt_admission_bound"):
+            check_dt_admission_bound(bad)
+
+    def test_work_conservation_catches_over_line_rate(self, small_trace):
+        bad = doctored(small_trace)
+        bad.sent[1, 4] = small_trace.steps_per_bin + 1
+        with pytest.raises(OracleViolation, match="line rate"):
+            check_work_conservation(bad)
+
+    def test_work_conservation_catches_idle_busy_port(self, small_trace):
+        bad = doctored(small_trace)
+        # Find a bin where port 0 is backlogged and erase its departures.
+        backlog = bad.qlen[:2].sum(axis=0)
+        bin_idx = int(np.argmax(backlog > 0))
+        assert backlog[bin_idx] > 0
+        bad.sent[0, bin_idx] = 0
+        with pytest.raises(OracleViolation, match="sent nothing"):
+            check_work_conservation(bad)
+
+
+class TestDatasetConsistency:
+    def test_real_dataset_is_consistent(self, small_dataset):
+        checked = check_dataset_consistency(small_dataset)
+        assert checked == len(small_dataset)
+
+    def test_max_samples_limits_work(self, small_dataset):
+        assert check_dataset_consistency(small_dataset, max_samples=2) == 2
+
+    def test_catches_corrupted_ground_truth(self, small_dataset):
+        sample = small_dataset.samples[0]
+        original = sample.target_raw.copy()
+        try:
+            sample.target_raw[:, :] = original + 100.0  # breaks C1 vs m_max
+            with pytest.raises(OracleViolation, match="dataset_consistency"):
+                check_dataset_consistency(small_dataset)
+        finally:
+            sample.target_raw[:, :] = original
+
+
+class TestCemExactness:
+    @pytest.fixture()
+    def enforced(self, small_dataset):
+        sample = small_dataset.samples[0]
+        enforcer = ConstraintEnforcer(small_dataset.switch_config)
+        rng = np.random.default_rng(3)
+        noisy = np.clip(
+            sample.target_raw + rng.normal(0, 2.0, sample.target_raw.shape), 0, None
+        )
+        return enforcer.enforce(noisy, sample), sample, small_dataset.switch_config
+
+    def test_enforced_output_passes(self, enforced):
+        corrected, sample, config = enforced
+        check_cem_exactness(corrected, sample, config)
+
+    def test_catches_negative_values(self, enforced):
+        corrected, sample, config = enforced
+        bad = corrected.copy()
+        bad[0, 1] = -0.5
+        with pytest.raises(OracleViolation, match="negative"):
+            check_cem_exactness(bad, sample, config)
+
+    def test_catches_moved_samples(self, enforced):
+        corrected, sample, config = enforced
+        bad = corrected.copy()
+        bad[0, sample.sample_positions[0]] += 1.0
+        with pytest.raises(OracleViolation, match="sampled bins"):
+            check_cem_exactness(bad, sample, config)
+
+    def test_catches_constraint_violation(self, enforced):
+        corrected, sample, config = enforced
+        bad = corrected.copy()
+        # Blow up one non-sampled bin far past the interval maximum (C1).
+        positions = set(sample.sample_positions.tolist())
+        free = next(t for t in range(bad.shape[1]) if t not in positions)
+        bad[0, free] = sample.m_max.max() + 50.0
+        with pytest.raises(OracleViolation, match="C1"):
+            check_cem_exactness(bad, sample, config)
+
+
+class TestGradientOracle:
+    def test_finite_difference_matches_analytic(self):
+        x0 = np.array([1.5, -0.3, 2.0])
+        numeric = finite_difference_gradient(lambda t: (t * t).sum(), x0)
+        np.testing.assert_allclose(numeric, 2 * x0, atol=1e-5)
+
+    def test_correct_gradient_passes(self, rng):
+        check_gradients(lambda t: (t * t).sum(), rng.random(6) + 0.5)
+
+    def test_broken_gradient_fails(self, rng):
+        # detach() severs half the dependency: autodiff sees grad x where
+        # the true derivative of x*x is 2x.
+        with pytest.raises(OracleViolation, match="gradient_check"):
+            check_gradients(lambda t: (t.detach() * t).sum(), rng.random(4) + 1.0)

@@ -1,0 +1,177 @@
+"""Tests for the runtime self-check hooks (``selfcheck=`` / ``--selfcheck``).
+
+The hooks must be off by default, silent on healthy runs, and loud — with
+a serialized repro — when handed corrupted data (the motivating case: a
+corrupted cache entry that would otherwise flow straight into training).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.scenarios import (
+    generate_trace,
+    quick_scenario,
+    trace_cache_params,
+)
+from repro.switchsim import Simulation, SwitchConfig
+from repro.switchsim.cache import TraceCache
+from repro.testing import SelfCheckError, selfcheck_enforced, selfcheck_trace
+from repro.testing.selfcheck import serialize_repro
+from repro.traffic import PoissonFlowTraffic
+from repro.traffic.distributions import FixedSizes
+
+
+def _traffic(seed=3):
+    return PoissonFlowTraffic(
+        num_sources=4, num_ports=2, flows_per_step=0.4,
+        sizes=FixedSizes(4), seed=seed,
+    )
+
+
+def _corrupted(trace):
+    bad = dataclasses.replace(trace, sent=trace.sent.copy())
+    bad.sent[0, 0] += 7  # breaks packet conservation from bin 0 on
+    return bad
+
+
+class TestSelfCheckError:
+    def test_message_embeds_repro_json(self):
+        error = SelfCheckError(
+            "packet_conservation", "port 0 bin 3", {"seed": 7, "bins": 50}
+        )
+        assert "packet_conservation" in str(error)
+        payload = str(error).split("repro: ", 1)[1]
+        assert json.loads(payload) == {"seed": 7, "bins": 50}
+
+    def test_serialize_repro_handles_numpy(self):
+        payload = serialize_repro(
+            {"a": np.int64(3), "b": np.float64(0.5), "c": np.arange(3)}
+        )
+        assert json.loads(payload) == {"a": 3, "b": 0.5, "c": [0, 1, 2]}
+
+
+class TestSimulationHook:
+    def test_off_by_default(self):
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+        assert Simulation(config, _traffic()).selfcheck is False
+
+    @pytest.mark.parametrize("engine", ["reference", "array"])
+    def test_healthy_run_passes(self, engine):
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+        sim = Simulation(
+            config, _traffic(), steps_per_bin=8, engine=engine, selfcheck=True
+        )
+        trace = sim.run(60)
+        assert trace.num_bins == 60
+        sim.run(40)  # second installment: checked against carried backlog
+
+    def test_corrupted_trace_raises_with_repro(self):
+        config = SwitchConfig(num_ports=2, queues_per_port=2, buffer_capacity=40)
+        trace = Simulation(config, _traffic(), steps_per_bin=8).run(30)
+        with pytest.raises(SelfCheckError) as excinfo:
+            selfcheck_trace(_corrupted(trace), repro={"seed": 3})
+        assert excinfo.value.oracle == "packet_conservation"
+        assert excinfo.value.repro == {"seed": 3}
+
+
+class TestGenerateTraceHook:
+    @pytest.fixture()
+    def scenario(self):
+        return dataclasses.replace(quick_scenario(), duration_bins=200)
+
+    def test_healthy_scenario_passes(self, scenario):
+        trace = generate_trace(scenario, seed=0, selfcheck=True)
+        assert trace.num_bins == 200
+
+    def test_corrupted_cache_entry_is_caught(self, scenario, tmp_path):
+        cache = TraceCache(tmp_path)
+        trace = generate_trace(scenario, seed=0)
+        cache.put(trace_cache_params(scenario, 0), _corrupted(trace))
+
+        # Without selfcheck the corruption flows through silently...
+        silent = generate_trace(scenario, seed=0, cache=cache)
+        assert silent.sent[0, 0] == trace.sent[0, 0] + 7
+
+        # ...with selfcheck it aborts, naming the cache as the source.
+        with pytest.raises(SelfCheckError) as excinfo:
+            generate_trace(scenario, seed=0, cache=cache, selfcheck=True)
+        assert excinfo.value.repro["source"] == "cache"
+        assert excinfo.value.repro["seed"] == 0
+
+    def test_overhead_under_two_x(self, scenario):
+        def timed(selfcheck):
+            start = time.perf_counter()
+            generate_trace(scenario, seed=1, selfcheck=selfcheck)
+            return time.perf_counter() - start
+
+        timed(False)  # warm up imports and caches
+        base = min(timed(False) for _ in range(3))
+        checked = min(timed(True) for _ in range(3))
+        # The oracles are a few vectorised passes; 2x plus a constant
+        # cushion keeps this robust to timer noise on loaded CI machines.
+        assert checked < 2.0 * base + 0.05
+
+
+class TestPipelineHook:
+    @pytest.fixture(scope="class")
+    def splits(self, small_dataset):
+        return small_dataset.split(0.7, 0.15, seed=0)
+
+    @pytest.fixture(scope="class")
+    def fitted(self, splits):
+        from repro.imputation import ImputationPipeline, PipelineConfig
+
+        train, val, _ = splits
+        pipeline = ImputationPipeline(
+            train,
+            PipelineConfig(
+                use_kal=False,
+                use_cem=True,
+                selfcheck=True,
+                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=dict(epochs=1, batch_size=4, seed=0),
+            ),
+            val=val,
+            seed=0,
+        )
+        return pipeline.fit()
+
+    def test_off_by_default(self):
+        from repro.imputation import PipelineConfig
+
+        assert PipelineConfig().selfcheck is False
+
+    def test_healthy_imputation_passes(self, fitted, splits):
+        _, _, test = splits
+        out = fitted.impute(test[0])
+        assert out.shape == test[0].target_raw.shape
+
+    def test_broken_enforcer_is_caught(self, fitted, splits, monkeypatch):
+        _, _, test = splits
+        sample = test[0]
+        # Simulate a buggy CEM: returns its input untouched.  A 1-epoch
+        # model's raw output cannot satisfy C1-C3 exactly.
+        monkeypatch.setattr(
+            type(fitted.enforcer), "enforce", lambda self, raw, s: raw
+        )
+        with pytest.raises(SelfCheckError) as excinfo:
+            fitted.impute(sample)
+        assert excinfo.value.oracle == "cem_exactness"
+        assert excinfo.value.repro["window_start"] == sample.window_start
+
+    def test_direct_enforced_check(self, splits):
+        from repro.imputation.cem import ConstraintEnforcer
+
+        train, _, test = splits
+        sample = test[0]
+        enforcer = ConstraintEnforcer(train.switch_config)
+        corrected = enforcer.enforce(np.zeros_like(sample.target_raw), sample)
+        selfcheck_enforced(corrected, sample, train.switch_config)
+        with pytest.raises(SelfCheckError):
+            selfcheck_enforced(corrected + 0.5, sample, train.switch_config)
