@@ -26,6 +26,15 @@ class Optimizer:
         """Apply one parameter update from the accumulated gradients."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's mutable state (for checkpointing)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        if state:
+            raise ValueError(f"{type(self).__name__} carries no state, got {set(state)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -51,6 +60,12 @@ class SGD(Optimizer):
             else:
                 update = param.grad
             param.data -= self.lr * update
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        _load_moment_lists(self.params, {"velocity": self._velocity}, state)
 
 
 class Adam(Optimizer):
@@ -95,6 +110,36 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        _load_moment_lists(self.params, {"m": self._m, "v": self._v}, state)
+        self._step_count = int(state["step_count"])
+
+
+def _load_moment_lists(params, targets: dict, state: dict) -> None:
+    """Copy per-parameter moment arrays into place, validating shapes."""
+    for key, current in targets.items():
+        incoming = state[key]
+        if len(incoming) != len(current):
+            raise ValueError(
+                f"optimizer state {key!r} has {len(incoming)} entries for "
+                f"{len(current)} parameters"
+            )
+        for param, slot, value in zip(params, current, incoming):
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state {key!r} shape {value.shape} does not "
+                    f"match parameter shape {param.data.shape}"
+                )
+            slot[...] = value
 
 
 def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:

@@ -20,6 +20,9 @@ from pathlib import Path
 
 import numpy as np
 
+#: Where ``table1 --resume`` keeps its journal when ``--journal`` is absent.
+_DEFAULT_TABLE1_JOURNAL = Path("repro-table1.journal.jsonl")
+
 
 def _scenario(args) -> "ScenarioConfig":
     from repro.eval.scenarios import paper_scenario, quick_scenario
@@ -60,7 +63,14 @@ def cmd_train(args) -> int:
     scenario = _scenario(args)
     train, val, test = generate_dataset(scenario, seed=args.seed)
     config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
-    model, seconds = train_transformer(train, val, config, use_kal=not args.no_kal)
+    model, seconds = train_transformer(
+        train,
+        val,
+        config,
+        use_kal=not args.no_kal,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     save_module(model, args.out)
     print(
         f"trained on {len(train)} windows in {seconds:.0f}s "
@@ -126,7 +136,10 @@ def cmd_table1(args) -> int:
         from repro.eval.scenarios import generate_dataset
 
         datasets = generate_dataset(scenario, seed=args.seed, selfcheck=True)
-    result = run_table1(config, datasets=datasets)
+    journal = args.journal
+    if journal is None and args.resume:
+        journal = _DEFAULT_TABLE1_JOURNAL
+    result = run_table1(config, datasets=datasets, journal=journal)
     print(result.render())
     print()
     for key, value in result.improvement_over_transformer().items():
@@ -169,9 +182,19 @@ def cmd_scalability(args) -> int:
     from repro.eval.report import format_table
     from repro.eval.scalability import fm_scaling
 
-    points = fm_scaling(args.horizons, steps_per_interval=4, node_limit=args.node_limit)
+    points = fm_scaling(
+        args.horizons,
+        steps_per_interval=4,
+        node_limit=args.node_limit,
+        deadline=args.deadline,
+    )
     rows = [
-        [str(p.horizon), p.status, f"{p.solve_seconds:.2f}", str(p.nodes_explored)]
+        [
+            str(p.horizon),
+            p.status + (" (timed out)" if p.timed_out else ""),
+            f"{p.solve_seconds:.2f}",
+            str(p.nodes_explored),
+        ]
         for p in points
     ]
     print(format_table(["horizon", "status", "seconds", "nodes"], rows))
@@ -221,6 +244,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--no-kal", action="store_true", help="disable the knowledge-augmented loss")
     p.add_argument("--out", type=Path, default=Path("model.npz"))
+    p.add_argument(
+        "--checkpoint",
+        type=Path,
+        help="write an atomic, checksummed training checkpoint here every epoch",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from an existing --checkpoint instead of epoch 0",
+    )
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("impute", help="impute the test split with a trained model")
@@ -232,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="regenerate Table 1")
     common(p)
     p.add_argument("--epochs", type=int, default=10)
+    p.add_argument(
+        "--journal",
+        type=Path,
+        help="result journal (JSONL); completed method columns are "
+        "committed durably and skipped on re-run",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"journal to {_DEFAULT_TABLE1_JOURNAL} when --journal is absent",
+    )
     selfcheckable(p)
     p.set_defaults(func=cmd_table1)
 
@@ -251,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scalability", help="FM-alone scaling study")
     p.add_argument("--horizons", type=int, nargs="+", default=[8, 16, 32])
     p.add_argument("--node-limit", type=int, default=2_000)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock seconds per solve; expired solves return their "
+        "best incumbent flagged as timed out instead of hanging",
+    )
     p.set_defaults(func=cmd_scalability)
 
     return parser
@@ -270,6 +320,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Pool workers are daemonic (terminated with us) and the journal /
+        # checkpoint flush on every write, so there is nothing left to save.
+        hint = ""
+        if args.command in ("train", "table1"):
+            hint = " (progress saved; resumable with --resume)"
+        print(f"\ninterrupted{hint}", file=sys.stderr)
+        return 130
     except CEMInfeasibleError as exc:
         print(f"error: constraint enforcement infeasible: {exc}", file=sys.stderr)
         return 2

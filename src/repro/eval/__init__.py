@@ -26,7 +26,9 @@ from repro.eval.parallel import (
     derive_seeds,
     generate_datasets,
     generate_traces,
+    generate_traces_supervised,
     simulate_jobs,
+    simulate_jobs_supervised,
 )
 from repro.eval.table1 import Table1Config, Table1Result, run_table1
 from repro.eval.figures import fig1_data, fig4_data, pick_representative
@@ -45,7 +47,9 @@ __all__ = [
     "quick_scenario",
     "derive_seeds",
     "simulate_jobs",
+    "simulate_jobs_supervised",
     "generate_traces",
+    "generate_traces_supervised",
     "generate_datasets",
     "Table1Config",
     "Table1Result",

@@ -17,6 +17,17 @@ read back from the cache (the equivalence is asserted in
 ``tests/eval/test_parallel.py``).  :func:`derive_seeds` turns one base
 seed into a reproducible family of per-job seeds via
 :class:`numpy.random.SeedSequence`.
+
+Fault tolerance
+---------------
+
+:func:`simulate_jobs` is the fast, zero-overhead default: one casualty
+(crash, hang) aborts the sweep, exactly as in the seed code.  For long
+sweeps, :func:`simulate_jobs_supervised` runs the misses under a
+:class:`~repro.resilience.supervisor.Supervisor` — per-job timeouts,
+bounded retry with backoff, crash respawn — and degrades gracefully into
+a :class:`~repro.resilience.supervisor.SweepResult` carrying the
+completed traces plus a structured ``FailureReport``.
 """
 
 from __future__ import annotations
@@ -34,6 +45,13 @@ from repro.eval.scenarios import (
     dataset_from_trace,
     generate_trace,
     trace_cache_params,
+)
+from repro.resilience.supervisor import (
+    FailureReport,
+    JobFailure,
+    RetryPolicy,
+    Supervisor,
+    SweepResult,
 )
 from repro.telemetry.dataset import TelemetryDataset
 from repro.switchsim.cache import TraceCache
@@ -115,6 +133,85 @@ def simulate_jobs(
                 cache.put(trace_cache_params(jobs[i][0], jobs[i][1]), trace)
 
     return traces  # type: ignore[return-value]  # every slot is filled above
+
+
+def simulate_jobs_supervised(
+    jobs: Sequence[Job],
+    policy: RetryPolicy | None = None,
+    workers: int | None = None,
+    cache: CacheLike = None,
+    engine: str = "auto",
+    job_fn=None,
+) -> SweepResult:
+    """Fault-tolerant variant of :func:`simulate_jobs`.
+
+    The same cache-hits-in-parent / misses-to-workers split, but misses
+    run under a :class:`~repro.resilience.supervisor.Supervisor`: a hung
+    worker is killed at ``policy.timeout`` and retried with backoff, a
+    crashed worker is respawned, and a job that exhausts its attempts
+    becomes a :class:`~repro.resilience.supervisor.JobFailure` instead of
+    an exception — the sweep always returns every trace it completed.
+    Retries are bit-identical to first tries because each job is a
+    deterministic function of its (scenario, seed) payload.
+
+    ``job_fn`` overrides the worker entry point (the fault-injection
+    tests wrap the real one); it must accept the same
+    ``(config, seed, engine)`` payload tuples.
+    """
+    cache = _coerce_cache(cache)
+    jobs = [(config, int(seed)) for config, seed in jobs]
+    traces: list[SimulationTrace | None] = [None] * len(jobs)
+    report = FailureReport(total_jobs=len(jobs))
+
+    misses: list[int] = []
+    for i, (config, seed) in enumerate(jobs):
+        if cache is not None:
+            cached = cache.get(trace_cache_params(config, seed))
+            if cached is not None:
+                traces[i] = cached
+                continue
+        misses.append(i)
+
+    if misses:
+        supervisor = Supervisor(
+            job_fn if job_fn is not None else _simulate_job,
+            policy=policy,
+            workers=workers,
+        )
+        sweep = supervisor.run([(jobs[i][0], jobs[i][1], engine) for i in misses])
+        report.retries = sweep.report.retries
+        # Remap the supervisor's miss-local indices onto job indices.
+        report.failures = [
+            JobFailure(misses[f.index], f.kind, f.attempts, f.message)
+            for f in sweep.report.failures
+        ]
+        failed = set(f.index for f in report.failures)
+        for local, i in enumerate(misses):
+            if i in failed:
+                continue
+            traces[i] = sweep.results[local]
+            if cache is not None:
+                cache.put(trace_cache_params(jobs[i][0], jobs[i][1]), traces[i])
+
+    return SweepResult(traces, report)
+
+
+def generate_traces_supervised(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    policy: RetryPolicy | None = None,
+    workers: int | None = None,
+    cache: CacheLike = None,
+    engine: str = "auto",
+) -> SweepResult:
+    """Multi-seed fan-out under supervision (see :func:`simulate_jobs_supervised`)."""
+    return simulate_jobs_supervised(
+        [(config, seed) for seed in seeds],
+        policy=policy,
+        workers=workers,
+        cache=cache,
+        engine=engine,
+    )
 
 
 def generate_traces(

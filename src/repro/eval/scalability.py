@@ -35,6 +35,7 @@ class FmScalingPoint:
     solve_seconds: float
     nodes_explored: int
     hit_node_limit: bool
+    timed_out: bool = False
 
 
 def _fm_trace(horizon: int, seed: RngLike):
@@ -67,6 +68,7 @@ def fm_scaling(
     node_limit: int = 2_000,
     lp_backend: str = "scipy",
     seed: RngLike = 0,
+    deadline: float | None = None,
 ) -> list[FmScalingPoint]:
     """Solve the full FM model at growing horizons; returns one point each.
 
@@ -93,7 +95,9 @@ def fm_scaling(
             num_intervals=horizon // steps_per_interval,
             fan_in=3,
         )
-        imputer = FMImputer(lp_backend=lp_backend, node_limit=node_limit)
+        imputer = FMImputer(
+            lp_backend=lp_backend, node_limit=node_limit, deadline=deadline
+        )
         result = imputer.impute(scenario)
         points.append(
             FmScalingPoint(
@@ -102,6 +106,7 @@ def fm_scaling(
                 solve_seconds=result.solve_time,
                 nodes_explored=result.nodes_explored,
                 hit_node_limit=result.hit_node_limit,
+                timed_out=result.timed_out,
             )
         )
     return points

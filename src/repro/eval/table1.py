@@ -17,8 +17,12 @@ consistency/pattern trade-off §4 discusses.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Union
 
 import numpy as np
 
@@ -30,6 +34,7 @@ from repro.imputation.cem import ConstraintEnforcer
 from repro.imputation.iterative import IterativeImputer
 from repro.imputation.trainer import Trainer, TrainerConfig
 from repro.imputation.transformer_imputer import TransformerConfig, TransformerImputer
+from repro.resilience.journal import ResultJournal
 from repro.telemetry.dataset import TelemetryDataset
 
 ROW_LABELS = {
@@ -135,11 +140,24 @@ def _evaluate_method(
     return values, elapsed / max(len(test.samples), 1)
 
 
+def journal_scope(config: Table1Config) -> str:
+    """The journal key prefix identifying one exact Table-1 configuration.
+
+    Everything that determines the table's numbers participates in the
+    hash, so a journal can never leak results across configurations (a
+    changed epoch count, scenario knob, or seed starts a fresh scope).
+    """
+    payload = json.dumps(asdict(config), sort_keys=True, separators=(",", ":"))
+    return "table1/" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 def train_transformer(
     train: TelemetryDataset,
     val: TelemetryDataset,
     config: Table1Config,
     use_kal: bool,
+    checkpoint: Union[str, Path, None] = None,
+    resume: bool = False,
 ) -> tuple[TransformerImputer, float]:
     model = TransformerImputer(
         TransformerConfig(
@@ -167,7 +185,7 @@ def train_transformer(
         val=val,
     )
     start = time.perf_counter()
-    trainer.train()
+    trainer.train(checkpoint_path=checkpoint, resume=resume)
     return model, time.perf_counter() - start
 
 
@@ -175,14 +193,34 @@ def run_table1(
     config: Table1Config | None = None,
     datasets: tuple[TelemetryDataset, TelemetryDataset, TelemetryDataset] | None = None,
     pretrained: tuple[TransformerImputer, TransformerImputer] | None = None,
+    journal: Union[ResultJournal, str, Path, None] = None,
 ) -> Table1Result:
     """Run the full Table-1 experiment.
 
     ``datasets`` may be passed in to reuse a simulation, and ``pretrained``
     = (plain_model, kal_model) to reuse trained transformers (e.g. from a
     benchmark fixture); otherwise everything is built fresh.
+
+    ``journal`` (a :class:`~repro.resilience.journal.ResultJournal` or a
+    path to open one at) makes the run resumable: each method column is
+    committed durably the moment its evaluation finishes, and a re-run
+    with the same journal skips completed columns — including the
+    training they would have required.  Because every column is a
+    deterministic function of ``config``, an interrupted-then-resumed run
+    produces a byte-identical table to an uninterrupted one.  ``None``
+    (the default) is the seed behaviour with zero overhead.
     """
     config = config if config is not None else Table1Config()
+    journal = ResultJournal.coerce(journal)
+    scope = journal_scope(config) if journal is not None else None
+
+    def recorded(method: str):
+        return journal.get(f"{scope}/{method}") if journal is not None else None
+
+    def commit(method: str, payload: dict) -> None:
+        if journal is not None:
+            journal.put(f"{scope}/{method}", payload)
+
     if datasets is None:
         datasets = generate_dataset(config.scenario, seed=config.seed)
     train, val, test = datasets
@@ -192,33 +230,62 @@ def run_table1(
     values: dict[str, dict[str, float]] = {key: {} for key in ROW_LABELS}
     train_seconds: dict[str, float] = {}
 
-    iterative = IterativeImputer()
-    iter_values, _ = _evaluate_method(iterative.impute, test, config)
+    cell = recorded("IterImputer")
+    if cell is None:
+        iterative = IterativeImputer()
+        iter_values, _ = _evaluate_method(iterative.impute, test, config)
+        commit("IterImputer", {"values": iter_values})
+    else:
+        iter_values = cell["values"]
     for key, value in iter_values.items():
         values[key]["IterImputer"] = value
 
+    plain_cell = recorded("Transformer")
+    kal_cell = recorded("Transformer+KAL")
+    cem_cell = recorded("Transformer+KAL+CEM")
+
+    plain_model = kal_model = None
     if pretrained is not None:
         plain_model, kal_model = pretrained
     else:
-        plain_model, seconds = train_transformer(train, val, config, use_kal=False)
-        train_seconds["Transformer"] = seconds
-        kal_model, seconds = train_transformer(train, val, config, use_kal=True)
-        train_seconds["Transformer+KAL"] = seconds
+        # Train only the models still needed by un-journaled columns.
+        if plain_cell is None:
+            plain_model, seconds = train_transformer(train, val, config, use_kal=False)
+            train_seconds["Transformer"] = seconds
+        if kal_cell is None or cem_cell is None:
+            kal_model, seconds = train_transformer(train, val, config, use_kal=True)
+            train_seconds["Transformer+KAL"] = seconds
 
-    plain_values, _ = _evaluate_method(plain_model.impute, test, config)
+    if plain_cell is None:
+        plain_values, _ = _evaluate_method(plain_model.impute, test, config)
+        commit("Transformer", {"values": plain_values})
+    else:
+        plain_values = plain_cell["values"]
     for key, value in plain_values.items():
         values[key]["Transformer"] = value
 
-    kal_values, _ = _evaluate_method(kal_model.impute, test, config)
+    if kal_cell is None:
+        kal_values, _ = _evaluate_method(kal_model.impute, test, config)
+        commit("Transformer+KAL", {"values": kal_values})
+    else:
+        kal_values = kal_cell["values"]
     for key, value in kal_values.items():
         values[key]["Transformer+KAL"] = value
 
-    enforcer = ConstraintEnforcer(test.switch_config)
+    if cem_cell is None:
+        enforcer = ConstraintEnforcer(test.switch_config)
 
-    def full_method(sample):
-        return enforcer.enforce(kal_model.impute(sample), sample)
+        def full_method(sample):
+            return enforcer.enforce(kal_model.impute(sample), sample)
 
-    full_values, cem_seconds = _evaluate_method(full_method, test, config)
+        full_values, cem_seconds = _evaluate_method(full_method, test, config)
+        commit(
+            "Transformer+KAL+CEM",
+            {"values": full_values, "cem_seconds_per_window": cem_seconds},
+        )
+    else:
+        full_values = cem_cell["values"]
+        cem_seconds = float(cem_cell.get("cem_seconds_per_window", 0.0))
     for key, value in full_values.items():
         values[key]["Transformer+KAL+CEM"] = value
 

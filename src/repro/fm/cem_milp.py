@@ -46,20 +46,30 @@ class MilpCemResult:
     objective: Optional[float]
     solve_time: float
     nodes_explored: int
+    timed_out: bool = False  # search cut short; ``corrected`` (when set)
+    # is the best incumbent found within budget, not a proven optimum
 
 
 class MilpCem:
-    """Solver-based minimal-change constraint enforcement."""
+    """Solver-based minimal-change constraint enforcement.
+
+    ``deadline`` bounds each ``enforce`` call's wall clock: on expiry the
+    best incumbent projection found so far is returned with
+    ``timed_out=True`` (anytime behaviour) instead of the optimisation
+    running unbounded.
+    """
 
     def __init__(
         self,
         config: SwitchConfig,
         lp_backend: str = "native",
         node_limit: int = 100_000,
+        deadline: float | None = None,
     ):
         self.config = config
         self.lp_backend = lp_backend
         self.node_limit = node_limit
+        self.deadline = deadline
 
     def enforce(self, imputed: np.ndarray, sample: ImputationSample) -> MilpCemResult:
         """Solve the projection; returns the corrected series when optimal."""
@@ -70,7 +80,11 @@ class MilpCem:
         sampled = np.zeros(T, dtype=bool)
         sampled[sample.sample_positions] = True
 
-        solver = Solver(lp_backend=self.lp_backend, node_limit=self.node_limit)
+        solver = Solver(
+            lp_backend=self.lp_backend,
+            node_limit=self.node_limit,
+            deadline=self.deadline,
+        )
 
         # Queue-length variables with C1-upper baked into bounds.
         q_vars: list[list[RealVar]] = []
@@ -140,4 +154,5 @@ class MilpCem:
             objective=result.objective,
             solve_time=result.solve_time,
             nodes_explored=result.stats.nodes_explored,
+            timed_out=result.timed_out,
         )

@@ -97,6 +97,7 @@ class FMResult:
     solve_time: float
     nodes_explored: int
     hit_node_limit: bool
+    timed_out: bool = False  # node or wall-clock budget cut the search short
 
     @property
     def is_sat(self) -> bool:
@@ -104,11 +105,25 @@ class FMResult:
 
 
 class FMImputer:
-    """Builds and solves the full per-time-step switch model."""
+    """Builds and solves the full per-time-step switch model.
 
-    def __init__(self, lp_backend: str = "native", node_limit: int = 50_000):
+    ``deadline`` (seconds of wall clock per solve) is the anytime budget
+    the paper's scalability story needs: the combinatorial search is
+    *expected* to blow up at realistic horizons (§2.3), so a bounded
+    solve must return with ``timed_out=True`` rather than hang.  It
+    complements ``node_limit``, whose per-node cost varies too much with
+    problem size to bound elapsed time.
+    """
+
+    def __init__(
+        self,
+        lp_backend: str = "native",
+        node_limit: int = 50_000,
+        deadline: float | None = None,
+    ):
         self.lp_backend = lp_backend
         self.node_limit = node_limit
+        self.deadline = deadline
 
     # ------------------------------------------------------------------
     # Model construction
@@ -131,7 +146,11 @@ class FMImputer:
                 if p_num <= 0 or p_den <= 0:
                     raise ValueError(f"alpha rationals must be positive, got {s.alpha}")
 
-        solver = Solver(lp_backend=self.lp_backend, node_limit=self.node_limit)
+        solver = Solver(
+            lp_backend=self.lp_backend,
+            node_limit=self.node_limit,
+            deadline=self.deadline,
+        )
 
         arr = [[IntVar(f"arr_{q}_{t}", 0, s.fan_in) for t in range(T)] for q in range(Q)]
         enq = [[IntVar(f"enq_{q}_{t}", 0, s.fan_in) for t in range(T)] for q in range(Q)]
@@ -282,6 +301,7 @@ class FMImputer:
             solve_time=result.solve_time,
             nodes_explored=result.stats.nodes_explored,
             hit_node_limit=result.stats.hit_node_limit,
+            timed_out=result.timed_out,
         )
 
 

@@ -28,11 +28,19 @@ class PipelineConfig:
     exactness oracle (C1–C3 satisfied, sampled bins pinned, non-negative)
     and raises :class:`~repro.testing.selfcheck.SelfCheckError` with a
     window-level repro on violation; off by default.
+
+    ``checkpoint`` names a file for atomic, checksummed training
+    checkpoints (written every ``checkpoint_every`` epochs); with
+    ``fit(resume=True)`` an interrupted training run continues from it
+    bit-identically.  ``None`` (the default) trains without any
+    checkpoint I/O — the seed code path.
     """
 
     use_kal: bool = True
     use_cem: bool = True
     selfcheck: bool = False
+    checkpoint: "str | None" = None  # path for training checkpoints
+    checkpoint_every: int = 1  # epochs between checkpoint writes
     model: dict = field(default_factory=dict)  # overrides for TransformerConfig
     trainer: dict = field(default_factory=dict)  # overrides for TrainerConfig
 
@@ -68,9 +76,17 @@ class ImputationPipeline(Imputer):
         self.enforcer = ConstraintEnforcer(train.switch_config)
         self._fitted = False
 
-    def fit(self) -> "ImputationPipeline":
-        """Train the transformer; returns self for chaining."""
-        self.trainer.train()
+    def fit(self, resume: bool = False) -> "ImputationPipeline":
+        """Train the transformer; returns self for chaining.
+
+        With ``resume=True`` (and ``config.checkpoint`` set) training
+        continues from the last saved checkpoint instead of epoch 0.
+        """
+        self.trainer.train(
+            checkpoint_path=self.config.checkpoint,
+            checkpoint_every=self.config.checkpoint_every,
+            resume=resume,
+        )
         self._fitted = True
         return self
 

@@ -36,6 +36,8 @@ Per-example scalar residuals:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
 
 import numpy as np
 
@@ -120,6 +122,7 @@ class Trainer:
         self.lambda_periodic = np.zeros(n)
         self.lambda_sent = np.zeros(n)
         self._rng = as_generator(self.config.seed)
+        self._next_epoch = 0  # advanced by train(); restored by checkpoints
 
     # ------------------------------------------------------------------
     # Loss assembly
@@ -203,11 +206,34 @@ class Trainer:
     # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
-    def train(self) -> TrainingHistory:
-        """Run the configured number of epochs; returns per-epoch diagnostics."""
+    def train(
+        self,
+        checkpoint_path: Union[str, Path, None] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> TrainingHistory:
+        """Run the configured number of epochs; returns per-epoch diagnostics.
+
+        With ``checkpoint_path`` the full trainer state (model parameters,
+        optimizer moments, augmented-Lagrangian multipliers, epoch and RNG
+        state) is written atomically every ``checkpoint_every`` epochs and
+        after the final one.  With ``resume=True`` an existing checkpoint
+        at that path is loaded first and training continues from the epoch
+        after it — bit-identically to a never-interrupted run, because the
+        permutation RNG and optimizer state travel with the checkpoint.
+        Both default off: the unadorned ``train()`` is the seed code path.
+        """
         cfg = self.config
+        if checkpoint_path is not None:
+            checkpoint_path = Path(checkpoint_path)
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if resume and checkpoint_path.exists():
+                self.load_checkpoint(checkpoint_path)
         n = len(self.train_set)
-        for epoch in range(cfg.epochs):
+        for epoch in range(self._next_epoch, cfg.epochs):
             self.model.train()
             order = self._rng.permutation(n)
             epoch_loss = 0.0
@@ -253,7 +279,93 @@ class Trainer:
                     f"epoch {epoch + 1}/{cfg.epochs}: "
                     f"loss={self.history.loss[-1]:.4f}{val}"
                 )
+            self._next_epoch = epoch + 1
+            if checkpoint_path is not None and (
+                self._next_epoch % checkpoint_every == 0
+                or self._next_epoch == cfg.epochs
+            ):
+                self.save_checkpoint(checkpoint_path)
         return self.history
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: Union[str, Path]) -> Path:
+        """Atomically write the complete training state (checksummed).
+
+        Captures everything a bit-identical resume needs: model
+        parameters, Adam moments and step count, the per-example Lagrange
+        multipliers, the per-epoch history, the shuffling RNG's state,
+        and the next epoch to run.
+        """
+        from repro.resilience.checkpoint import save_checkpoint
+
+        arrays: dict[str, np.ndarray] = {}
+        for name, value in self.model.state_dict().items():
+            arrays[f"model.{name}"] = value
+        opt_state = self.optimizer.state_dict()
+        for i, (m, v) in enumerate(zip(opt_state["m"], opt_state["v"])):
+            arrays[f"opt.m.{i}"] = m
+            arrays[f"opt.v.{i}"] = v
+        arrays["lambda.max"] = self.lambda_max
+        arrays["lambda.periodic"] = self.lambda_periodic
+        arrays["lambda.sent"] = self.lambda_sent
+        for field_name in ("loss", "base_loss", "constraint_loss", "val_emd"):
+            arrays[f"history.{field_name}"] = np.asarray(
+                getattr(self.history, field_name), dtype=np.float64
+            )
+        meta = {
+            "kind": "trainer",
+            "next_epoch": self._next_epoch,
+            "adam_step": opt_state["step_count"],
+            "num_examples": len(self.train_set),
+            "rng_state": self._rng.bit_generator.state,
+        }
+        return save_checkpoint(path, arrays, meta)
+
+    def load_checkpoint(self, path: Union[str, Path]) -> int:
+        """Restore state saved by :meth:`save_checkpoint`; returns the
+        next epoch to run.  Raises :class:`~repro.resilience.checkpoint.
+        CheckpointError` on a corrupt or mismatched checkpoint."""
+        from repro.resilience.checkpoint import CheckpointError, load_checkpoint
+
+        arrays, meta = load_checkpoint(path)
+        if meta.get("kind") != "trainer":
+            raise CheckpointError(
+                f"{path} is a {meta.get('kind')!r} checkpoint, expected 'trainer'"
+            )
+        if meta.get("num_examples") != len(self.train_set):
+            raise CheckpointError(
+                f"checkpoint was taken with {meta.get('num_examples')} training "
+                f"examples; this trainer has {len(self.train_set)}"
+            )
+        self.model.load_state_dict(
+            {
+                name[len("model."):]: value
+                for name, value in arrays.items()
+                if name.startswith("model.")
+            }
+        )
+        count = len(self.optimizer.params)
+        self.optimizer.load_state_dict(
+            {
+                "step_count": meta["adam_step"],
+                "m": [arrays[f"opt.m.{i}"] for i in range(count)],
+                "v": [arrays[f"opt.v.{i}"] for i in range(count)],
+            }
+        )
+        self.lambda_max = np.asarray(arrays["lambda.max"], dtype=np.float64)
+        self.lambda_periodic = np.asarray(arrays["lambda.periodic"], dtype=np.float64)
+        self.lambda_sent = np.asarray(arrays["lambda.sent"], dtype=np.float64)
+        self.history = TrainingHistory(
+            loss=[float(x) for x in arrays["history.loss"]],
+            base_loss=[float(x) for x in arrays["history.base_loss"]],
+            constraint_loss=[float(x) for x in arrays["history.constraint_loss"]],
+            val_emd=[float(x) for x in arrays["history.val_emd"]],
+        )
+        self._rng.bit_generator.state = meta["rng_state"]
+        self._next_epoch = int(meta["next_epoch"])
+        return self._next_epoch
 
     # ------------------------------------------------------------------
     # Evaluation

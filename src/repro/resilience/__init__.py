@@ -1,0 +1,56 @@
+"""Fault-tolerant execution layer: supervision, checkpoints, deadlines.
+
+Every long-running path in this repo — the parallel trace fan-out, the
+training loop, the Table-1 sweep, and the FM branch-and-bound solves —
+was all-or-nothing: one crashed worker, hung solve, or truncated cache
+file lost hours of work.  This package gives each of them a recovery
+story, while staying strictly opt-in (the default code paths are
+byte-for-byte what they were):
+
+* :mod:`repro.resilience.supervisor` — supervised process execution with
+  per-job wall-clock timeouts, bounded retry with exponential backoff and
+  deterministic jitter, worker-crash recovery, and graceful degradation
+  into a structured :class:`FailureReport`;
+* :mod:`repro.resilience.checkpoint` — atomic, checksummed ``.npz``
+  checkpoints (used by :class:`~repro.imputation.trainer.Trainer` for
+  model/optimizer/multiplier/RNG state);
+* :mod:`repro.resilience.journal` — an append-only, fsync-durable result
+  journal so interrupted sweeps (``eval.table1``) resume by skipping
+  completed cells;
+* :mod:`repro.resilience.budget` — wall-clock :class:`Budget` turning the
+  branch-and-bound solves into anytime algorithms (best incumbent +
+  ``timed_out`` flag instead of a hang);
+* :mod:`repro.resilience.faults` — deterministic fault injectors proving
+  each recovery path actually fires (worker crash/hang, corrupted cache
+  entries, stalled solver), integrated with the ``repro.testing`` golden
+  fingerprints.
+"""
+
+from repro.resilience.budget import Budget, coerce_budget
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.journal import ResultJournal
+from repro.resilience.supervisor import (
+    FailureReport,
+    JobFailure,
+    RetryPolicy,
+    Supervisor,
+    SweepResult,
+)
+
+__all__ = [
+    "Budget",
+    "coerce_budget",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ResultJournal",
+    "RetryPolicy",
+    "Supervisor",
+    "SweepResult",
+    "FailureReport",
+    "JobFailure",
+]

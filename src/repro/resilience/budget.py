@@ -1,0 +1,74 @@
+"""Wall-clock budgets for anytime solver behaviour.
+
+``node_limit`` alone is a poor proxy for "how long may this solve run":
+node cost varies by orders of magnitude with problem size, so the same
+limit is seconds on one scenario and hours on another.  A :class:`Budget`
+expresses the intent directly — *stop after this much wall-clock time and
+hand back the best incumbent found so far* — which is the anytime
+behaviour the paper's scalability argument (§2.3, "FM does not scale")
+relies on: a bounded solve must degrade gracefully, never hang.
+
+The clock is injectable so tests (and the fault injectors in
+:mod:`repro.resilience.faults`) can simulate a stalled solve
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class Budget:
+    """A wall-clock deadline started at construction time.
+
+    ``seconds=None`` never expires (the "unlimited" budget), so callers
+    can thread a budget unconditionally without branching.  ``clock`` is
+    any monotonic float-returning callable; it defaults to
+    :func:`time.monotonic`.
+    """
+
+    def __init__(self, seconds: float | None, clock: Clock = time.monotonic):
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"budget seconds must be positive, got {seconds}")
+        self.seconds = seconds
+        self.clock = clock
+        self.started = clock()
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never expires."""
+        return cls(None)
+
+    def elapsed(self) -> float:
+        """Seconds since the budget started."""
+        return self.clock() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` for an unlimited budget)."""
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        """Has the deadline passed?"""
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.seconds is None:
+            return "Budget(unlimited)"
+        return f"Budget({self.seconds}s, {self.remaining():.3f}s remaining)"
+
+
+def coerce_budget(deadline: "float | Budget | None") -> Budget | None:
+    """Accept a seconds value or a ready-made :class:`Budget`.
+
+    A float starts a fresh budget *now* (the usual call-site semantics:
+    the deadline applies to the solve about to begin); a ``Budget`` is
+    used as-is so tests can drive it with a fake clock.
+    """
+    if deadline is None or isinstance(deadline, Budget):
+        return deadline
+    return Budget(float(deadline))

@@ -1,0 +1,135 @@
+"""Atomic, checksummed checkpoints (arrays + JSON metadata in one file).
+
+A checkpoint that can be *written* atomically but *read* corrupted is
+worse than none: a truncated archive silently resumes training from
+garbage.  These helpers therefore pair the usual tmp-file +
+:func:`os.replace` write with a SHA-256 digest over every array's name,
+shape, dtype, and bytes plus the canonical metadata JSON; :func:`
+load_checkpoint` re-derives the digest and refuses a mismatch with
+:class:`CheckpointError` instead of returning plausible-looking junk.
+
+The on-disk format is a plain ``.npz``: the caller's arrays, plus two
+reserved keys — ``__meta__`` (the metadata mapping as JSON) and
+``__checksum__`` (the digest).  Metadata must be JSON-encodable; numpy
+RNG ``bit_generator.state`` dicts qualify (Python JSON handles their
+128-bit integers exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: Bump when the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+_META_KEY = "__meta__"
+_CHECKSUM_KEY = "__checksum__"
+_RESERVED = (_META_KEY, _CHECKSUM_KEY)
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is unreadable, corrupt, or from an unknown layout."""
+
+
+def _digest(arrays: Mapping[str, np.ndarray], meta_json: str) -> str:
+    """SHA-256 over the arrays (name/shape/dtype/bytes) and metadata."""
+    digest = hashlib.sha256()
+    digest.update(meta_json.encode("utf-8"))
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_checkpoint(
+    path: PathLike,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Atomically write ``arrays`` + ``meta`` to ``path`` with a checksum.
+
+    The write goes through a temporary file in the same directory and an
+    :func:`os.replace`, so a crash mid-write leaves either the previous
+    checkpoint or none — never a half-written one.
+    """
+    path = Path(path)
+    for name in arrays:
+        if name in _RESERVED:
+            raise ValueError(f"array name {name!r} is reserved")
+    meta_payload = {"__checkpoint_version__": CHECKPOINT_VERSION, **(meta or {})}
+    meta_json = json.dumps(meta_payload, sort_keys=True, separators=(",", ":"))
+    checksum = _digest(arrays, meta_json)
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp.npz"
+    )
+    os.close(fd)
+    try:
+        np.savez(
+            tmp_name,
+            **{name: np.asarray(value) for name, value in arrays.items()},
+            **{
+                _META_KEY: np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8),
+                _CHECKSUM_KEY: np.frombuffer(checksum.encode("ascii"), dtype=np.uint8),
+            },
+        )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: PathLike) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Read and verify a checkpoint; returns ``(arrays, meta)``.
+
+    Raises :class:`CheckpointError` when the file is missing, unreadable,
+    missing its reserved keys, or fails the checksum.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            names = set(archive.files)
+            if not set(_RESERVED) <= names:
+                raise CheckpointError(
+                    f"{path} is not a checkpoint (missing reserved keys)"
+                )
+            arrays = {
+                name: archive[name] for name in names if name not in _RESERVED
+            }
+            meta_json = bytes(archive[_META_KEY]).decode("utf-8")
+            stored = bytes(archive[_CHECKSUM_KEY]).decode("ascii")
+    except CheckpointError:
+        raise
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+
+    if _digest(arrays, meta_json) != stored:
+        raise CheckpointError(
+            f"checkpoint {path} failed its checksum (corrupt or tampered)"
+        )
+    meta = json.loads(meta_json)
+    version = meta.pop("__checkpoint_version__", None)
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has layout version {version}; "
+            f"this code reads version {CHECKPOINT_VERSION}"
+        )
+    return arrays, meta

@@ -1,0 +1,86 @@
+"""Append-only result journal for resumable sweeps.
+
+A Table-1 run is a sequence of expensive, independent cells (train a
+method, evaluate it over the test split); losing the process loses them
+all.  :class:`ResultJournal` makes each completed cell durable the moment
+it finishes: one JSON line per record, flushed and fsynced on every
+:meth:`put`, so a ``SIGKILL`` at any instant loses at most the cell that
+was in flight — never a completed one.
+
+Crash tolerance on the *read* side mirrors the write side: a process
+killed mid-``write`` leaves a truncated final line, which :meth:`_load`
+skips (with every complete line before it intact).  Keys are plain
+strings; values anything JSON-encodable.  A re-``put`` of an existing key
+appends a superseding record (last write wins on load), keeping the file
+strictly append-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+class ResultJournal:
+    """Durable ``key -> value`` store backed by an append-only JSONL file."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._records: dict[str, Any] = {}
+        self._load()
+
+    @classmethod
+    def coerce(cls, journal: "ResultJournal | PathLike | None") -> "ResultJournal | None":
+        """Accept a journal, a path to open one at, or None."""
+        if journal is None or isinstance(journal, ResultJournal):
+            return journal
+        return cls(journal)
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_bytes().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                key = record["key"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                # A truncated or garbled line: the write it belonged to
+                # never completed, so the record never existed.
+                continue
+            self._records[key] = record.get("value")
+
+    def put(self, key: str, value: Any) -> None:
+        """Record ``key -> value`` durably (flush + fsync before returning)."""
+        line = json.dumps(
+            {"key": str(key), "value": value}, sort_keys=True, separators=(",", ":")
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[str(key)] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The last value recorded for ``key``, or ``default``."""
+        return self._records.get(str(key), default)
+
+    def __contains__(self, key: str) -> bool:
+        return str(key) in self._records
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultJournal({self.path}, {len(self)} records)"

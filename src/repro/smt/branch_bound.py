@@ -1,10 +1,14 @@
 """Branch-and-bound MILP solver on top of the LP backends.
 
 Depth-first search branching on the most fractional integer variable,
-pruning by LP bound against the incumbent.  A node budget caps the search
-so callers can observe "did not finish" — which is itself a datum this
-repo cares about: the FM-only imputation experiment measures exactly where
-complete search stops being tractable (§2.3).
+pruning by LP bound against the incumbent.  Two budgets cap the search so
+callers can observe "did not finish" — which is itself a datum this repo
+cares about: the FM-only imputation experiment measures exactly where
+complete search stops being tractable (§2.3).  ``node_limit`` bounds the
+tree; ``deadline`` (a wall-clock :class:`~repro.resilience.budget.Budget`)
+bounds elapsed time, giving the solve *anytime* behaviour — when it
+expires the best incumbent found so far is returned with
+``hit_deadline`` flagged instead of the search hanging.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.resilience.budget import Budget
 from repro.smt.milp import MilpProblem, MilpResult
 from repro.smt.simplex import solve_lp, solve_lp_scipy
 
@@ -35,28 +40,45 @@ class BranchBoundStats:
     nodes_pruned: int = 0
     incumbent_updates: int = 0
     hit_node_limit: bool = False
+    hit_deadline: bool = False
+
+    @property
+    def timed_out(self) -> bool:
+        """Did either budget (nodes or wall clock) cut the search short?"""
+        return self.hit_node_limit or self.hit_deadline
 
 
 def solve_milp(
     problem: MilpProblem,
-    lp_backend: str = "native",
+    lp_backend: str | LpBackend = "native",
     node_limit: int = 200_000,
     first_feasible: bool = False,
+    deadline: Budget | None = None,
 ) -> tuple[MilpResult, BranchBoundStats]:
     """Solve a MILP by branch and bound.
 
     Args:
         problem: the MILP (minimisation).
-        lp_backend: "native" (from-scratch simplex) or "scipy" (HiGHS).
+        lp_backend: "native" (from-scratch simplex) or "scipy" (HiGHS) —
+            or a callable with the ``solve_lp`` signature (used by the
+            fault injectors to simulate a stalled solver).
         node_limit: abort after exploring this many nodes; the result
             status becomes ``"node_limit"`` if no incumbent was found, or
             the incumbent is returned with ``hit_node_limit`` flagged.
         first_feasible: stop at the first integer-feasible solution —
             what an SMT ``check()`` (satisfiability only) needs.
+        deadline: wall-clock budget checked before every node; on expiry
+            the incumbent (if any) is returned with ``hit_deadline``
+            flagged, otherwise the status becomes ``"deadline"``.  The
+            check granularity is one LP solve, so overshoot is bounded by
+            a single node's cost.
     """
-    if lp_backend not in _BACKENDS:
+    if callable(lp_backend):
+        lp = lp_backend
+    elif lp_backend in _BACKENDS:
+        lp = _BACKENDS[lp_backend]
+    else:
         raise ValueError(f"unknown lp_backend {lp_backend!r}; use one of {list(_BACKENDS)}")
-    lp = _BACKENDS[lp_backend]
     integer_indices = problem.integer_indices
     stats = BranchBoundStats()
 
@@ -69,6 +91,9 @@ def solve_milp(
     while stack:
         if stats.nodes_explored >= node_limit:
             stats.hit_node_limit = True
+            break
+        if deadline is not None and deadline.expired():
+            stats.hit_deadline = True
             break
         lower, upper = stack.pop()
         stats.nodes_explored += 1
@@ -121,6 +146,11 @@ def solve_milp(
         stack.append((dict(lower), down_upper))
 
     if incumbent_x is None:
-        status = "node_limit" if stats.hit_node_limit else "infeasible"
+        if stats.hit_node_limit:
+            status = "node_limit"
+        elif stats.hit_deadline:
+            status = "deadline"
+        else:
+            status = "infeasible"
         return MilpResult(status=status), stats
     return MilpResult(status="optimal", x=incumbent_x, objective=incumbent_obj), stats

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.resilience.budget import Budget, coerce_budget
 from repro.smt.branch_bound import BranchBoundStats, solve_milp
 from repro.smt.encode import Encoder
 from repro.smt.expr import BoolExpr, NumExpr, Var
@@ -44,6 +45,11 @@ class CheckResult:
     def is_sat(self) -> bool:
         return self.status == "sat"
 
+    @property
+    def timed_out(self) -> bool:
+        """Was the search cut short by its node or wall-clock budget?"""
+        return self.stats.timed_out
+
 
 class Solver:
     """Accumulates assertions; checks satisfiability or minimises.
@@ -57,9 +63,18 @@ class Solver:
             print(result.model[x])
     """
 
-    def __init__(self, lp_backend: str = "native", node_limit: int = 200_000):
+    def __init__(
+        self,
+        lp_backend: str = "native",
+        node_limit: int = 200_000,
+        deadline: "float | Budget | None" = None,
+    ):
         self.lp_backend = lp_backend
         self.node_limit = node_limit
+        # A float deadline starts a fresh Budget per solve (wall clock
+        # measured from the check()/minimize() call); a Budget instance is
+        # used as-is so tests can drive expiry with a fake clock.
+        self.deadline = deadline
         self._assertions: list[BoolExpr] = []
 
     def add(self, *formulas: BoolExpr) -> None:
@@ -92,6 +107,7 @@ class Solver:
             lp_backend=self.lp_backend,
             node_limit=self.node_limit,
             first_feasible=first_feasible,
+            deadline=coerce_budget(self.deadline),
         )
         elapsed = time.perf_counter() - start
 

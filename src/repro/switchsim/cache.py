@@ -33,6 +33,8 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
+import zipfile
 from pathlib import Path
 from typing import Any, Mapping, Union
 
@@ -103,6 +105,7 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def path_for(self, params: Mapping[str, Any]) -> Path:
         """The archive path a parameter mapping hashes to."""
@@ -111,20 +114,56 @@ class TraceCache:
     def get(self, params: Mapping[str, Any]) -> SimulationTrace | None:
         """The cached trace for ``params``, or None (counting hit/miss).
 
-        An unreadable or corrupt entry counts as a miss; the caller will
-        re-simulate and overwrite it.
+        An unreadable or corrupt entry counts as a miss: the bad file is
+        moved aside to ``<root>/quarantine/`` with a warning (so the
+        evidence survives for diagnosis and the next ``put`` re-populates
+        the slot cleanly) and the caller re-simulates.  A truncated
+        ``.npz`` must never kill a sweep — it costs one re-simulation.
         """
         path = self.path_for(params)
         if path.exists():
             try:
                 trace = load_trace(path)
-            except (OSError, ValueError, KeyError, AssertionError):
-                pass
+            # BadZipFile (a truncated archive) subclasses Exception
+            # directly, not OSError/ValueError.
+            except (
+                OSError,
+                ValueError,
+                KeyError,
+                AssertionError,
+                zipfile.BadZipFile,
+            ) as exc:
+                self._quarantine(path, exc)
             else:
                 self.hits += 1
                 return trace
         self.misses += 1
         return None
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        """Move an unreadable entry out of the addressable namespace."""
+        destination = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+            note = f"moved to {destination}"
+        except OSError:
+            # A concurrent reader may have quarantined it first; losing
+            # the race (or an unwritable directory) must not raise — the
+            # entry is simply treated as the miss it is.
+            note = "could not be moved"
+        self.quarantined += 1
+        warnings.warn(
+            f"trace cache entry {path.name} is unreadable "
+            f"({type(exc).__name__}: {exc}); {note}, will re-simulate",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where unreadable entries are moved (``<root>/quarantine``)."""
+        return self.root / "quarantine"
 
     def put(self, params: Mapping[str, Any], trace: SimulationTrace) -> Path:
         """Store ``trace`` under the hash of ``params`` (atomic replace)."""

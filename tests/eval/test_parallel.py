@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.eval import (
     derive_seeds,
@@ -12,6 +13,7 @@ from repro.eval import (
     generate_traces,
     quick_scenario,
     simulate_jobs,
+    simulate_jobs_supervised,
 )
 from repro.switchsim import Simulation, TraceCache
 
@@ -39,6 +41,24 @@ class TestDeriveSeeds:
 
     def test_empty(self):
         assert derive_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            derive_seeds(0, -1)
+
+    def test_retry_rederivation_yields_identical_family(self):
+        """A respawned worker re-deriving its seeds gets the same family —
+        the property that makes supervised retries bit-identical."""
+        for base in (0, 1, 2**31, 2**63 - 1):
+            first = derive_seeds(base, 5)
+            assert derive_seeds(base, 5) == first
+            # Re-deriving any single job's seed (index lookup after a
+            # crash) matches the original fan-out.
+            for i, seed in enumerate(first):
+                assert derive_seeds(base, 5)[i] == seed
+
+    def test_seeds_fit_uint64(self):
+        assert all(0 <= s < 2**64 for s in derive_seeds(42, 16))
 
 
 class TestParallelGeneration:
@@ -90,6 +110,24 @@ class TestParallelGeneration:
         # 1 old miss + 1 hit + 2 new misses; all three slots filled.
         assert cache.hits == 1 and cache.misses == 3
         assert len(traces) == 3 and all(t is not None for t in traces)
+
+    def test_supervised_sweep_matches_plain_sweep(self, tmp_path):
+        """The fault-tolerant entry point is a drop-in: same traces, same
+        cache composition, plus an all-clear report."""
+        cfg = small_scenario()
+        jobs = [(cfg, seed) for seed in derive_seeds(41, 2)]
+        cache = TraceCache(tmp_path)
+        plain = simulate_jobs(jobs, workers=2)
+        sweep = simulate_jobs_supervised(jobs, workers=2, cache=cache)
+        assert sweep.ok and sweep.report.total_jobs == 2
+        for a, b in zip(plain, sweep.results):
+            assert_traces_equal(a, b)
+        assert cache.stores == 2
+        # Warm re-run: cache hits resolve in the parent, no workers spawn.
+        warm = simulate_jobs_supervised(jobs, workers=2, cache=cache)
+        assert warm.ok and cache.hits == 2
+        for a, b in zip(plain, warm.results):
+            assert_traces_equal(a, b)
 
     def test_generate_datasets_matches_generate_dataset(self):
         cfg = quick_scenario()

@@ -1,0 +1,156 @@
+"""Checkpoints: round-trip, checksum verification, trainer bit-identical resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imputation import Trainer, TrainerConfig, TransformerImputer
+from repro.imputation.transformer_imputer import TransformerConfig
+from repro.resilience import CheckpointError, load_checkpoint, save_checkpoint
+
+
+class TestSaveLoad:
+    def test_roundtrip_arrays_and_meta(self, tmp_path):
+        path = tmp_path / "state.npz"
+        arrays = {
+            "weights": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "counts": np.array([1, 2, 3], dtype=np.int64),
+        }
+        meta = {"epoch": 7, "rng": {"state": 123456789012345678901234567890}}
+        save_checkpoint(path, arrays, meta)
+        loaded, loaded_meta = load_checkpoint(path)
+        assert set(loaded) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(loaded[name], arrays[name])
+            assert loaded[name].dtype == arrays[name].dtype
+        assert loaded_meta == meta  # 128-bit ints round-trip exactly
+
+    def test_reserved_array_names_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint(tmp_path / "x.npz", {"__meta__": np.zeros(1)})
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.npz")
+
+    def test_non_checkpoint_npz_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError, match="missing reserved"):
+            load_checkpoint(path)
+
+    def test_truncated_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {"a": np.arange(100)}, {"epoch": 1})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(path)
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {"a": np.zeros(64)}, {"epoch": 1})
+        # Corrupt the stored array bytes without breaking the zip container:
+        # rewrite with the same layout but different data and the old digest.
+        arrays, _ = load_checkpoint(path)  # sanity: intact before tampering
+        import zipfile
+
+        with zipfile.ZipFile(path) as zf:
+            names = zf.namelist()
+            contents = {n: zf.read(n) for n in names}
+        tampered = bytearray(contents["a.npy"])
+        tampered[-1] ^= 0xFF
+        contents["a.npy"] = bytes(tampered)
+        with zipfile.ZipFile(path, "w") as zf:
+            for n in names:
+                zf.writestr(n, contents[n])
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_atomic_overwrite_keeps_previous_on_failure(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_checkpoint(path, {"a": np.ones(4)}, {"epoch": 1})
+        with pytest.raises(ValueError):
+            save_checkpoint(path, {"__checksum__": np.zeros(1)}, {"epoch": 2})
+        arrays, meta = load_checkpoint(path)  # previous checkpoint intact
+        np.testing.assert_array_equal(arrays["a"], np.ones(4))
+        assert meta["epoch"] == 1
+
+
+def _make_trainer(dataset, epochs: int) -> Trainer:
+    model = TransformerImputer(
+        TransformerConfig(
+            num_features=dataset.num_features,
+            num_queues=dataset.num_queues,
+            d_model=16,
+            num_heads=2,
+            num_layers=1,
+            d_ff=32,
+        ),
+        dataset.scaler,
+        seed=0,
+    )
+    return Trainer(
+        model,
+        dataset,
+        TrainerConfig(epochs=epochs, batch_size=8, use_kal=True, seed=0),
+    )
+
+
+class TestTrainerResume:
+    def test_interrupted_training_resumes_bit_identically(
+        self, small_dataset, tmp_path
+    ):
+        """Train 3 epochs straight vs 1 epoch + resume for 2: identical."""
+        straight = _make_trainer(small_dataset, epochs=3)
+        straight.train()
+
+        ck = tmp_path / "trainer.npz"
+        first = _make_trainer(small_dataset, epochs=1)
+        first.train(checkpoint_path=ck)
+        assert ck.exists()
+
+        resumed = _make_trainer(small_dataset, epochs=3)
+        resumed.train(checkpoint_path=ck, resume=True)
+
+        for name, want in straight.model.state_dict().items():
+            np.testing.assert_array_equal(
+                resumed.model.state_dict()[name], want, err_msg=name
+            )
+        np.testing.assert_array_equal(resumed.lambda_max, straight.lambda_max)
+        np.testing.assert_array_equal(resumed.lambda_periodic, straight.lambda_periodic)
+        np.testing.assert_array_equal(resumed.lambda_sent, straight.lambda_sent)
+        assert resumed.history.loss == straight.history.loss
+        assert resumed.history.constraint_loss == straight.history.constraint_loss
+        sample = small_dataset[0]
+        np.testing.assert_array_equal(
+            resumed.model.impute(sample), straight.model.impute(sample)
+        )
+
+    def test_resume_skips_completed_epochs(self, small_dataset, tmp_path):
+        ck = tmp_path / "trainer.npz"
+        done = _make_trainer(small_dataset, epochs=2)
+        done.train(checkpoint_path=ck)
+
+        resumed = _make_trainer(small_dataset, epochs=2)
+        history = resumed.train(checkpoint_path=ck, resume=True)
+        # Everything was already trained: no new epochs ran.
+        assert resumed._next_epoch == 2
+        assert history.loss == done.history.loss
+
+    def test_checkpoint_dataset_mismatch_rejected(self, small_dataset, tmp_path):
+        ck = tmp_path / "trainer.npz"
+        trainer = _make_trainer(small_dataset, epochs=1)
+        trainer.train(checkpoint_path=ck)
+        arrays, meta = load_checkpoint(ck)
+        meta["num_examples"] = meta["num_examples"] + 1
+        save_checkpoint(ck, arrays, meta)
+        fresh = _make_trainer(small_dataset, epochs=1)
+        with pytest.raises(CheckpointError, match="examples"):
+            fresh.load_checkpoint(ck)
+
+    def test_invalid_checkpoint_every_rejected(self, small_dataset, tmp_path):
+        trainer = _make_trainer(small_dataset, epochs=1)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            trainer.train(checkpoint_path=tmp_path / "ck.npz", checkpoint_every=0)

@@ -1,0 +1,75 @@
+"""ResultJournal: durability, truncation tolerance, exact float round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience import ResultJournal
+
+
+class TestJournal:
+    def test_put_get_roundtrip(self, tmp_path):
+        journal = ResultJournal(tmp_path / "j.jsonl")
+        journal.put("a", {"x": 1})
+        journal.put("b", [1, 2, 3])
+        assert journal.get("a") == {"x": 1}
+        assert journal.get("b") == [1, 2, 3]
+        assert "a" in journal and "missing" not in journal
+        assert journal.get("missing", "fallback") == "fallback"
+        assert len(journal) == 2
+
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ResultJournal(path).put("key", {"value": 42})
+        reopened = ResultJournal(path)
+        assert reopened.get("key") == {"value": 42}
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResultJournal(path)
+        journal.put("done", 1)
+        journal.put("also-done", 2)
+        # Simulate a SIGKILL mid-write: the last line is cut short.
+        data = path.read_bytes()
+        path.write_bytes(data[:-9])
+        survivor = ResultJournal(path)
+        assert survivor.get("done") == 1
+        assert "also-done" not in survivor
+
+    def test_garbled_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'\xff\xfe garbage\n{"key": "ok", "value": 5}\n')
+        journal = ResultJournal(path)
+        assert journal.get("ok") == 5
+        assert len(journal) == 1
+
+    def test_last_write_wins_and_file_is_append_only(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResultJournal(path)
+        journal.put("cell", "first")
+        journal.put("cell", "second")
+        assert journal.get("cell") == "second"
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # superseded record still on disk
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        """JSON uses shortest-round-trip repr: doubles survive bit-exactly
+        (what makes a journal-resumed Table 1 byte-identical)."""
+        values = [0.1, 1.0 / 3.0, 2.220446049250313e-16, 1e308, 0.30000000000000004]
+        journal = ResultJournal(tmp_path / "j.jsonl")
+        journal.put("floats", values)
+        reopened = ResultJournal(tmp_path / "j.jsonl")
+        assert reopened.get("floats") == values
+
+    def test_coerce(self, tmp_path):
+        assert ResultJournal.coerce(None) is None
+        journal = ResultJournal(tmp_path / "j.jsonl")
+        assert ResultJournal.coerce(journal) is journal
+        opened = ResultJournal.coerce(tmp_path / "other.jsonl")
+        assert isinstance(opened, ResultJournal)
+
+    def test_lines_are_valid_json_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ResultJournal(path).put("k", {"nested": [1.5, "s"]})
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record == {"key": "k", "value": {"nested": [1.5, "s"]}}

@@ -1,0 +1,171 @@
+"""Supervisor: crash/hang/error recovery, determinism, graceful degradation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    FailureReport,
+    JobFailure,
+    RetryPolicy,
+    Supervisor,
+    SweepResult,
+)
+from repro.resilience.faults import CrashOnce, FailOnce, HangOnce
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _always_raises(payload):
+    raise RuntimeError(f"cannot process {payload}")
+
+
+def _sleep_then_square(payload):
+    if payload == "slow":
+        time.sleep(30.0)
+    return payload * 2 if payload != "slow" else payload
+
+
+class TestHappyPath:
+    def test_results_in_input_order(self):
+        sweep = Supervisor(_square).run([3, 1, 4, 1, 5])
+        assert sweep.results == [9, 1, 16, 1, 25]
+        assert sweep.ok
+        assert sweep.report.retries == 0
+        assert sweep.completed() == sweep.results
+
+    def test_empty_payloads(self):
+        sweep = Supervisor(_square).run([])
+        assert sweep.results == [] and sweep.ok
+
+    def test_single_worker_serialises(self):
+        sweep = Supervisor(_square, workers=1).run([2, 3])
+        assert sweep.results == [4, 9]
+
+
+class TestRecovery:
+    def test_crashed_worker_is_respawned_and_succeeds(self, tmp_path):
+        fn = CrashOnce(_square, tmp_path)
+        sweep = Supervisor(fn, policy=RetryPolicy(backoff_base=0.01)).run([2, 3, 4])
+        assert sweep.results == [4, 9, 16]
+        assert sweep.ok
+        assert sweep.report.retries == 3  # every payload crashed once
+
+    def test_erroring_job_is_retried(self, tmp_path):
+        fn = FailOnce(_square, tmp_path)
+        sweep = Supervisor(fn, policy=RetryPolicy(backoff_base=0.01)).run([5])
+        assert sweep.results == [25]
+        assert sweep.report.retries == 1
+
+    def test_hung_worker_is_killed_and_retried(self, tmp_path):
+        fn = HangOnce(_square, tmp_path, hang_seconds=30.0)
+        policy = RetryPolicy(timeout=0.5, backoff_base=0.01)
+        start = time.monotonic()
+        sweep = Supervisor(fn, policy=policy).run([6])
+        elapsed = time.monotonic() - start
+        assert sweep.results == [36]
+        assert sweep.report.retries == 1
+        assert elapsed < 10.0  # killed at the timeout, nowhere near 30 s
+
+    def test_selective_injection(self, tmp_path):
+        fn = CrashOnce(_square, tmp_path, selector=lambda p: p == 3)
+        sweep = Supervisor(fn, policy=RetryPolicy(backoff_base=0.01)).run([2, 3])
+        assert sweep.results == [4, 9]
+        assert sweep.report.retries == 1  # only the selected payload
+
+
+class TestGracefulDegradation:
+    def test_exhausted_attempts_become_failures_not_exceptions(self):
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.01)
+        sweep = Supervisor(_always_raises, policy=policy).run([1])
+        assert not sweep.ok
+        [failure] = sweep.report.failures
+        assert failure.kind == "error"
+        assert failure.attempts == 2
+        assert "cannot process 1" in failure.message
+        assert sweep.results == [None]
+
+    def test_terminal_crash_reported_with_exit_code(self, tmp_path):
+        fn = CrashOnce(_square, tmp_path, exit_code=7)
+        policy = RetryPolicy(max_attempts=1)
+        sweep = Supervisor(fn, policy=policy).run([2])
+        [failure] = sweep.report.failures
+        assert failure.kind == "crash"
+        # Depending on timing the death is seen as a pipe EOF or an exit
+        # code; either way it is attributed to the worker, not the job.
+        assert "worker" in failure.message
+
+    def test_hung_job_times_out_without_stalling_siblings(self):
+        """Acceptance: one hung job lands in the report; siblings finish."""
+        policy = RetryPolicy(max_attempts=1, timeout=0.5)
+        start = time.monotonic()
+        sweep = Supervisor(_sleep_then_square, policy=policy, workers=4).run(
+            ["a", "slow", "b", "c"]
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0  # the 30 s sleeper was killed, not awaited
+        assert sweep.report.failed_indices == [1]
+        assert sweep.report.failures[0].kind == "timeout"
+        assert sweep.results[0] == "aa"
+        assert sweep.results[2] == "bb" and sweep.results[3] == "cc"
+        assert sweep.completed() == ["aa", "bb", "cc"]
+
+    def test_sibling_work_survives_mixed_failures(self, tmp_path):
+        fn = FailOnce(_always_raises, tmp_path, selector=lambda p: False)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.01)
+        sweep = Supervisor(fn, policy=policy, workers=2).run([1, 2, 3])
+        assert len(sweep.report.failures) == 3
+        summary = sweep.report.summary()
+        assert "0/3 jobs completed" in summary
+        assert "job 0" in summary and "job 2" in summary
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_monotone_to_cap(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.5)
+        delays = [policy.backoff_seconds(3, attempt) for attempt in (1, 2, 3, 4)]
+        assert delays == [policy.backoff_seconds(3, a) for a in (1, 2, 3, 4)]
+        # Exponential growth until the cap (jitter only ever adds).
+        assert 0.1 <= delays[0] and 0.2 <= delays[1] and 0.4 <= delays[2]
+        assert all(d <= 0.5 * (1 + policy.jitter) for d in delays)
+
+    def test_jitter_varies_by_job_and_attempt(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5)
+        assert policy.backoff_seconds(0, 1) != policy.backoff_seconds(1, 1)
+        assert policy.backoff_seconds(0, 1) != policy.backoff_seconds(0, 2)
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter=0.0)
+        assert policy.backoff_seconds(9, 1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(9, 2) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestReportShapes:
+    def test_failure_report_summary_counts(self):
+        report = FailureReport(
+            total_jobs=4,
+            failures=[JobFailure(2, "timeout", 3, "exceeded 1s")],
+            retries=1,
+        )
+        assert not report.ok
+        assert report.failed_indices == [2]
+        assert "3/4 jobs completed" in report.summary()
+        assert "1 retry" in report.summary()
+
+    def test_sweep_result_ok_delegates(self):
+        sweep = SweepResult([1, 2], FailureReport(total_jobs=2))
+        assert sweep.ok and sweep.completed() == [1, 2]

@@ -1,0 +1,116 @@
+"""Table-1 journal resume: a SIGKILL'd run resumes to byte-identical output."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.eval.table1 import METHODS, journal_scope, run_table1
+from repro.resilience import ResultJournal
+
+# Shared between this process and the SIGKILL'd child so both runs use the
+# exact same configuration (any divergence would change journal_scope and
+# defeat the resume).
+CONFIG_SRC = """
+from repro.eval.scenarios import ScenarioConfig
+from repro.eval.table1 import Table1Config
+
+def make_config():
+    scenario = ScenarioConfig(
+        num_ports=2,
+        buffer_capacity=60,
+        steps_per_bin=4,
+        duration_bins=600,
+        interval=25,
+        window_intervals=4,
+        stride_intervals=2,
+        websearch_sources=6,
+        incast_fan_in=4,
+        incast_burst=15,
+        incast_period=250,
+        incast_jitter=60,
+        incast_dsts=(1,),
+    )
+    return Table1Config(
+        scenario=scenario, epochs=1, d_model=16, num_heads=2, num_layers=1,
+        d_ff=32, seed=0,
+    )
+"""
+
+CHILD_SRC = CONFIG_SRC + """
+import sys
+from repro.eval.table1 import run_table1
+from repro.resilience import ResultJournal
+from repro.resilience.faults import kill_after_puts
+
+journal = ResultJournal(sys.argv[1])
+kill_after_puts(journal, 2)  # die right after the second committed cell
+run_table1(make_config(), journal=journal)
+raise SystemExit("unreachable: the process should have been SIGKILLed")
+"""
+
+
+def _make_config():
+    namespace: dict = {}
+    exec(compile(CONFIG_SRC, "<config>", "exec"), namespace)
+    return namespace["make_config"]()
+
+
+@pytest.fixture(scope="module")
+def interrupted_journal(tmp_path_factory):
+    """Run table1 in a child process and SIGKILL it after two commits."""
+    path = tmp_path_factory.mktemp("resume") / "table1.jsonl"
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD_SRC, str(path)],
+        cwd=str(Path(__file__).resolve().parents[2]),
+        env={**os.environ, "PYTHONPATH": "src"},
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == -9, (proc.returncode, proc.stderr)
+    return path
+
+
+class TestSigkillResume:
+    def test_journal_survived_with_exactly_the_committed_cells(
+        self, interrupted_journal
+    ):
+        journal = ResultJournal(interrupted_journal)
+        scope = journal_scope(_make_config())
+        assert len(journal) == 2
+        assert f"{scope}/IterImputer" in journal
+        assert f"{scope}/Transformer" in journal
+        assert f"{scope}/Transformer+KAL" not in journal
+
+    def test_resumed_run_is_byte_identical_to_uninterrupted(
+        self, interrupted_journal
+    ):
+        """Acceptance: resume via the journal, compare against a fresh run."""
+        config = _make_config()
+        resumed = run_table1(config, journal=ResultJournal(interrupted_journal))
+        fresh = run_table1(config)
+        assert resumed.values == fresh.values  # exact float equality
+        assert resumed.render() == fresh.render()
+        assert (
+            resumed.improvement_over_transformer()
+            == fresh.improvement_over_transformer()
+        )
+        # The resumed run did not retrain the journaled plain transformer.
+        assert "Transformer" not in resumed.train_seconds
+        assert "Transformer+KAL" in resumed.train_seconds
+
+    def test_completed_journal_short_circuits_everything(
+        self, interrupted_journal
+    ):
+        config = _make_config()
+        journal = ResultJournal(interrupted_journal)
+        run_table1(config, journal=journal)  # completes the remaining cells
+        scope = journal_scope(config)
+        assert all(f"{scope}/{m}" in journal for m in METHODS)
+        replay = run_table1(config, journal=ResultJournal(interrupted_journal))
+        assert replay.train_seconds == {}  # no training at all on replay

@@ -77,13 +77,56 @@ class TestTraceCache:
         trace = generate_trace(cfg, seed=1, cache=cache)
         path = cache.path_for(trace_cache_params(cfg, 1))
         path.write_bytes(b"not an npz archive")
-        again = generate_trace(cfg, seed=1, cache=cache)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            again = generate_trace(cfg, seed=1, cache=cache)
         assert cache.hits == 0 and cache.misses == 2 and cache.stores == 2
         for field in FIELDS:
             assert (getattr(trace, field) == getattr(again, field)).all(), field
         # The overwrite repaired the entry.
         assert generate_trace(cfg, seed=1, cache=cache) is not None
         assert cache.hits == 1
+
+    def test_corrupt_entry_is_quarantined_not_deleted(self, tmp_path):
+        """The bad file moves to <root>/quarantine for diagnosis."""
+        cfg = quick_scenario()
+        cache = TraceCache(tmp_path)
+        generate_trace(cfg, seed=4, cache=cache)
+        path = cache.path_for(trace_cache_params(cfg, 4))
+        path.write_bytes(b"bit rot")
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            assert cache.get(trace_cache_params(cfg, 4)) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        quarantined = cache.quarantine_dir / path.name
+        assert quarantined.exists()
+        assert quarantined.read_bytes() == b"bit rot"
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        """A half-written archive (BadZipFile, not ValueError) also heals."""
+        cfg = quick_scenario()
+        cache = TraceCache(tmp_path)
+        trace = generate_trace(cfg, seed=6, cache=cache)
+        path = cache.path_for(trace_cache_params(cfg, 6))
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+        with pytest.warns(RuntimeWarning):
+            again = generate_trace(cfg, seed=6, cache=cache)
+        assert cache.quarantined == 1 and cache.stores == 2
+        for field in FIELDS:
+            assert (getattr(trace, field) == getattr(again, field)).all(), field
+
+    def test_quarantined_files_do_not_count_as_entries(self, tmp_path):
+        cfg = quick_scenario()
+        cache = TraceCache(tmp_path)
+        generate_trace(cfg, seed=1, cache=cache)
+        generate_trace(cfg, seed=2, cache=cache)
+        cache.path_for(trace_cache_params(cfg, 1)).write_bytes(b"junk")
+        with pytest.warns(RuntimeWarning):
+            cache.get(trace_cache_params(cfg, 1))
+        assert len(cache) == 1  # the healthy entry only
+        assert cache.clear() == 1  # clear() leaves quarantine alone
+        assert (cache.quarantine_dir / cache.path_for(
+            trace_cache_params(cfg, 1)
+        ).name).exists()
 
     def test_generator_seed_bypasses_cache(self, tmp_path):
         cfg = quick_scenario()

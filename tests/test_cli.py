@@ -24,6 +24,23 @@ class TestParser:
         for command in (["simulate"], ["impute", "--model", "m.npz"], ["table1"]):
             assert build_parser().parse_args(command).selfcheck is False
 
+    def test_resilience_flags_off_by_default(self):
+        train = build_parser().parse_args(["train"])
+        assert train.checkpoint is None and train.resume is False
+        table1 = build_parser().parse_args(["table1"])
+        assert table1.journal is None and table1.resume is False
+        assert build_parser().parse_args(["scalability"]).deadline is None
+
+    def test_resilience_flags_parse(self):
+        train = build_parser().parse_args(
+            ["train", "--checkpoint", "ck.npz", "--resume"]
+        )
+        assert str(train.checkpoint) == "ck.npz" and train.resume
+        table1 = build_parser().parse_args(["table1", "--journal", "j.jsonl"])
+        assert str(table1.journal) == "j.jsonl"
+        args = build_parser().parse_args(["scalability", "--deadline", "2.5"])
+        assert args.deadline == 2.5
+
     def test_bad_engine_rejected_with_usable_message(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["simulate", "--engine", "warp"])
@@ -168,3 +185,47 @@ class TestScalability:
         out = capsys.readouterr().out
         assert "horizon" in out
         assert "4" in out
+
+    def test_tiny_deadline_marks_timeout(self, capsys):
+        code = main(
+            ["scalability", "--horizons", "4", "--deadline", "0.000001"]
+        )
+        assert code == 0
+        assert "(timed out)" in capsys.readouterr().out
+
+
+class TestKeyboardInterrupt:
+    def test_simulate_interrupt_exits_130(self, tmp_path, capsys, monkeypatch):
+        import repro.eval.scenarios as scenarios
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(scenarios, "generate_trace", interrupted)
+        code = main(["simulate", "--out", str(tmp_path / "t.npz")])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" not in err  # simulate has nothing to resume
+
+    def test_table1_interrupt_hints_resume(self, capsys, monkeypatch):
+        import repro.eval.table1 as table1
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(table1, "run_table1", interrupted)
+        code = main(["table1"])
+        assert code == 130
+        assert "resumable with --resume" in capsys.readouterr().err
+
+    def test_train_interrupt_hints_resume(self, capsys, monkeypatch):
+        import repro.eval.table1 as table1
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(table1, "train_transformer", interrupted)
+        code = main(["train", "--epochs", "1"])
+        assert code == 130
+        assert "resumable with --resume" in capsys.readouterr().err
