@@ -21,7 +21,7 @@ from repro.downstream.provisioning import (
     recommend_buffer,
 )
 from repro.eval import format_table, generate_dataset, quick_scenario
-from repro.imputation import ImputationPipeline, PipelineConfig
+from repro.imputation import ImputationPipeline, ModelOverrides, PipelineConfig, TrainerConfig
 
 
 def main() -> None:
@@ -33,8 +33,8 @@ def main() -> None:
         PipelineConfig(
             use_kal=True,
             use_cem=True,
-            model=dict(d_model=32, num_layers=2, d_ff=64),
-            trainer=dict(epochs=8, batch_size=8, seed=0),
+            model=ModelOverrides(d_model=32, num_layers=2, d_ff=64),
+            trainer=TrainerConfig(epochs=8, batch_size=8, seed=0),
         ),
         val=val,
         seed=0,

@@ -15,7 +15,9 @@ from repro.imputation import (
     ConstraintEnforcer,
     ImputationPipeline,
     IterativeImputer,
+    ModelOverrides,
     PipelineConfig,
+    TrainerConfig,
 )
 
 
@@ -29,8 +31,8 @@ def main() -> None:
         train,
         PipelineConfig(
             use_kal=False, use_cem=False,
-            model=dict(d_model=32, num_layers=2, d_ff=64),
-            trainer=dict(epochs=10, batch_size=8, seed=0),
+            model=ModelOverrides(d_model=32, num_layers=2, d_ff=64),
+            trainer=TrainerConfig(epochs=10, batch_size=8, seed=0),
         ),
         val=val, seed=0,
     ).fit()
@@ -38,8 +40,8 @@ def main() -> None:
         train,
         PipelineConfig(
             use_kal=True, use_cem=True,
-            model=dict(d_model=32, num_layers=2, d_ff=64),
-            trainer=dict(epochs=10, batch_size=8, seed=0),
+            model=ModelOverrides(d_model=32, num_layers=2, d_ff=64),
+            trainer=TrainerConfig(epochs=10, batch_size=8, seed=0),
         ),
         val=val, seed=0,
     ).fit()

@@ -12,7 +12,13 @@ Run:  python examples/model_audit.py
 """
 
 from repro.eval import generate_dataset, quick_scenario
-from repro.imputation import ImputationPipeline, IterativeImputer, PipelineConfig
+from repro.imputation import (
+    ImputationPipeline,
+    IterativeImputer,
+    ModelOverrides,
+    PipelineConfig,
+    TrainerConfig,
+)
 from repro.imputation.base import Imputer
 from repro.verify import ConstraintVerifier
 
@@ -27,8 +33,8 @@ def main() -> None:
         PipelineConfig(
             use_kal=True,
             use_cem=False,  # audited separately below
-            model=dict(d_model=32, num_layers=2, d_ff=64),
-            trainer=dict(epochs=8, batch_size=8, seed=0),
+            model=ModelOverrides(d_model=32, num_layers=2, d_ff=64),
+            trainer=TrainerConfig(epochs=8, batch_size=8, seed=0),
         ),
         val=val,
         seed=0,

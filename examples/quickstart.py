@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.constraints import check_constraints
 from repro.eval import generate_dataset, quick_scenario, render_series
-from repro.imputation import ImputationPipeline, PipelineConfig
+from repro.imputation import ImputationPipeline, ModelOverrides, PipelineConfig, TrainerConfig
 
 
 def main() -> None:
@@ -34,8 +34,8 @@ def main() -> None:
         PipelineConfig(
             use_kal=True,
             use_cem=True,
-            model=dict(d_model=32, num_layers=2, d_ff=64),
-            trainer=dict(epochs=10, batch_size=8, seed=0, log_every=2),
+            model=ModelOverrides(d_model=32, num_layers=2, d_ff=64),
+            trainer=TrainerConfig(epochs=10, batch_size=8, seed=0, log_every=2),
         ),
         val=val,
         seed=0,

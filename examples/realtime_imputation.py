@@ -13,7 +13,13 @@ Run:  python examples/realtime_imputation.py
 import numpy as np
 
 from repro.eval import generate_trace, quick_scenario
-from repro.imputation import ImputationPipeline, PipelineConfig, StreamingImputer
+from repro.imputation import (
+    ImputationPipeline,
+    ModelOverrides,
+    PipelineConfig,
+    StreamingImputer,
+    TrainerConfig,
+)
 from repro.imputation.streaming import stream_from_telemetry
 from repro.telemetry import build_dataset, sample_trace
 
@@ -34,8 +40,8 @@ def main() -> None:
         PipelineConfig(
             use_kal=True,
             use_cem=False,  # the streaming wrapper applies CEM itself
-            model=dict(d_model=32, num_layers=2, d_ff=64),
-            trainer=dict(epochs=8, batch_size=8, seed=0),
+            model=ModelOverrides(d_model=32, num_layers=2, d_ff=64),
+            trainer=TrainerConfig(epochs=8, batch_size=8, seed=0),
         ),
         val=val,
         seed=0,

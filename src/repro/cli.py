@@ -3,13 +3,21 @@
 Usage (installed as the console script ``repro`` or via
 ``python -m repro.cli``)::
 
-    repro simulate --duration 2000 --out trace.npz
+    repro run table1 --config examples/table1.toml --set epochs=5
+    repro run simulate --set scenario.duration_bins=4000
+    repro experiments
     repro train --profile quick --epochs 10 --out model.npz
     repro impute --model model.npz --profile quick
-    repro table1 --profile quick
-    repro scalability --horizons 8 16 32
 
-All subcommands are deterministic given ``--seed``.
+``repro run <experiment>`` is the canonical entry point: the experiment
+is resolved in the :mod:`repro.experiments` registry, its typed config
+is loaded from ``--config`` (TOML or JSON; defaults otherwise) and then
+modified by dotted-path ``--set`` overrides.  The pre-registry
+subcommands (``repro simulate``, ``repro table1``,
+``repro scalability``) remain as aliases that call the exact same run
+functions — behaviour-identical down to the journal bytes.
+
+All subcommands are deterministic given their config/seed.
 """
 
 from __future__ import annotations
@@ -20,8 +28,16 @@ from pathlib import Path
 
 import numpy as np
 
-#: Where ``table1 --resume`` keeps its journal when ``--journal`` is absent.
-_DEFAULT_TABLE1_JOURNAL = Path("repro-table1.journal.jsonl")
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed (e.g. PYTHONPATH=src)
+        from repro import __version__
+
+        return __version__
 
 
 def _scenario(args) -> "ScenarioConfig":
@@ -33,27 +49,96 @@ def _scenario(args) -> "ScenarioConfig":
     return scenario
 
 
-def cmd_simulate(args) -> int:
-    """Simulate the scenario and save the fine-grained trace as .npz."""
-    from repro.eval.scenarios import generate_trace
-    from repro.switchsim.io import save_trace
+def _apply_overrides(config, args):
+    """Apply ``--set key=value`` assignments (if any) to a config."""
+    assignments = getattr(args, "overrides", None)
+    if not assignments:
+        return config
+    from repro.config import apply_overrides
 
-    scenario = _scenario(args)
-    trace = generate_trace(
-        scenario,
-        seed=args.seed,
-        cache=args.cache,
-        engine=args.engine,
-        selfcheck=args.selfcheck,
-    )
-    save_trace(trace, args.out)
-    print(
-        f"simulated {trace.num_bins} bins x {trace.num_queues} queues "
-        f"(max qlen {trace.qlen.max()}, drops {trace.dropped.sum()}) -> {args.out}"
-    )
+    return apply_overrides(config, assignments)
+
+
+# ----------------------------------------------------------------------
+# Registry-backed subcommands
+# ----------------------------------------------------------------------
+def cmd_run(args) -> int:
+    """Run a registered experiment from its typed config."""
+    from repro.config import load_config
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment(args.experiment)
+    if args.config is not None:
+        config = load_config(
+            args.config, experiment.config_cls, expected_experiment=experiment.name
+        )
+    else:
+        config = experiment.default_config()
+    config = _apply_overrides(config, args)
+    options = {
+        option.dest: getattr(args, option.dest) for option in experiment.cli_options
+    }
+    return experiment.run(config, **options)
+
+
+def cmd_experiments(args) -> int:
+    """List the registered experiments."""
+    from repro.eval.report import format_table
+    from repro.experiments import iter_experiments
+
+    rows = [
+        [e.name, e.config_cls.__name__, e.artifact_dir, e.summary]
+        for e in iter_experiments()
+    ]
+    print(format_table(["experiment", "config", "artifacts", "summary"], rows))
     return 0
 
 
+def cmd_simulate(args) -> int:
+    """Legacy alias: simulate the scenario and save the trace as .npz."""
+    from repro.experiments import SimulateConfig, run_simulate_experiment
+
+    config = SimulateConfig(
+        scenario=_scenario(args), seed=args.seed, engine=args.engine
+    )
+    config = _apply_overrides(config, args)
+    return run_simulate_experiment(
+        config, out=args.out, cache=args.cache, selfcheck=args.selfcheck
+    )
+
+
+def cmd_table1(args) -> int:
+    """Legacy alias: run the full Table-1 experiment and print the table."""
+    from repro.eval.table1 import Table1Config
+    from repro.experiments import run_table1_experiment
+
+    config = Table1Config(
+        scenario=_scenario(args), epochs=args.epochs, seed=args.seed
+    )
+    config = _apply_overrides(config, args)
+    return run_table1_experiment(
+        config, journal=args.journal, resume=args.resume, selfcheck=args.selfcheck
+    )
+
+
+def cmd_scalability(args) -> int:
+    """Legacy alias: FM-alone solve effort vs horizon."""
+    from repro.eval.scalability import ScalabilityConfig
+    from repro.experiments import run_scalability_experiment
+
+    config = ScalabilityConfig(
+        horizons=tuple(args.horizons),
+        node_limit=args.node_limit,
+        deadline=args.deadline,
+    )
+    config = _apply_overrides(config, args)
+    return run_scalability_experiment(config)
+
+
+# ----------------------------------------------------------------------
+# Model-file subcommands (not experiments: they produce/consume .npz
+# model artifacts rather than a reproducible report)
+# ----------------------------------------------------------------------
 def cmd_train(args) -> int:
     """Train the transformer (+KAL) and save its parameters."""
     from repro.eval.scenarios import generate_dataset
@@ -125,28 +210,6 @@ def cmd_impute(args) -> int:
     return 0 if satisfied == len(test) else 1
 
 
-def cmd_table1(args) -> int:
-    """Run the full Table-1 experiment and print the table."""
-    from repro.eval.table1 import Table1Config, run_table1
-
-    scenario = _scenario(args)
-    config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
-    datasets = None
-    if args.selfcheck:
-        from repro.eval.scenarios import generate_dataset
-
-        datasets = generate_dataset(scenario, seed=args.seed, selfcheck=True)
-    journal = args.journal
-    if journal is None and args.resume:
-        journal = _DEFAULT_TABLE1_JOURNAL
-    result = run_table1(config, datasets=datasets, journal=journal)
-    print(result.render())
-    print()
-    for key, value in result.improvement_over_transformer().items():
-        print(f"  {key}: {value:+.1f}% vs plain transformer")
-    return 0
-
-
 def cmd_verify(args) -> int:
     """Audit a trained model against the switch constraints (C1-C3)."""
     from repro.eval.scenarios import generate_dataset
@@ -177,41 +240,33 @@ def cmd_verify(args) -> int:
     return 0 if report.tolerant_rate >= args.required_rate else 1
 
 
-def cmd_scalability(args) -> int:
-    """FM-alone solve effort vs horizon."""
-    from repro.eval.report import format_table
-    from repro.eval.scalability import fm_scaling
-
-    points = fm_scaling(
-        args.horizons,
-        steps_per_interval=4,
-        node_limit=args.node_limit,
-        deadline=args.deadline,
-    )
-    rows = [
-        [
-            str(p.horizon),
-            p.status + (" (timed out)" if p.timed_out else ""),
-            f"{p.solve_seconds:.2f}",
-            str(p.nodes_explored),
-        ]
-        for p in points
-    ]
-    print(format_table(["horizon", "status", "seconds", "nodes"], rows))
-    return 0
-
-
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
+    from repro.experiments import iter_experiments
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FM+ML telemetry imputation (HotNets '23 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
         p.add_argument("--profile", choices=("paper", "quick"), default="quick")
         p.add_argument("--seed", type=int, default=0)
+
+    def settable(p):
+        p.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            metavar="KEY=VALUE",
+            default=[],
+            help="override a config field by dotted path "
+            "(e.g. --set scenario.duration_bins=4000); repeatable",
+        )
 
     def selfcheckable(p):
         p.add_argument(
@@ -221,6 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
             "serialized repro (off by default)",
         )
 
+    # --- repro run <experiment> ---------------------------------------
+    p = sub.add_parser(
+        "run", help="run a registered experiment from a typed config"
+    )
+    run_sub = p.add_subparsers(dest="experiment", required=True)
+    for experiment in iter_experiments():
+        ep = run_sub.add_parser(experiment.name, help=experiment.summary)
+        ep.add_argument(
+            "--config",
+            type=Path,
+            help=f"{experiment.config_cls.__name__} as TOML or JSON "
+            "(defaults when absent)",
+        )
+        settable(ep)
+        for option in experiment.cli_options:
+            ep.add_argument(*option.flags, dest=option.dest, **dict(option.kwargs))
+        ep.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("experiments", help="list the registered experiments")
+    p.set_defaults(func=cmd_experiments)
+
+    # --- legacy experiment aliases ------------------------------------
     p = sub.add_parser("simulate", help="simulate a switch trace")
     common(p)
     p.add_argument("--duration", type=int, help="fine bins to simulate")
@@ -236,9 +313,41 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         help="trace cache directory; re-runs skip simulation entirely",
     )
+    settable(p)
     selfcheckable(p)
     p.set_defaults(func=cmd_simulate)
 
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    common(p)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument(
+        "--journal",
+        type=Path,
+        help="result journal (JSONL); completed method columns are "
+        "committed durably and skipped on re-run",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal to repro-table1.journal.jsonl when --journal is absent",
+    )
+    settable(p)
+    selfcheckable(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("scalability", help="FM-alone scaling study")
+    p.add_argument("--horizons", type=int, nargs="+", default=[8, 16, 32])
+    p.add_argument("--node-limit", type=int, default=2_000)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock seconds per solve; expired solves return their "
+        "best incumbent flagged as timed out instead of hanging",
+    )
+    settable(p)
+    p.set_defaults(func=cmd_scalability)
+
+    # --- model-file subcommands ---------------------------------------
     p = sub.add_parser("train", help="train the transformer imputer")
     common(p)
     p.add_argument("--epochs", type=int, default=10)
@@ -262,23 +371,6 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheckable(p)
     p.set_defaults(func=cmd_impute)
 
-    p = sub.add_parser("table1", help="regenerate Table 1")
-    common(p)
-    p.add_argument("--epochs", type=int, default=10)
-    p.add_argument(
-        "--journal",
-        type=Path,
-        help="result journal (JSONL); completed method columns are "
-        "committed durably and skipped on re-run",
-    )
-    p.add_argument(
-        "--resume",
-        action="store_true",
-        help=f"journal to {_DEFAULT_TABLE1_JOURNAL} when --journal is absent",
-    )
-    selfcheckable(p)
-    p.set_defaults(func=cmd_table1)
-
     p = sub.add_parser("verify", help="audit a trained model against C1-C3")
     common(p)
     p.add_argument("--model", type=Path, required=True)
@@ -292,27 +384,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("scalability", help="FM-alone scaling study")
-    p.add_argument("--horizons", type=int, nargs="+", default=[8, 16, 32])
-    p.add_argument("--node-limit", type=int, default=2_000)
-    p.add_argument(
-        "--deadline",
-        type=float,
-        help="wall-clock seconds per solve; expired solves return their "
-        "best incumbent flagged as timed out instead of hanging",
-    )
-    p.set_defaults(func=cmd_scalability)
-
     return parser
+
+
+def _resumable(args) -> bool:
+    """Whether an interrupted command's progress is journal/checkpoint-saved."""
+    if args.command in ("train", "table1"):
+        return True
+    return args.command == "run" and getattr(args, "experiment", None) == "table1"
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Domain errors (infeasible CEM input, unsupported engine, a bad
-    ``--cache`` path, self-check violations) are reported on stderr with a
-    non-zero exit code instead of a traceback.
+    ``--cache`` path, an invalid config file or ``--set`` override,
+    self-check violations) are reported on stderr with a non-zero exit
+    code instead of a traceback.
     """
+    from repro.config import ConfigError
     from repro.imputation.cem import CEMInfeasibleError
     from repro.switchsim.engine import EngineUnsupported
     from repro.testing.selfcheck import SelfCheckError
@@ -323,11 +413,12 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         # Pool workers are daemonic (terminated with us) and the journal /
         # checkpoint flush on every write, so there is nothing left to save.
-        hint = ""
-        if args.command in ("train", "table1"):
-            hint = " (progress saved; resumable with --resume)"
+        hint = " (progress saved; resumable with --resume)" if _resumable(args) else ""
         print(f"\ninterrupted{hint}", file=sys.stderr)
         return 130
+    except ConfigError as exc:
+        print(f"error: invalid configuration: {exc}", file=sys.stderr)
+        return 2
     except CEMInfeasibleError as exc:
         print(f"error: constraint enforcement infeasible: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,55 @@
+"""repro.config — the typed configuration spine of the repo.
+
+One schema layer over the existing config dataclasses provides:
+
+* recursive validation with precise dotted error paths
+  (:func:`validate`, :func:`from_mapping`);
+* canonical serialization to/from TOML and JSON with a
+  ``schema_version`` stamp and explicit defaults (:func:`dumps_toml`,
+  :func:`load_config`, …);
+* one stable content hash, :func:`config_digest`, that is the *single*
+  source for trace-cache keys, Table-1 journal scopes, and checkpoint
+  compatibility fingerprints;
+* dotted-path overrides (:func:`apply_overrides`) backing the CLI's
+  ``--set trainer.epochs=5`` grammar.
+
+``python -m repro.config validate examples/*.toml`` checks files against
+their experiment schemas and (optionally) a committed digest corpus —
+see :mod:`repro.config.__main__` and the ``config-validate`` CI job.
+"""
+
+from repro.config.canonical import canonical_json, canonicalize
+from repro.config.digest import CONFIG_SCHEMA_VERSION, config_digest
+from repro.config.errors import ConfigError
+from repro.config.overrides import apply_overrides, parse_assignment
+from repro.config.schema import field_types, from_mapping, to_mapping, validate
+from repro.config.serialize import (
+    config_from_document,
+    dumps_json,
+    dumps_toml,
+    load_config,
+    load_document,
+    save_config,
+    to_document,
+)
+
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "ConfigError",
+    "apply_overrides",
+    "canonical_json",
+    "canonicalize",
+    "config_digest",
+    "config_from_document",
+    "dumps_json",
+    "dumps_toml",
+    "field_types",
+    "from_mapping",
+    "load_config",
+    "load_document",
+    "parse_assignment",
+    "save_config",
+    "to_document",
+    "to_mapping",
+    "validate",
+]

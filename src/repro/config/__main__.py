@@ -1,0 +1,115 @@
+"""``python -m repro.config`` — validate config files, pin their digests.
+
+The ``config-validate`` CI job runs::
+
+    python -m repro.config validate examples/*.toml \\
+        --digests tests/corpus/config_digests.json
+
+which (1) loads every file, (2) validates it against the schema of the
+experiment it declares, and (3) asserts its :func:`~repro.config.
+config_digest` matches the committed corpus — so an accidental semantic
+change to a checked-in config (or to the canonical encoding itself)
+fails CI instead of silently re-keying caches and journals.
+
+``--update`` rewrites the corpus from the current files (the recorded
+recipe for intentional changes).  Exit codes: 0 OK, 1 digest drift,
+2 invalid config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config.digest import config_digest
+from repro.config.errors import ConfigError
+from repro.config.serialize import config_from_document, load_document
+
+
+def _digest_for(path: Path) -> tuple[str, str]:
+    """Validate one config file; returns (experiment name, digest)."""
+    from repro.experiments import get_experiment
+
+    document = load_document(path)
+    name = document.get("experiment")
+    if not isinstance(name, str):
+        raise ConfigError(f"{path} does not declare an 'experiment' field")
+    experiment = get_experiment(name)
+    config = config_from_document(
+        document,
+        experiment.config_cls,
+        expected_experiment=name,
+        source=str(path),
+    )
+    return name, config_digest(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.config",
+        description="validate config files against their experiment schemas",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    v = sub.add_parser("validate", help="validate files, optionally pin digests")
+    v.add_argument("files", nargs="+", type=Path)
+    v.add_argument(
+        "--digests",
+        type=Path,
+        help="JSON corpus of expected digests (file path -> digest)",
+    )
+    v.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite --digests from the current files instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    recorded: dict[str, str] = {}
+    if args.digests is not None and args.digests.exists() and not args.update:
+        recorded = json.loads(args.digests.read_text(encoding="utf-8"))
+
+    current: dict[str, str] = {}
+    drifted: list[str] = []
+    for path in args.files:
+        key = path.as_posix()
+        try:
+            name, digest = _digest_for(path)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        current[key] = digest
+        status = "ok"
+        if recorded:
+            if key not in recorded:
+                status = "UNPINNED (not in corpus)"
+                drifted.append(key)
+            elif recorded[key] != digest:
+                status = f"DIGEST DRIFT (pinned {recorded[key][:16]}…)"
+                drifted.append(key)
+        print(f"{status:>8}  {key}  experiment={name}  digest={digest[:16]}…")
+
+    if args.update:
+        if args.digests is None:
+            print("error: --update requires --digests", file=sys.stderr)
+            return 2
+        args.digests.parent.mkdir(parents=True, exist_ok=True)
+        args.digests.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"pinned {len(current)} digests -> {args.digests}")
+        return 0
+
+    if drifted:
+        print(
+            "error: config digests drifted; if intentional, re-pin with "
+            "--update and bump anything keyed on them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

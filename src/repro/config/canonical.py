@@ -1,0 +1,58 @@
+"""Canonical JSON-primitive encoding shared by every config hash.
+
+``canonicalize`` reduces a value to plain JSON-encodable primitives,
+deterministically across processes and numpy versions: numpy scalars
+collapse to Python numbers, arrays and tuples to lists, mappings to
+string-keyed dicts (key-sorted later by :func:`json.dumps`).  Anything
+whose encoding would be ambiguous (objects, callables) raises
+:class:`TypeError` instead of guessing — a silent ``repr`` fallback would
+make two unequal configs hash equal.
+
+This is the *single* canonical form: the trace cache, the Table-1
+journal scope, and checkpoint compatibility all hash exactly this
+encoding (see :func:`repro.config.config_digest`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["canonicalize", "canonical_json"]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to canonical JSON-encodable primitives."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [canonicalize(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Field order is irrelevant: canonical_json sorts keys.
+        return {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    raise TypeError(
+        f"config values must be JSON-encodable primitives, got {type(value).__name__}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialized form: sorted keys, no whitespace."""
+    return json.dumps(canonicalize(value), sort_keys=True, separators=(",", ":"))

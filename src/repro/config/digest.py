@@ -1,0 +1,67 @@
+"""The single content hash behind every "is this the same experiment?".
+
+Before this module existed the repo had three independent hashing
+schemes — the trace cache's ``trace_key``, the Table-1 journal's
+``journal_scope``, and the checkpoint ``__meta__`` compatibility check —
+each canonicalizing config its own way, so they could silently disagree
+about whether two runs were "the same".  All three now delegate here.
+
+The digest is a SHA-256 over a canonical JSON payload::
+
+    {"__config_schema__": <CONFIG_SCHEMA_VERSION>,
+     "kind": <dataclass name or "mapping">,
+     "config": <canonical mapping, keys sorted>}
+
+Properties:
+
+* **order-insensitive** — a reordered-but-equal mapping digests equal;
+* **kind-separated** — a ``Table1Config`` and a plain dict with the same
+  fields digest differently, so hashes never collide across domains;
+* **versioned** — bumping :data:`CONFIG_SCHEMA_VERSION` invalidates
+  every digest at once (a deliberate, global cache/journal flush).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.config.canonical import canonicalize
+from repro.config.schema import to_mapping
+
+__all__ = ["CONFIG_SCHEMA_VERSION", "config_digest"]
+
+#: Bump when the canonical encoding or payload layout changes
+#: incompatibly; every existing digest (cache keys, journal scopes,
+#: checkpoint fingerprints) then misses/mismatches at once.
+CONFIG_SCHEMA_VERSION = 1
+
+
+def config_digest(config: Any, *, kind: str | None = None) -> str:
+    """Stable SHA-256 hex digest of a config dataclass or plain mapping.
+
+    ``kind`` defaults to the dataclass's class name (``"mapping"`` for a
+    plain mapping) and domain-separates digests: two structurally equal
+    configs of different types never hash equal.  Raises ``TypeError``
+    for values with no canonical encoding (objects, callables).
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        body = to_mapping(config)
+        kind = kind if kind is not None else type(config).__name__
+    elif isinstance(config, Mapping):
+        body = canonicalize(dict(config))
+        kind = kind if kind is not None else "mapping"
+    else:
+        raise TypeError(
+            "config_digest expects a dataclass instance or a mapping, "
+            f"got {type(config).__name__}"
+        )
+    payload = {
+        "__config_schema__": CONFIG_SCHEMA_VERSION,
+        "kind": kind,
+        "config": body,
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

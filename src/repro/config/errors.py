@@ -1,0 +1,26 @@
+"""The one exception type every configuration failure raises.
+
+A configuration error is always a *user* error (a bad file, a bad
+``--set``), so the message must point at the exact field that failed —
+``trainer.epochs: expected int, got str 'banana'`` — never at a Python
+stack frame.  :class:`ConfigError` carries the dotted path alongside the
+human-readable message so callers (the CLI, the validator) can exit 2
+with a usable diagnostic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConfigError"]
+
+
+class ConfigError(ValueError):
+    """A configuration value, file, or override is invalid.
+
+    ``path`` is the dotted location of the offending field (e.g.
+    ``"trainer.epochs"`` or ``"scenario.alphas[1]"``); empty when the
+    problem is not attributable to a single field.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)

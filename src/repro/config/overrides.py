@@ -1,0 +1,87 @@
+"""Dotted-path config overrides: ``--set trainer.epochs=5``.
+
+The override grammar (documented in ``docs/configuration.md``)::
+
+    KEY=VALUE
+    KEY   := dotted path of dataclass fields (trainer.epochs, scenario.alphas)
+    VALUE := a JSON literal (5, 0.5, true, [1.0, 0.5], "quoted") or,
+             when JSON parsing fails, a bare string (mse, auto)
+
+Values are type-checked against the target field's annotation and nested
+dataclasses are rebuilt immutably via :func:`dataclasses.replace`, so
+``__post_init__`` invariants re-run on every override.  Unknown keys and
+type mismatches raise :class:`~repro.config.errors.ConfigError` with the
+full dotted path (and a did-you-mean suggestion), which the CLI turns
+into an exit-code-2 diagnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable
+
+from repro.config.errors import ConfigError
+from repro.config.schema import coerce, field_types, unknown_key_error
+
+__all__ = ["parse_assignment", "apply_overrides"]
+
+
+def parse_assignment(assignment: str) -> tuple[list[str], str]:
+    """Split ``"a.b.c=value"`` into (``["a","b","c"]``, ``"value"``)."""
+    key, sep, raw = assignment.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise ConfigError(
+            f"override {assignment!r} is not of the form KEY=VALUE "
+            "(e.g. --set trainer.epochs=5)"
+        )
+    parts = key.split(".")
+    if any(not part for part in parts):
+        raise ConfigError(f"override key {key!r} has an empty path component")
+    return parts, raw.strip()
+
+
+def _parse_value(raw: str) -> Any:
+    """A JSON literal when it parses, a bare string otherwise."""
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _set_path(config: Any, parts: list[str], raw: str, prefix: str) -> Any:
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigError(
+            f"not a config section (cannot descend into a "
+            f"{type(config).__name__})",
+            prefix.rstrip("."),
+        )
+    hints = field_types(type(config))
+    name = parts[0]
+    if name not in hints:
+        raise unknown_key_error(name, list(hints), prefix.rstrip("."))
+    full = f"{prefix}{name}"
+    if len(parts) == 1:
+        value = coerce(_parse_value(raw), hints[name], full)
+    else:
+        value = _set_path(getattr(config, name), parts[1:], raw, f"{full}.")
+    try:
+        return dataclasses.replace(config, **{name: value})
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        # A __post_init__ invariant (e.g. epochs > 0) rejected the value.
+        raise ConfigError(str(exc), full) from exc
+
+
+def apply_overrides(config: Any, assignments: Iterable[str]) -> Any:
+    """Apply ``KEY=VALUE`` assignments to a config, returning a new one.
+
+    Assignments apply left to right (a later key overrides an earlier
+    one); the input config is never mutated.
+    """
+    for assignment in assignments:
+        parts, raw = parse_assignment(assignment)
+        config = _set_path(config, parts, raw, "")
+    return config

@@ -1,0 +1,259 @@
+"""Schema layer over the repo's config dataclasses.
+
+Every experiment configuration in this repo is a (possibly nested)
+dataclass — ``ScenarioConfig`` inside ``Table1Config`` inside
+``ReplicationConfig``, and so on.  This module derives the schema from
+the dataclass definitions themselves (field names, type annotations,
+defaults) instead of maintaining a parallel description that could
+drift:
+
+* :func:`to_mapping` — serialize a config instance to a plain mapping
+  with **every** field explicit (defaults included), tuples as lists,
+  numpy scalars as Python numbers;
+* :func:`from_mapping` — the inverse: recursive construction with type
+  checking and precise dotted error paths (``scenario.alphas[1]:
+  expected float, got str 'x'``); missing keys fall back to the field's
+  default, unknown keys fail with a did-you-mean suggestion;
+* :func:`validate` — round-trips an instance through both, so any
+  ill-typed field or failing ``__post_init__`` invariant surfaces with
+  its path.
+
+Supported field annotations: ``bool``/``int``/``float``/``str``,
+``X | None``, ``tuple[X, ...]`` (and fixed-arity tuples), ``list[X]``,
+``dict`` (string keys, primitive values), and nested dataclasses.  That
+set is deliberately small — it is exactly what a TOML/JSON config file
+can express.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import types
+from typing import Any, Mapping, Union, get_args, get_origin, get_type_hints
+
+import numpy as np
+
+from repro.config.canonical import canonicalize
+from repro.config.errors import ConfigError
+
+__all__ = ["to_mapping", "from_mapping", "validate", "field_types"]
+
+_NONE_TYPE = type(None)
+
+
+def _join(path: str, name: str) -> str:
+    return f"{path}.{name}" if path else name
+
+
+def _typename(value: Any) -> str:
+    return type(value).__name__
+
+
+def field_types(cls: type) -> dict[str, Any]:
+    """Resolved type annotations of a dataclass's init fields."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    hints = get_type_hints(cls)
+    return {f.name: hints[f.name] for f in dataclasses.fields(cls) if f.init}
+
+
+def to_mapping(config: Any) -> dict[str, Any]:
+    """Serialize a config dataclass to a plain mapping, defaults explicit.
+
+    Field order follows the dataclass definition (stable and
+    human-readable in TOML); hashing sorts keys separately, so order
+    never affects a digest.
+    """
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise TypeError(f"expected a dataclass instance, got {_typename(config)}")
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        if not field.init:
+            continue
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            out[field.name] = to_mapping(value)
+        else:
+            out[field.name] = canonicalize(value)
+    return out
+
+
+def coerce(value: Any, annotation: Any, path: str) -> Any:
+    """Coerce ``value`` to ``annotation``, or raise :class:`ConfigError`.
+
+    The only lossless numeric widening is ``int -> float``; everything
+    else must match exactly (``bool`` is *not* an ``int`` here, despite
+    Python's subclassing, because ``epochs = true`` is always a mistake).
+    """
+    origin = get_origin(annotation)
+
+    if annotation is Any:
+        try:
+            return canonicalize(value)
+        except TypeError as exc:
+            raise ConfigError(str(exc), path) from exc
+
+    if origin in (Union, types.UnionType):
+        args = get_args(annotation)
+        if value is None:
+            if _NONE_TYPE in args:
+                return None
+            raise ConfigError(f"expected {_describe(annotation)}, got None", path)
+        candidates = [a for a in args if a is not _NONE_TYPE]
+        errors = []
+        for candidate in candidates:
+            try:
+                return coerce(value, candidate, path)
+            except ConfigError as exc:
+                errors.append(exc)
+        if len(errors) == 1:
+            raise errors[0]
+        raise ConfigError(
+            f"expected {_describe(annotation)}, got {_typename(value)} {value!r}",
+            path,
+        )
+
+    if dataclasses.is_dataclass(annotation):
+        if isinstance(value, annotation):
+            return value
+        if isinstance(value, Mapping):
+            return from_mapping(annotation, value, path=path)
+        raise ConfigError(
+            f"expected a {annotation.__name__} table, got {_typename(value)} {value!r}",
+            path,
+        )
+
+    if annotation is bool:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise ConfigError(f"expected bool, got {_typename(value)} {value!r}", path)
+
+    if annotation is int:
+        if isinstance(value, bool):
+            raise ConfigError(f"expected int, got bool {value!r}", path)
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        raise ConfigError(f"expected int, got {_typename(value)} {value!r}", path)
+
+    if annotation is float:
+        if isinstance(value, bool):
+            raise ConfigError(f"expected float, got bool {value!r}", path)
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise ConfigError(f"expected float, got {_typename(value)} {value!r}", path)
+
+    if annotation is str:
+        if isinstance(value, str):
+            return value
+        raise ConfigError(f"expected str, got {_typename(value)} {value!r}", path)
+
+    if origin is tuple:
+        return tuple(_coerce_sequence(value, annotation, path))
+
+    if origin is list:
+        return list(_coerce_sequence(value, annotation, path))
+
+    if annotation is dict or origin is dict:
+        if not isinstance(value, Mapping):
+            raise ConfigError(
+                f"expected a table, got {_typename(value)} {value!r}", path
+            )
+        try:
+            return {str(k): canonicalize(v) for k, v in value.items()}
+        except TypeError as exc:
+            raise ConfigError(str(exc), path) from exc
+
+    raise ConfigError(
+        f"unsupported annotation {_describe(annotation)} "
+        "(supported: bool/int/float/str, optionals, tuples, lists, dicts, "
+        "nested dataclasses)",
+        path,
+    )
+
+
+def _coerce_sequence(value: Any, annotation: Any, path: str) -> list[Any]:
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    if not isinstance(value, (list, tuple)):
+        raise ConfigError(
+            f"expected a list, got {_typename(value)} {value!r}", path
+        )
+    args = get_args(annotation)
+    if not args:
+        elements = [Any] * len(value)
+    elif get_origin(annotation) is tuple and not (len(args) == 2 and args[1] is Ellipsis):
+        # Fixed-arity tuple: one annotation per position.
+        if len(value) != len(args):
+            raise ConfigError(
+                f"expected exactly {len(args)} elements, got {len(value)}", path
+            )
+        elements = list(args)
+    else:
+        element_type = args[0]
+        elements = [element_type] * len(value)
+    return [
+        coerce(item, element, f"{path}[{i}]")
+        for i, (item, element) in enumerate(zip(value, elements))
+    ]
+
+
+def _describe(annotation: Any) -> str:
+    if annotation is _NONE_TYPE:
+        return "None"
+    if get_origin(annotation) in (Union, types.UnionType):
+        return " | ".join(_describe(a) for a in get_args(annotation))
+    return getattr(annotation, "__name__", str(annotation))
+
+
+def unknown_key_error(name: str, known: list[str], path: str) -> ConfigError:
+    """A precise 'unknown key' error, with a did-you-mean when close."""
+    suggestion = difflib.get_close_matches(name, known, n=1)
+    hint = f" (did you mean {suggestion[0]!r}?)" if suggestion else ""
+    return ConfigError(
+        f"unknown key{hint}; valid keys: {', '.join(sorted(known))}",
+        _join(path, name),
+    )
+
+
+def from_mapping(cls: type, mapping: Mapping[str, Any], path: str = "") -> Any:
+    """Construct ``cls`` from a mapping, validating recursively.
+
+    Missing keys take the field's default; unknown keys and type
+    mismatches raise :class:`ConfigError` with the dotted path of the
+    offending entry.  ``__post_init__`` invariants (e.g. ``epochs > 0``)
+    are reported the same way.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    if not isinstance(mapping, Mapping):
+        raise ConfigError(
+            f"expected a {cls.__name__} table, got {_typename(mapping)} {mapping!r}",
+            path,
+        )
+    hints = field_types(cls)
+    for key in mapping:
+        if key not in hints:
+            raise unknown_key_error(str(key), list(hints), path)
+    kwargs = {
+        name: coerce(mapping[name], annotation, _join(path, name))
+        for name, annotation in hints.items()
+        if name in mapping
+    }
+    try:
+        return cls(**kwargs)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(str(exc), path) from exc
+
+
+def validate(config: Any) -> Any:
+    """Check a config instance against its own schema; returns it rebuilt.
+
+    Round-trips through :func:`to_mapping`/:func:`from_mapping`, so any
+    ill-typed field value or violated ``__post_init__`` invariant raises
+    :class:`ConfigError` with a precise path.  The return value equals
+    the input for any well-formed config.
+    """
+    return from_mapping(type(config), to_mapping(config))

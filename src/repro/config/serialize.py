@@ -1,0 +1,204 @@
+"""Canonical config documents: TOML and JSON, round-trip safe.
+
+A config *document* wraps the config mapping with provenance::
+
+    schema_version = 1          # CONFIG_SCHEMA_VERSION at write time
+    experiment = "table1"       # which registry entry this configures
+
+    [config]
+    epochs = 10
+    ...
+    [config.scenario]
+    num_ports = 2
+    ...
+
+Dumps are **explicit**: every field is written, defaults included, so a
+checked-in file keeps meaning the same experiment even if code defaults
+drift later.  The one exception is ``None`` — TOML has no null, so
+None-valued optional fields are omitted and omission means None/default
+on load.  Floats use ``repr`` (shortest round-trip form), so load(dump)
+is bit-exact and digests survive the trip.
+
+The TOML writer is local and minimal (the stdlib ships ``tomllib`` for
+reading only); it covers exactly the schema layer's value set — scalars,
+homogeneous arrays, nested tables — and rejects anything else loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.config.digest import CONFIG_SCHEMA_VERSION
+from repro.config.errors import ConfigError
+from repro.config.schema import from_mapping, to_mapping
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "to_document",
+    "dumps_toml",
+    "dumps_json",
+    "save_config",
+    "load_document",
+    "config_from_document",
+    "load_config",
+]
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def to_document(config: Any, experiment: str | None = None) -> dict[str, Any]:
+    """Wrap a config instance in the versioned document mapping."""
+    document: dict[str, Any] = {"schema_version": CONFIG_SCHEMA_VERSION}
+    if experiment is not None:
+        document["experiment"] = experiment
+    document["config"] = to_mapping(config)
+    return document
+
+
+def _toml_value(value: Any, path: str) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        text = repr(value)
+        # TOML floats need a dot or exponent; repr(2.0) == '2.0' already
+        # qualifies, but guard against integral-looking forms anyway.
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(value, str):
+        return json.dumps(value)  # TOML basic strings share JSON's escapes
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v, path) for v in value) + "]"
+    raise ConfigError(
+        f"cannot encode {type(value).__name__} {value!r} as a TOML value", path
+    )
+
+
+def _emit_table(name: str, mapping: Mapping[str, Any], lines: list[str]) -> None:
+    scalars = {
+        k: v for k, v in mapping.items()
+        if not isinstance(v, Mapping) and v is not None
+    }
+    tables = {k: v for k, v in mapping.items() if isinstance(v, Mapping)}
+    if name:
+        lines.append(f"[{name}]")
+    for key, value in scalars.items():
+        lines.append(f"{key} = {_toml_value(value, f'{name}.{key}' if name else key)}")
+    for key, value in tables.items():
+        lines.append("")
+        _emit_table(f"{name}.{key}" if name else key, value, lines)
+
+
+def dumps_toml(config: Any, experiment: str | None = None) -> str:
+    """Serialize a config instance to a TOML document string."""
+    document = to_document(config, experiment)
+    lines: list[str] = []
+    _emit_table("", document, lines)
+    return "\n".join(lines) + "\n"
+
+
+def dumps_json(config: Any, experiment: str | None = None) -> str:
+    """Serialize a config instance to a JSON document string."""
+    return json.dumps(to_document(config, experiment), indent=2) + "\n"
+
+
+def save_config(config: Any, path: PathLike, experiment: str | None = None) -> Path:
+    """Write a config document to ``path`` (format chosen by suffix)."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        text = dumps_toml(config, experiment)
+    elif path.suffix == ".json":
+        text = dumps_json(config, experiment)
+    else:
+        raise ConfigError(
+            f"unsupported config suffix {path.suffix!r} for {path} "
+            "(use .toml or .json)"
+        )
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def load_document(path: PathLike) -> dict[str, Any]:
+    """Parse a ``.toml`` or ``.json`` config document from disk."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"config file not found: {path}")
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{path} is not valid TOML: {exc}") from exc
+    if path.suffix == ".json":
+        try:
+            document = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"{path} is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise ConfigError(f"{path} must contain a JSON object at top level")
+        return document
+    raise ConfigError(
+        f"unsupported config suffix {path.suffix!r} for {path} (use .toml or .json)"
+    )
+
+
+def config_from_document(
+    document: Mapping[str, Any],
+    cls: type,
+    *,
+    expected_experiment: str | None = None,
+    source: str = "config",
+) -> Any:
+    """Validate a parsed document and construct its config instance.
+
+    Checks the ``schema_version`` stamp and, when ``expected_experiment``
+    is given, that the document's ``experiment`` field (if present)
+    matches — loading a ``scalability`` file into ``table1`` should fail
+    before any work runs, not produce a half-valid config.
+    """
+    version = document.get("schema_version")
+    if version != CONFIG_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{source} has schema_version {version!r}; this code reads "
+            f"version {CONFIG_SCHEMA_VERSION}"
+        )
+    declared = document.get("experiment")
+    if (
+        expected_experiment is not None
+        and declared is not None
+        and declared != expected_experiment
+    ):
+        raise ConfigError(
+            f"{source} declares experiment {declared!r}, but was loaded "
+            f"for {expected_experiment!r}"
+        )
+    body = document.get("config")
+    if not isinstance(body, Mapping):
+        raise ConfigError(f"{source} is missing its [config] table")
+    return from_mapping(cls, body)
+
+
+def load_config(
+    path: PathLike, cls: type, *, expected_experiment: str | None = None
+) -> Any:
+    """Load, validate, and construct a config of type ``cls`` from disk."""
+    return config_from_document(
+        load_document(path),
+        cls,
+        expected_experiment=expected_experiment,
+        source=str(path),
+    )

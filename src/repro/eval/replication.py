@@ -10,12 +10,25 @@ improves on the transformer" can be checked for seed-robustness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.eval.report import format_table
 from repro.eval.table1 import METHODS, ROW_LABELS, Table1Config, Table1Result, run_table1
+
+
+@dataclass
+class ReplicationConfig:
+    """Declarative form of the cross-seed replication experiment.
+
+    ``table1`` is the per-seed configuration (its own ``seed`` field is
+    ignored — each run gets one of ``seeds`` instead, exactly as
+    :func:`run_replicated_table1` does).
+    """
+
+    table1: Table1Config = field(default_factory=Table1Config)
+    seeds: tuple[int, ...] = (0, 1, 2)
 
 
 @dataclass

@@ -26,6 +26,37 @@ from repro.traffic.distributions import FixedSizes
 from repro.utils.rng import RngLike, as_generator
 
 
+@dataclass(frozen=True)
+class ScalabilityConfig:
+    """Declarative form of the FM-alone scaling study (``fm_scaling``).
+
+    The registered ``scalability`` experiment runs exactly this; the
+    legacy CLI flags (``--horizons``, ``--node-limit``, ``--deadline``)
+    are conveniences that set the matching fields.  ``deadline`` is the
+    per-solve wall-clock budget in seconds (``None`` = unbounded; TOML
+    files express "unbounded" by omitting the key).
+    """
+
+    horizons: tuple[int, ...] = (8, 16, 32)
+    steps_per_interval: int = 4
+    node_limit: int = 2_000
+    lp_backend: str = "scipy"
+    seed: int = 0
+    deadline: float | None = None
+
+
+def run_scaling(config: ScalabilityConfig) -> "list[FmScalingPoint]":
+    """:func:`fm_scaling` driven by a :class:`ScalabilityConfig`."""
+    return fm_scaling(
+        list(config.horizons),
+        steps_per_interval=config.steps_per_interval,
+        node_limit=config.node_limit,
+        lp_backend=config.lp_backend,
+        seed=config.seed,
+        deadline=config.deadline,
+    )
+
+
 @dataclass
 class FmScalingPoint:
     """One (horizon → solve effort) measurement."""

@@ -17,15 +17,14 @@ consistency/pattern trade-off §4 discusses.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from repro.config import config_digest
 from repro.constraints.spec import check_constraints
 from repro.downstream.metrics import DownstreamReport, evaluate_downstream
 from repro.eval.report import format_table
@@ -146,9 +145,10 @@ def journal_scope(config: Table1Config) -> str:
     Everything that determines the table's numbers participates in the
     hash, so a journal can never leak results across configurations (a
     changed epoch count, scenario knob, or seed starts a fresh scope).
+    The hash is :func:`repro.config.config_digest` — the same canonical
+    digest that keys the trace cache and fingerprints checkpoints.
     """
-    payload = json.dumps(asdict(config), sort_keys=True, separators=(",", ":"))
-    return "table1/" + hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return "table1/" + config_digest(config)[:16]
 
 
 def train_transformer(
@@ -206,9 +206,12 @@ def run_table1(
     committed durably the moment its evaluation finishes, and a re-run
     with the same journal skips completed columns — including the
     training they would have required.  Because every column is a
-    deterministic function of ``config``, an interrupted-then-resumed run
-    produces a byte-identical table to an uninterrupted one.  ``None``
-    (the default) is the seed behaviour with zero overhead.
+    deterministic function of ``config`` — journaled payloads contain
+    only config-determined values, never timings — an
+    interrupted-then-resumed run produces a byte-identical table to an
+    uninterrupted one, and two fresh runs of the same config write
+    byte-identical journals.  ``None`` (the default) is the seed
+    behaviour with zero overhead.
     """
     config = config if config is not None else Table1Config()
     journal = ResultJournal.coerce(journal)
@@ -279,12 +282,12 @@ def run_table1(
             return enforcer.enforce(kal_model.impute(sample), sample)
 
         full_values, cem_seconds = _evaluate_method(full_method, test, config)
-        commit(
-            "Transformer+KAL+CEM",
-            {"values": full_values, "cem_seconds_per_window": cem_seconds},
-        )
+        commit("Transformer+KAL+CEM", {"values": full_values})
     else:
         full_values = cem_cell["values"]
+        # Timings are deliberately not journaled (they would make two
+        # runs of one config byte-different); pre-unification journals
+        # may still carry the key, so keep reading it.
         cem_seconds = float(cem_cell.get("cem_seconds_per_window", 0.0))
     for key, value in full_values.items():
         values[key]["Transformer+KAL+CEM"] = value

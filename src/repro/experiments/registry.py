@@ -1,0 +1,106 @@
+"""The experiment registry: name → (config type, run fn, artifact dir).
+
+An *experiment* is a named, reproducible unit of work: it owns a typed
+config dataclass (the complete, digestable specification of what runs),
+a run function (config in, exit code out, human-readable report on
+stdout), and a default artifact directory.  The CLI's ``repro run
+<name>`` resolves names here; ``repro experiments`` lists the table.
+
+Registration is explicit (no import-time magic beyond importing
+:mod:`repro.experiments`), and duplicate names are an error — two
+experiments that hash configs under the same name would corrupt each
+other's journals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "CliOption",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "experiment_names",
+    "iter_experiments",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class CliOption:
+    """One extra run-control flag an experiment exposes on ``repro run``.
+
+    These are *not* part of the experiment config (they never affect the
+    config digest): journal paths, output files, self-check toggles —
+    knobs about how to run, not what to run.
+    """
+
+    flags: tuple[str, ...]
+    dest: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    name: str
+    config_cls: type
+    default_config: Callable[[], Any]
+    run: Callable[..., int]
+    artifact_dir: str
+    summary: str
+    cli_options: tuple[CliOption, ...] = ()
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry; duplicate names are an error."""
+    if experiment.name in _REGISTRY:
+        raise ValueError(f"experiment {experiment.name!r} is already registered")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: "
+            f"{', '.join(experiment_names())}"
+        ) from None
+
+
+def experiment_names() -> list[str]:
+    """Registered experiment names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def iter_experiments() -> Iterator[Experiment]:
+    """Registered experiments in name order."""
+    for name in experiment_names():
+        yield _REGISTRY[name]
+
+
+def run_experiment(name: str, config: Any = None, **options: Any) -> int:
+    """Run a registered experiment programmatically.
+
+    ``config`` defaults to the experiment's default config; ``options``
+    are the run-control keywords its :attr:`Experiment.cli_options`
+    declare (e.g. ``journal=...`` for ``table1``).
+    """
+    experiment = get_experiment(name)
+    if config is None:
+        config = experiment.default_config()
+    elif not isinstance(config, experiment.config_cls):
+        raise TypeError(
+            f"experiment {name!r} expects a {experiment.config_cls.__name__}, "
+            f"got {type(config).__name__}"
+        )
+    return experiment.run(config, **options)

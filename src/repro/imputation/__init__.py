@@ -22,7 +22,7 @@ from repro.imputation.iterative import IterativeImputer
 from repro.imputation.transformer_imputer import TransformerImputer
 from repro.imputation.trainer import Trainer, TrainerConfig
 from repro.imputation.cem import CEMInfeasibleError, ConstraintEnforcer
-from repro.imputation.pipeline import ImputationPipeline, PipelineConfig
+from repro.imputation.pipeline import ImputationPipeline, ModelOverrides, PipelineConfig
 from repro.imputation.streaming import (
     IntervalMeasurement,
     StreamingImputer,
@@ -39,6 +39,7 @@ __all__ = [
     "ConstraintEnforcer",
     "CEMInfeasibleError",
     "ImputationPipeline",
+    "ModelOverrides",
     "PipelineConfig",
     "StreamingImputer",
     "StreamingUpdate",

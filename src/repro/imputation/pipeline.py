@@ -8,7 +8,9 @@ The four Table-1 method variants are produced by toggling ``use_kal`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field, replace
+from typing import Mapping
 
 import numpy as np
 
@@ -20,9 +22,35 @@ from repro.telemetry.dataset import ImputationSample, TelemetryDataset
 from repro.utils.rng import RngLike
 
 
+@dataclass(frozen=True)
+class ModelOverrides:
+    """The architecture knobs of :class:`TransformerConfig`.
+
+    :class:`TransformerConfig` itself also carries ``num_features`` and
+    ``num_queues``, which are properties of the *dataset* the pipeline is
+    fitted on — this dataclass is the configurable remainder.  Defaults
+    mirror ``TransformerConfig``'s (asserted by a test, so they cannot
+    drift).
+    """
+
+    d_model: int = 48
+    num_heads: int = 4
+    num_layers: int = 2
+    d_ff: int = 96
+    dropout: float = 0.0
+    max_len: int = 4096
+
+
 @dataclass
 class PipelineConfig:
     """Configuration for the full imputation pipeline.
+
+    ``model`` and ``trainer`` are typed nested configs
+    (:class:`ModelOverrides`, :class:`~repro.imputation.trainer.
+    TrainerConfig`).  Plain dicts are still accepted for backward
+    compatibility — converted in ``__post_init__`` with a
+    ``DeprecationWarning`` — and ``trainer.use_kal`` is always overridden
+    by this config's own ``use_kal`` flag.
 
     ``selfcheck`` re-verifies every CEM-corrected window against the
     exactness oracle (C1–C3 satisfied, sampled bins pinned, non-negative)
@@ -41,8 +69,26 @@ class PipelineConfig:
     selfcheck: bool = False
     checkpoint: "str | None" = None  # path for training checkpoints
     checkpoint_every: int = 1  # epochs between checkpoint writes
-    model: dict = field(default_factory=dict)  # overrides for TransformerConfig
-    trainer: dict = field(default_factory=dict)  # overrides for TrainerConfig
+    model: ModelOverrides = field(default_factory=ModelOverrides)
+    trainer: TrainerConfig = field(default_factory=TrainerConfig)
+
+    def __post_init__(self):
+        if isinstance(self.model, Mapping):
+            warnings.warn(
+                "PipelineConfig.model as a dict is deprecated; pass "
+                "ModelOverrides(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.model = ModelOverrides(**self.model)
+        if isinstance(self.trainer, Mapping):
+            warnings.warn(
+                "PipelineConfig.trainer as a dict is deprecated; pass "
+                "TrainerConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.trainer = TrainerConfig(**self.trainer)
 
 
 class ImputationPipeline(Imputer):
@@ -66,12 +112,12 @@ class ImputationPipeline(Imputer):
         model_config = TransformerConfig(
             num_features=train.num_features,
             num_queues=train.num_queues,
-            **self.config.model,
+            **asdict(self.config.model),
         )
         self.model = TransformerImputer(model_config, train.scaler, seed=seed)
-        trainer_config = TrainerConfig(
-            use_kal=self.config.use_kal, **self.config.trainer
-        )
+        # The pipeline-level use_kal flag is authoritative (it also
+        # selects the ablation column in Table 1).
+        trainer_config = replace(self.config.trainer, use_kal=self.config.use_kal)
         self.trainer = Trainer(self.model, train, trainer_config, val=val)
         self.enforcer = ConstraintEnforcer(train.switch_config)
         self._fitted = False

@@ -290,6 +290,23 @@ class Trainer:
     # ------------------------------------------------------------------
     # Checkpoint / resume
     # ------------------------------------------------------------------
+    def config_fingerprint(self) -> str:
+        """Digest of the semantic trainer configuration, for checkpoints.
+
+        Delegates to :func:`repro.config.config_digest` (the same hash
+        that keys the trace cache and journal scopes) over the config
+        *minus* the knobs a resume may legitimately change: ``epochs``
+        (resuming with more epochs continues training) and ``log_every``
+        (stdout cadence).  Everything else — loss, KAL terms, learning
+        rate, batch size, seed — must match, or a resumed run would
+        silently diverge from the uninterrupted one.
+        """
+        from dataclasses import replace
+
+        from repro.config import config_digest
+
+        return config_digest(replace(self.config, epochs=1, log_every=0))
+
     def save_checkpoint(self, path: Union[str, Path]) -> Path:
         """Atomically write the complete training state (checksummed).
 
@@ -319,6 +336,7 @@ class Trainer:
             "next_epoch": self._next_epoch,
             "adam_step": opt_state["step_count"],
             "num_examples": len(self.train_set),
+            "config_digest": self.config_fingerprint(),
             "rng_state": self._rng.bit_generator.state,
         }
         return save_checkpoint(path, arrays, meta)
@@ -338,6 +356,15 @@ class Trainer:
             raise CheckpointError(
                 f"checkpoint was taken with {meta.get('num_examples')} training "
                 f"examples; this trainer has {len(self.train_set)}"
+            )
+        stored_digest = meta.get("config_digest")
+        if stored_digest is not None and stored_digest != self.config_fingerprint():
+            # Absent in pre-unification checkpoints: those load unchecked,
+            # exactly as they did when written.
+            raise CheckpointError(
+                f"checkpoint {path} was written under a different trainer "
+                "configuration (loss/KAL/optimizer knobs changed); resuming "
+                "would silently diverge from the original run"
             )
         self.model.load_state_dict(
             {

@@ -11,14 +11,22 @@ simulation entirely.
 Keying and invalidation
 -----------------------
 
-Keys are SHA-256 hashes of a canonical JSON encoding of the parameter
-mapping, with :data:`TRACE_CACHE_VERSION` mixed in.  Bump the version
-whenever the simulator or a traffic generator changes behaviour for the
-same parameters — every old entry then misses (stale files are simply
-never read again and can be garbage-collected with :meth:`TraceCache.
-clear`).  Callers that change *their* trace-producing code independently
-of this module should include their own revision marker in the params
-(see ``traffic_rev`` in :mod:`repro.eval.scenarios`).
+Keys come from :func:`repro.config.config_digest` — the same canonical
+content hash that scopes Table-1 journals and fingerprints training
+checkpoints — over the parameter mapping with :data:`TRACE_CACHE_VERSION`
+mixed in.  Bump the version whenever the simulator or a traffic
+generator changes behaviour for the same parameters — every old entry
+then misses (stale files are simply never read again and can be
+garbage-collected with :meth:`TraceCache.clear`).  Callers that change
+*their* trace-producing code independently of this module should include
+their own revision marker in the params (see ``traffic_rev`` in
+:mod:`repro.eval.scenarios`).
+
+Entries written before the unified digest existed (PR 1–3) used a
+different hash of the same canonical encoding; :meth:`TraceCache.get`
+transparently re-maps such entries to their new key on first access
+(:func:`legacy_trace_key`), so adopting the unified digest does not
+invalidate warm on-disk caches.
 
 The cache directory defaults to the ``REPRO_TRACE_CACHE`` environment
 variable, falling back to ``~/.cache/repro/traces``.  Writes go through a
@@ -38,8 +46,7 @@ import zipfile
 from pathlib import Path
 from typing import Any, Mapping, Union
 
-import numpy as np
-
+from repro.config import canonicalize, config_digest
 from repro.switchsim.io import load_trace, save_trace
 from repro.switchsim.simulation import SimulationTrace
 
@@ -52,36 +59,31 @@ _ENV_VAR = "REPRO_TRACE_CACHE"
 _DEFAULT_ROOT = "~/.cache/repro/traces"
 
 
-def _canonical(value: Any) -> Any:
-    """Reduce ``value`` to canonical JSON-encodable primitives.
-
-    Deterministic across processes and numpy versions: numpy scalars
-    collapse to Python numbers, tuples to lists, mappings are key-sorted
-    by :func:`json.dumps` later.  Rejects anything whose encoding would
-    be ambiguous (objects, callables) instead of guessing.
-    """
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return [_canonical(v) for v in value.tolist()]
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, Mapping):
-        return {str(k): _canonical(v) for k, v in value.items()}
-    raise TypeError(
-        f"cache params must be JSON-encodable primitives, got {type(value).__name__}"
-    )
-
-
 def trace_key(params: Mapping[str, Any]) -> str:
-    """Content hash of a parameter mapping (stable across processes)."""
+    """Content hash of a parameter mapping (stable across processes).
+
+    Delegates to :func:`repro.config.config_digest`, so the trace cache,
+    the Table-1 journal scope, and checkpoint fingerprints all share one
+    canonicalization — two runs agree on "same experiment" everywhere or
+    nowhere.
+    """
     payload = {
         "__trace_cache_version__": TRACE_CACHE_VERSION,
-        "params": _canonical(dict(params)),
+        "params": dict(params),
+    }
+    return config_digest(payload, kind="trace_cache")[:32]
+
+
+def legacy_trace_key(params: Mapping[str, Any]) -> str:
+    """The PR 1–3 key scheme, kept verbatim for on-disk cache migration.
+
+    :meth:`TraceCache.get` uses this to find entries written before
+    :func:`repro.config.config_digest` unified the hashing paths and
+    adopt them under their new key (an ``os.replace``, not a copy).
+    """
+    payload = {
+        "__trace_cache_version__": TRACE_CACHE_VERSION,
+        "params": canonicalize(dict(params)),
     }
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:32]
@@ -106,6 +108,7 @@ class TraceCache:
         self.misses = 0
         self.stores = 0
         self.quarantined = 0
+        self.migrated = 0  # legacy-key entries adopted under their new key
 
     def path_for(self, params: Mapping[str, Any]) -> Path:
         """The archive path a parameter mapping hashes to."""
@@ -119,8 +122,15 @@ class TraceCache:
         evidence survives for diagnosis and the next ``put`` re-populates
         the slot cleanly) and the caller re-simulates.  A truncated
         ``.npz`` must never kill a sweep — it costs one re-simulation.
+
+        An entry stored under the pre-unification key scheme (PR 1–3) is
+        adopted in place: renamed to its :func:`trace_key` path and read
+        normally, so a warm cache survives the digest migration without
+        a single re-simulation.
         """
         path = self.path_for(params)
+        if not path.exists():
+            self._adopt_legacy_entry(params, path)
         if path.exists():
             try:
                 trace = load_trace(path)
@@ -139,6 +149,20 @@ class TraceCache:
                 return trace
         self.misses += 1
         return None
+
+    def _adopt_legacy_entry(self, params: Mapping[str, Any], path: Path) -> None:
+        """Re-map a PR-3-era cache entry to its unified-digest key."""
+        legacy = self.root / f"{legacy_trace_key(params)}.npz"
+        if not legacy.exists():
+            return
+        try:
+            os.replace(legacy, path)
+        except OSError:
+            # A concurrent reader may have adopted it first; if the new
+            # path now exists the caller still gets its hit, otherwise
+            # this is simply the miss it would have been.
+            return
+        self.migrated += 1
 
     def _quarantine(self, path: Path, exc: BaseException) -> None:
         """Move an unreadable entry out of the addressable namespace."""

@@ -1,0 +1,85 @@
+"""The checked-in examples/*.toml files stay valid and digest-stable."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import config_digest, load_config
+from repro.experiments import get_experiment, iter_experiments
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO / "examples").glob("*.toml"))
+CORPUS = REPO / "tests" / "corpus" / "config_digests.json"
+
+
+def test_every_experiment_has_an_example_config():
+    names = {path.stem for path in EXAMPLES}
+    for experiment in iter_experiments():
+        assert experiment.name in names, (
+            f"examples/{experiment.name}.toml is missing; generate it with "
+            "repro.config.save_config(experiment.default_config(), ...)"
+        )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_loads_as_its_default_config(path):
+    experiment = get_experiment(path.stem)
+    loaded = load_config(
+        path, experiment.config_cls, expected_experiment=experiment.name
+    )
+    # The checked-in files are the registry defaults, written explicitly.
+    assert loaded == experiment.default_config()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_digest_matches_corpus(path):
+    corpus = json.loads(CORPUS.read_text())
+    key = path.relative_to(REPO).as_posix()
+    assert key in corpus, f"{key} missing from {CORPUS}; re-pin with --update"
+    experiment = get_experiment(path.stem)
+    loaded = load_config(path, experiment.config_cls)
+    assert config_digest(loaded) == corpus[key], (
+        f"digest drift for {key}: the canonical encoding or the config "
+        "changed. If intentional, re-pin with "
+        "python -m repro.config validate --update"
+    )
+
+
+def test_validate_cli_passes_on_committed_state():
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.config",
+            "validate",
+            *[str(p.relative_to(REPO)) for p in EXAMPLES],
+            "--digests",
+            "tests/corpus/config_digests.json",
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_validate_cli_rejects_a_broken_file(tmp_path):
+    bad = tmp_path / "bad.toml"
+    bad.write_text(
+        'schema_version = 1\nexperiment = "table1"\n[config]\nepoch = 3\n'
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.config", "validate", str(bad)],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert result.returncode == 2
+    assert "did you mean 'epochs'" in result.stdout + result.stderr

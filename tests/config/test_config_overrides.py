@@ -1,0 +1,77 @@
+"""Dotted-path --set overrides: grammar, typing, and error quality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConfigError, apply_overrides, parse_assignment
+from repro.eval.table1 import Table1Config
+from repro.imputation.trainer import TrainerConfig
+
+
+class TestParseAssignment:
+    def test_splits_on_first_equals(self):
+        assert parse_assignment("a.b=x=y") == (["a", "b"], "x=y")
+
+    def test_missing_equals_is_an_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            parse_assignment("epochs")
+        assert "KEY=VALUE" in str(excinfo.value)
+
+    def test_empty_key_is_an_error(self):
+        with pytest.raises(ConfigError):
+            parse_assignment("=5")
+
+
+class TestApplyOverrides:
+    def test_top_level_int(self):
+        config = apply_overrides(Table1Config(), ["epochs=5"])
+        assert config.epochs == 5
+
+    def test_nested_dotted_path(self):
+        config = apply_overrides(Table1Config(), ["scenario.duration_bins=600"])
+        assert config.scenario.duration_bins == 600
+
+    def test_original_config_is_untouched(self):
+        base = Table1Config()
+        apply_overrides(base, ["epochs=5", "scenario.duration_bins=600"])
+        assert base.epochs == Table1Config().epochs
+        assert base.scenario.duration_bins == Table1Config().scenario.duration_bins
+
+    def test_json_literals(self):
+        config = apply_overrides(
+            TrainerConfig(), ["use_kal=false", "learning_rate=1e-2"]
+        )
+        assert config.use_kal is False
+        assert config.learning_rate == 0.01
+
+    def test_bare_strings_need_no_quotes(self):
+        from repro.experiments import SimulateConfig
+
+        config = apply_overrides(SimulateConfig(), ["engine=reference"])
+        assert config.engine == "reference"
+
+    def test_later_assignments_win(self):
+        config = apply_overrides(Table1Config(), ["epochs=5", "epochs=9"])
+        assert config.epochs == 9
+
+    def test_unknown_key_reports_dotted_path(self):
+        with pytest.raises(ConfigError) as excinfo:
+            apply_overrides(Table1Config(), ["scenario.durations_bins=600"])
+        message = str(excinfo.value)
+        assert message.startswith("scenario.durations_bins:")
+        assert "did you mean 'duration_bins'" in message
+
+    def test_type_mismatch_reports_dotted_path(self):
+        with pytest.raises(ConfigError) as excinfo:
+            apply_overrides(Table1Config(), ["scenario.num_ports=many"])
+        assert str(excinfo.value).startswith("scenario.num_ports:")
+
+    def test_post_init_invariants_surface(self):
+        with pytest.raises(ConfigError) as excinfo:
+            apply_overrides(TrainerConfig(), ["epochs=-3"])
+        assert "epochs" in str(excinfo.value)
+
+    def test_path_through_non_dataclass_is_an_error(self):
+        with pytest.raises(ConfigError):
+            apply_overrides(Table1Config(), ["epochs.inner=1"])

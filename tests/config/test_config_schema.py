@@ -1,0 +1,79 @@
+"""Schema layer: mapping round-trips, coercion, and precise error paths."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+import pytest
+
+from repro.config import ConfigError, from_mapping, to_mapping, validate
+from repro.eval.scenarios import ScenarioConfig, quick_scenario
+from repro.eval.table1 import Table1Config
+from repro.imputation.trainer import TrainerConfig
+
+
+class TestToMapping:
+    def test_defaults_are_explicit(self):
+        mapping = to_mapping(TrainerConfig())
+        assert mapping["epochs"] == TrainerConfig().epochs
+        assert set(mapping) == {f.name for f in fields(TrainerConfig)}
+
+    def test_nested_dataclasses_become_nested_mappings(self):
+        mapping = to_mapping(Table1Config())
+        assert isinstance(mapping["scenario"], dict)
+        assert mapping["scenario"]["num_ports"] == ScenarioConfig().num_ports
+
+
+class TestFromMapping:
+    def test_round_trip_equality(self):
+        config = Table1Config(scenario=quick_scenario(), epochs=3, seed=7)
+        assert from_mapping(Table1Config, to_mapping(config)) == config
+
+    def test_missing_keys_take_defaults(self):
+        config = from_mapping(TrainerConfig, {"epochs": 2})
+        assert config.epochs == 2
+        assert config.batch_size == TrainerConfig().batch_size
+
+    def test_unknown_key_has_suggestion(self):
+        with pytest.raises(ConfigError) as excinfo:
+            from_mapping(Table1Config, {"epoch": 3})
+        message = str(excinfo.value)
+        assert "epoch: unknown key" in message
+        assert "did you mean 'epochs'" in message
+
+    def test_nested_error_paths_are_dotted(self):
+        with pytest.raises(ConfigError) as excinfo:
+            from_mapping(Table1Config, {"scenario": {"num_ports": "two"}})
+        assert str(excinfo.value).startswith("scenario.num_ports:")
+
+    def test_type_mismatch_names_both_types(self):
+        with pytest.raises(ConfigError) as excinfo:
+            from_mapping(TrainerConfig, {"epochs": "banana"})
+        message = str(excinfo.value)
+        assert "epochs" in message and "int" in message and "banana" in message
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ConfigError):
+            from_mapping(TrainerConfig, {"epochs": True})
+        with pytest.raises(ConfigError):
+            from_mapping(TrainerConfig, {"use_kal": 1})
+
+    def test_int_widens_to_float(self):
+        config = from_mapping(TrainerConfig, {"learning_rate": 1})
+        assert config.learning_rate == 1.0
+        assert isinstance(config.learning_rate, float)
+
+    def test_lists_coerce_to_tuple_fields(self):
+        config = from_mapping(ScenarioConfig, {"alphas": [1.0, 0.5]})
+        assert config.alphas == (1.0, 0.5)
+
+    def test_post_init_invariants_surface_as_config_errors(self):
+        with pytest.raises(ConfigError) as excinfo:
+            from_mapping(TrainerConfig, {"epochs": -3})
+        assert "epochs must be positive" in str(excinfo.value)
+
+
+class TestValidate:
+    def test_default_configs_validate(self):
+        for config in (TrainerConfig(), Table1Config(), quick_scenario()):
+            assert validate(config) == config

@@ -1,0 +1,97 @@
+"""TOML/JSON round-trips for every registered experiment's config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CONFIG_SCHEMA_VERSION,
+    ConfigError,
+    config_digest,
+    config_from_document,
+    dumps_json,
+    dumps_toml,
+    load_config,
+    save_config,
+    to_document,
+)
+from repro.experiments import iter_experiments
+
+EXPERIMENTS = list(iter_experiments())
+IDS = [e.name for e in EXPERIMENTS]
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS, ids=IDS)
+class TestRoundTrip:
+    def test_toml_round_trip_preserves_equality_and_digest(
+        self, experiment, tmp_path
+    ):
+        config = experiment.default_config()
+        path = tmp_path / f"{experiment.name}.toml"
+        save_config(config, path, experiment=experiment.name)
+        loaded = load_config(
+            path, experiment.config_cls, expected_experiment=experiment.name
+        )
+        assert loaded == config
+        assert config_digest(loaded) == config_digest(config)
+
+    def test_json_round_trip_preserves_equality_and_digest(
+        self, experiment, tmp_path
+    ):
+        config = experiment.default_config()
+        path = tmp_path / f"{experiment.name}.json"
+        save_config(config, path, experiment=experiment.name)
+        loaded = load_config(
+            path, experiment.config_cls, expected_experiment=experiment.name
+        )
+        assert loaded == config
+        assert config_digest(loaded) == config_digest(config)
+
+    def test_document_carries_schema_version_and_name(self, experiment):
+        document = to_document(experiment.default_config(), experiment.name)
+        assert document["schema_version"] == CONFIG_SCHEMA_VERSION
+        assert document["experiment"] == experiment.name
+
+    def test_toml_and_json_digest_identically(self, experiment):
+        # The two formats are renderings of the same document, so both
+        # must be produced without information loss.
+        config = experiment.default_config()
+        assert dumps_toml(config, experiment=experiment.name)
+        assert dumps_json(config, experiment=experiment.name)
+
+
+class TestDocumentChecks:
+    def test_wrong_schema_version_is_an_error(self):
+        from repro.eval.table1 import Table1Config
+
+        document = to_document(Table1Config(), "table1")
+        document["schema_version"] = CONFIG_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigError) as excinfo:
+            config_from_document(document, Table1Config)
+        assert "schema_version" in str(excinfo.value)
+
+    def test_experiment_mismatch_is_an_error(self):
+        from repro.eval.table1 import Table1Config
+
+        document = to_document(Table1Config(), "table1")
+        with pytest.raises(ConfigError) as excinfo:
+            config_from_document(
+                document, Table1Config, expected_experiment="scalability"
+            )
+        message = str(excinfo.value)
+        assert "table1" in message and "scalability" in message
+
+    def test_unknown_config_key_reports_dotted_path(self):
+        from repro.eval.table1 import Table1Config
+
+        document = to_document(Table1Config(), "table1")
+        document["config"]["epoch"] = 3
+        with pytest.raises(ConfigError) as excinfo:
+            config_from_document(document, Table1Config)
+        assert "did you mean 'epochs'" in str(excinfo.value)
+
+    def test_unsupported_suffix_is_an_error(self, tmp_path):
+        from repro.eval.table1 import Table1Config
+
+        with pytest.raises(ConfigError):
+            save_config(Table1Config(), tmp_path / "cfg.yaml", experiment="table1")

@@ -1,0 +1,96 @@
+"""The experiment registry: lookup, defaults, and programmatic runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    Experiment,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    register,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert experiment_names() == [
+            "replication",
+            "scalability",
+            "simulate",
+            "table1",
+        ]
+
+    def test_get_experiment_round_trips(self):
+        for name in experiment_names():
+            assert get_experiment(name).name == name
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_experiment("tabel1")
+        message = str(excinfo.value)
+        assert "tabel1" in message and "table1" in message
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_experiment("table1")
+        with pytest.raises(ValueError, match="already registered"):
+            register(existing)
+
+    def test_default_configs_have_the_declared_type(self):
+        for experiment in iter_experiments():
+            config = experiment.default_config()
+            assert isinstance(config, experiment.config_cls), experiment.name
+
+    def test_default_configs_validate_and_serialize(self):
+        from repro.config import dumps_toml, validate
+
+        for experiment in iter_experiments():
+            config = experiment.default_config()
+            assert validate(config) == config
+            assert dumps_toml(config, experiment=experiment.name)
+
+    def test_artifact_dirs_are_distinct(self):
+        dirs = [e.artifact_dir for e in iter_experiments()]
+        assert len(dirs) == len(set(dirs))
+
+
+class TestRunExperiment:
+    def test_wrong_config_type_rejected(self):
+        from repro.eval.scalability import ScalabilityConfig
+
+        with pytest.raises(TypeError, match="Table1Config"):
+            run_experiment("table1", ScalabilityConfig())
+
+    def test_runs_scalability_with_explicit_config(self, capsys):
+        from repro.eval.scalability import ScalabilityConfig
+
+        code = run_experiment(
+            "scalability", ScalabilityConfig(horizons=(4,), node_limit=5000)
+        )
+        assert code == 0
+        assert "horizon" in capsys.readouterr().out
+
+    def test_defaults_when_config_omitted(self, capsys, monkeypatch):
+        # Patch the run fn via a fresh Experiment to avoid a heavy run.
+        experiment = get_experiment("scalability")
+        seen = {}
+
+        def fake_run(config):
+            seen["config"] = config
+            return 0
+
+        patched = Experiment(
+            name=experiment.name,
+            config_cls=experiment.config_cls,
+            default_config=experiment.default_config,
+            run=fake_run,
+            artifact_dir=experiment.artifact_dir,
+            summary=experiment.summary,
+        )
+        import repro.experiments.registry as registry_mod
+
+        monkeypatch.setitem(registry_mod._REGISTRY, "scalability", patched)
+        assert run_experiment("scalability") == 0
+        assert seen["config"] == experiment.default_config()

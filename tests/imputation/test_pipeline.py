@@ -1,10 +1,18 @@
 """Tests for the end-to-end pipeline (transformer + KAL + CEM)."""
 
+import warnings
+from dataclasses import asdict, fields
+
 import numpy as np
 import pytest
 
 from repro.constraints import check_constraints
-from repro.imputation import ImputationPipeline, PipelineConfig
+from repro.imputation import (
+    ImputationPipeline,
+    ModelOverrides,
+    PipelineConfig,
+    TrainerConfig,
+)
 
 
 @pytest.fixture(scope="module")
@@ -15,8 +23,8 @@ def fitted_pipeline(small_dataset):
         PipelineConfig(
             use_kal=True,
             use_cem=True,
-            model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
-            trainer=dict(epochs=3, batch_size=4, seed=0),
+            model=ModelOverrides(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+            trainer=TrainerConfig(epochs=3, batch_size=4, seed=0),
         ),
         val=val,
         seed=0,
@@ -54,8 +62,8 @@ class TestPipeline:
             PipelineConfig(
                 use_kal=False,
                 use_cem=False,
-                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
-                trainer=dict(epochs=1, batch_size=4, seed=0),
+                model=ModelOverrides(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=TrainerConfig(epochs=1, batch_size=4, seed=0),
             ),
             seed=0,
         ).fit()
@@ -68,3 +76,42 @@ class TestPipeline:
         _, _, test = small_dataset.split(0.7, 0.15, seed=0)
         outputs = fitted_pipeline.impute_dataset(test)
         assert len(outputs) == len(test)
+
+
+class TestTypedPipelineConfig:
+    def test_dict_model_warns_and_converts(self):
+        with pytest.warns(DeprecationWarning, match="model as a dict"):
+            config = PipelineConfig(model=dict(d_model=16, num_heads=2))
+        assert config.model == ModelOverrides(d_model=16, num_heads=2)
+
+    def test_dict_trainer_warns_and_converts(self):
+        with pytest.warns(DeprecationWarning, match="trainer as a dict"):
+            config = PipelineConfig(trainer=dict(epochs=2, batch_size=4))
+        assert config.trainer == TrainerConfig(epochs=2, batch_size=4)
+
+    def test_typed_configs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PipelineConfig(model=ModelOverrides(), trainer=TrainerConfig())
+
+    def test_model_overrides_mirror_transformer_defaults(self):
+        # ModelOverrides restates TransformerConfig's architecture
+        # defaults so PipelineConfig() means "the default transformer";
+        # this pins the two against drifting apart.
+        from repro.imputation.transformer_imputer import TransformerConfig
+
+        transformer_defaults = {f.name: f.default for f in fields(TransformerConfig)}
+        for name, value in asdict(ModelOverrides()).items():
+            assert transformer_defaults[name] == value, name
+
+    def test_pipeline_use_kal_is_authoritative(self, small_dataset):
+        train, _, _ = small_dataset.split(0.7, 0.15, seed=0)
+        pipeline = ImputationPipeline(
+            train,
+            PipelineConfig(
+                use_kal=False,
+                model=ModelOverrides(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=TrainerConfig(epochs=1, use_kal=True),
+            ),
+        )
+        assert pipeline.trainer.config.use_kal is False

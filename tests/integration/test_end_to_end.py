@@ -16,7 +16,9 @@ from repro.imputation import (
     ConstraintEnforcer,
     ImputationPipeline,
     IterativeImputer,
+    ModelOverrides,
     PipelineConfig,
+    TrainerConfig,
 )
 
 
@@ -32,8 +34,8 @@ class TestFullPipeline:
             PipelineConfig(
                 use_kal=True,
                 use_cem=True,
-                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
-                trainer=dict(epochs=4, batch_size=4, seed=0),
+                model=ModelOverrides(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=TrainerConfig(epochs=4, batch_size=4, seed=0),
             ),
             val=val,
             seed=0,
@@ -54,8 +56,8 @@ class TestFullPipeline:
             PipelineConfig(
                 use_kal=False,
                 use_cem=True,
-                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
-                trainer=dict(epochs=2, batch_size=4, seed=0),
+                model=ModelOverrides(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=TrainerConfig(epochs=2, batch_size=4, seed=0),
             ),
             seed=0,
         ).fit()

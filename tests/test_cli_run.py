@@ -1,0 +1,223 @@
+"""The registry-backed CLI: repro run, repro experiments, --version, --set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+# One tiny Table-1 configuration expressed as --set overrides, used both
+# through the legacy subcommand and (rendered to TOML) through repro run.
+TINY_TABLE1_OVERRIDES = [
+    "d_model=16",
+    "num_heads=2",
+    "num_layers=1",
+    "d_ff=32",
+    "scenario.buffer_capacity=60",
+    "scenario.steps_per_bin=4",
+    "scenario.interval=25",
+    "scenario.window_intervals=4",
+    "scenario.stride_intervals=2",
+    "scenario.duration_bins=600",
+    "scenario.websearch_sources=6",
+    "scenario.incast_fan_in=4",
+    "scenario.incast_burst=15",
+    "scenario.incast_period=250",
+    "scenario.incast_jitter=60",
+]
+
+
+def _tiny_table1_config():
+    from repro.config import apply_overrides
+    from repro.eval.scenarios import quick_scenario
+    from repro.eval.table1 import Table1Config
+
+    base = Table1Config(scenario=quick_scenario(), epochs=1, seed=0)
+    return apply_overrides(base, TINY_TABLE1_OVERRIDES)
+
+
+def _set_flags(overrides):
+    flags = []
+    for assignment in overrides:
+        flags += ["--set", assignment]
+    return flags
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        from repro import __version__
+
+        assert __version__ in out
+
+
+class TestExperimentsListing:
+    def test_lists_registered_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "scalability", "replication", "simulate"):
+            assert name in out
+
+
+class TestRunParser:
+    def test_run_requires_an_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_every_registered_experiment_has_a_subparser(self):
+        from repro.experiments import experiment_names
+
+        for name in experiment_names():
+            args = build_parser().parse_args(["run", name])
+            assert args.experiment == name
+            assert args.config is None and args.overrides == []
+
+    def test_table1_run_options_parse(self):
+        args = build_parser().parse_args(
+            ["run", "table1", "--journal", "j.jsonl", "--resume", "--selfcheck"]
+        )
+        assert str(args.journal) == "j.jsonl"
+        assert args.resume and args.selfcheck
+
+
+class TestRunSimulate:
+    def test_run_simulate_matches_legacy_trace(self, tmp_path, capsys):
+        legacy_out = tmp_path / "legacy.npz"
+        run_out = tmp_path / "run.npz"
+        assert main(["simulate", "--duration", "300", "--out", str(legacy_out)]) == 0
+        assert (
+            main(
+                [
+                    "run", "simulate",
+                    "--set", "scenario.duration_bins=300",
+                    "--out", str(run_out),
+                ]
+            )
+            == 0
+        )
+        with np.load(legacy_out) as a, np.load(run_out) as b:
+            for key in a.files:
+                assert (a[key] == b[key]).all(), key
+
+    def test_run_simulate_from_config_file(self, tmp_path, capsys):
+        from repro.config import apply_overrides, save_config
+        from repro.experiments import SimulateConfig
+
+        config = apply_overrides(SimulateConfig(), ["scenario.duration_bins=200"])
+        path = tmp_path / "sim.toml"
+        save_config(config, path, experiment="simulate")
+        out = tmp_path / "trace.npz"
+        assert main(["run", "simulate", "--config", str(path), "--out", str(out)]) == 0
+        assert "simulated 200 bins" in capsys.readouterr().out
+
+
+class TestRunErrors:
+    def test_bad_override_exits_two_with_usable_message(self, capsys):
+        code = main(["run", "table1", "--set", "epoch=3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid configuration" in err
+        assert "did you mean 'epochs'" in err
+
+    def test_unparseable_override_exits_two(self, capsys):
+        code = main(["run", "table1", "--set", "epochs"])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_missing_config_file_exits_two(self, tmp_path, capsys):
+        code = main(["run", "table1", "--config", str(tmp_path / "nope.toml")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_wrong_experiment_config_exits_two(self, tmp_path, capsys):
+        from repro.config import save_config
+        from repro.eval.scalability import ScalabilityConfig
+
+        path = tmp_path / "scal.toml"
+        save_config(ScalabilityConfig(), path, experiment="scalability")
+        code = main(["run", "table1", "--config", str(path)])
+        assert code == 2
+        assert "scalability" in capsys.readouterr().err
+
+    def test_legacy_table1_bad_set_exits_two(self, capsys):
+        code = main(["table1", "--set", "scenario.durations_bins=9"])
+        assert code == 2
+        assert "did you mean 'duration_bins'" in capsys.readouterr().err
+
+
+class TestRunTable1Equivalence:
+    def test_run_and_legacy_journals_byte_identical(self, tmp_path, capsys):
+        """The acceptance check: one config, two front doors, same bytes.
+
+        ``repro table1 --set ...`` and ``repro run table1 --config tiny.toml``
+        must hash to the same journal scope and commit identical payloads
+        in the same order — the journals are compared byte-for-byte.
+        """
+        from repro.config import save_config
+        from repro.eval.table1 import journal_scope
+
+        config = _tiny_table1_config()
+        toml_path = tmp_path / "tiny.toml"
+        save_config(config, toml_path, experiment="table1")
+
+        legacy_journal = tmp_path / "legacy.jsonl"
+        run_journal = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "table1", "--epochs", "1",
+                    "--journal", str(legacy_journal),
+                    *_set_flags(TINY_TABLE1_OVERRIDES),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "run", "table1",
+                    "--config", str(toml_path),
+                    "--journal", str(run_journal),
+                ]
+            )
+            == 0
+        )
+        assert legacy_journal.read_bytes() == run_journal.read_bytes()
+        assert journal_scope(config) in legacy_journal.read_text()
+
+
+class TestRunKeyboardInterrupt:
+    def test_run_table1_interrupt_hints_resume(self, capsys, monkeypatch):
+        import repro.eval.table1 as table1
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(table1, "run_table1", interrupted)
+        code = main(["run", "table1"])
+        assert code == 130
+        assert "resumable with --resume" in capsys.readouterr().err
+
+    def test_run_simulate_interrupt_has_no_resume_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.eval.scenarios as scenarios
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(scenarios, "generate_trace", interrupted)
+        code = main(["run", "simulate", "--out", str(tmp_path / "t.npz")])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "--resume" not in err

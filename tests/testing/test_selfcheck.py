@@ -125,7 +125,12 @@ class TestPipelineHook:
 
     @pytest.fixture(scope="class")
     def fitted(self, splits):
-        from repro.imputation import ImputationPipeline, PipelineConfig
+        from repro.imputation import (
+            ImputationPipeline,
+            ModelOverrides,
+            PipelineConfig,
+            TrainerConfig,
+        )
 
         train, val, _ = splits
         pipeline = ImputationPipeline(
@@ -134,8 +139,8 @@ class TestPipelineHook:
                 use_kal=False,
                 use_cem=True,
                 selfcheck=True,
-                model=dict(d_model=16, num_heads=2, num_layers=1, d_ff=32),
-                trainer=dict(epochs=1, batch_size=4, seed=0),
+                model=ModelOverrides(d_model=16, num_heads=2, num_layers=1, d_ff=32),
+                trainer=TrainerConfig(epochs=1, batch_size=4, seed=0),
             ),
             val=val,
             seed=0,
