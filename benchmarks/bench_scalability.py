@@ -10,6 +10,7 @@
 
 import pytest
 
+from benchmarks.bench_schema import write_bench_json
 from benchmarks.conftest import save_result
 from repro.eval.report import format_table
 from repro.eval.scalability import cem_timing, fm_scaling
@@ -60,6 +61,29 @@ def test_fm_scaling_curve(benchmark, fm_points, results_dir):
         ["horizon (steps)", "status", "seconds", "B&B nodes", "node-limit hit"], rows
     )
     save_result(results_dir, "scalability_fm.txt", table)
+    write_bench_json(
+        "scalability_fm",
+        config={
+            "horizons": [p.horizon for p in fm_points],
+            "steps_per_interval": STEPS_PER_INTERVAL,
+            "node_limit": 2_000,
+        },
+        timings={
+            f"horizon_{p.horizon}_seconds": p.solve_seconds for p in fm_points
+        },
+        metrics={
+            "points": [
+                {
+                    "horizon": p.horizon,
+                    "status": p.status,
+                    "nodes_explored": p.nodes_explored,
+                    "hit_node_limit": p.hit_node_limit,
+                    "timed_out": p.timed_out,
+                }
+                for p in fm_points
+            ]
+        },
+    )
 
     # Shape: search effort grows super-linearly with the horizon (or the
     # solver gives up entirely — the paper's ">24 h" regime).

@@ -6,16 +6,15 @@ loop while producing a bit-identical trace, and the on-disk trace cache
 turns a repeated run into a single ``.npz`` load.
 
 Writes ``BENCH_simspeed.json`` at the repo root (steps/sec per engine,
-speedup, cache timings) alongside the human-readable
-``benchmarks/results/simspeed.txt``.
+speedup, cache timings) in the shared :mod:`benchmarks.bench_schema`
+shape, alongside the human-readable ``benchmarks/results/simspeed.txt``.
 """
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
+from benchmarks.bench_schema import write_bench_json
 from benchmarks.conftest import save_result
 from repro.eval.scenarios import (
     build_traffic,
@@ -24,8 +23,6 @@ from repro.eval.scenarios import (
     quick_scenario,
 )
 from repro.switchsim import Simulation, TraceCache
-
-REPO_ROOT = Path(__file__).resolve().parents[1]
 
 TRACE_FIELDS = (
     "qlen",
@@ -82,27 +79,26 @@ def test_simspeed(bench_profile, results_dir, tmp_path):
     hit_seconds = time.perf_counter() - start
     assert cache.hits == 1 and cache.misses == 1
 
-    payload = {
-        "profile": bench_profile,
-        "num_bins": num_bins,
-        "steps_per_bin": scenario.steps_per_bin,
-        "num_steps": num_steps,
-        "reference": {
-            "seconds": ref_seconds,
-            "steps_per_sec": num_steps / ref_seconds,
+    write_bench_json(
+        "simspeed",
+        config=cache_scenario,
+        timings={
+            "reference_seconds": ref_seconds,
+            "array_seconds": arr_seconds,
+            "cache_miss_seconds": miss_seconds,
+            "cache_hit_seconds": hit_seconds,
         },
-        "array": {
-            "seconds": arr_seconds,
-            "steps_per_sec": num_steps / arr_seconds,
+        metrics={
+            "profile": bench_profile,
+            "num_bins": num_bins,
+            "steps_per_bin": scenario.steps_per_bin,
+            "num_steps": num_steps,
+            "reference_steps_per_sec": num_steps / ref_seconds,
+            "array_steps_per_sec": num_steps / arr_seconds,
+            "speedup": speedup,
+            "cache_hit_speedup": miss_seconds / hit_seconds,
         },
-        "speedup": speedup,
-        "cache": {
-            "miss_seconds": miss_seconds,
-            "hit_seconds": hit_seconds,
-            "hit_speedup": miss_seconds / hit_seconds,
-        },
-    }
-    (REPO_ROOT / "BENCH_simspeed.json").write_text(json.dumps(payload, indent=2) + "\n")
+    )
 
     lines = [
         f"profile: {bench_profile}  ({num_bins} bins x {scenario.steps_per_bin} steps)",

@@ -7,6 +7,7 @@ rows, with the paper's caveats (KAL-only can overshoot row a; CEM can be
 a wash on row f).
 """
 
+from benchmarks.bench_schema import write_bench_json
 from benchmarks.conftest import save_result
 from repro.eval.table1 import run_table1
 
@@ -36,6 +37,20 @@ def test_table1(benchmark, datasets, trained_models, table1_config, results_dir)
     ]
     lines += [f"  {k}: {v:+.1f}%" for k, v in improvements.items()]
     save_result(results_dir, "table1.txt", "\n".join(lines))
+    write_bench_json(
+        "table1",
+        config=table1_config,
+        timings={
+            "cem_seconds_per_window": result.cem_seconds_per_window,
+            "train_plain_seconds": trained_models["plain_seconds"],
+            "train_kal_seconds": trained_models["kal_seconds"],
+        },
+        metrics={
+            "num_test_windows": result.num_test_windows,
+            "improvement_over_transformer": improvements,
+            "values": result.values,
+        },
+    )
 
     # Shape assertions, mirroring the paper's headline claims.
     for key in ("max", "periodic", "sent"):

@@ -23,6 +23,7 @@ All subcommands are deterministic given their config/seed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -59,6 +60,26 @@ def _apply_overrides(config, args):
     return apply_overrides(config, assignments)
 
 
+def _annotate_obs(config, experiment: str | None = None) -> None:
+    """Stamp the resolved config's digest into the observability run.
+
+    A trace/metrics file then carries the same ``config_digest`` that
+    scopes this run's journal, cache entries, and checkpoints — making
+    observability artifacts joinable with every other artifact of the
+    run.  No-op when observability is off.
+    """
+    import repro.obs as obs
+
+    if not obs.enabled():
+        return
+    from repro.config import config_digest
+
+    fields = {"config_digest": config_digest(config)}
+    if experiment is not None:
+        fields["experiment"] = experiment
+    obs.annotate(**fields)
+
+
 # ----------------------------------------------------------------------
 # Registry-backed subcommands
 # ----------------------------------------------------------------------
@@ -75,6 +96,7 @@ def cmd_run(args) -> int:
     else:
         config = experiment.default_config()
     config = _apply_overrides(config, args)
+    _annotate_obs(config, experiment=experiment.name)
     options = {
         option.dest: getattr(args, option.dest) for option in experiment.cli_options
     }
@@ -102,6 +124,7 @@ def cmd_simulate(args) -> int:
         scenario=_scenario(args), seed=args.seed, engine=args.engine
     )
     config = _apply_overrides(config, args)
+    _annotate_obs(config, experiment="simulate")
     return run_simulate_experiment(
         config, out=args.out, cache=args.cache, selfcheck=args.selfcheck
     )
@@ -116,6 +139,7 @@ def cmd_table1(args) -> int:
         scenario=_scenario(args), epochs=args.epochs, seed=args.seed
     )
     config = _apply_overrides(config, args)
+    _annotate_obs(config, experiment="table1")
     return run_table1_experiment(
         config, journal=args.journal, resume=args.resume, selfcheck=args.selfcheck
     )
@@ -132,6 +156,7 @@ def cmd_scalability(args) -> int:
         deadline=args.deadline,
     )
     config = _apply_overrides(config, args)
+    _annotate_obs(config, experiment="scalability")
     return run_scalability_experiment(config)
 
 
@@ -148,6 +173,7 @@ def cmd_train(args) -> int:
     scenario = _scenario(args)
     train, val, test = generate_dataset(scenario, seed=args.seed)
     config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
+    _annotate_obs(config, experiment="train")
     model, seconds = train_transformer(
         train,
         val,
@@ -240,6 +266,17 @@ def cmd_verify(args) -> int:
     return 0 if report.tolerant_rate >= args.required_rate else 1
 
 
+def cmd_obs(args) -> int:
+    """Delegate to the observability toolbox (``python -m repro.obs``).
+
+    ``repro obs summary --metrics m.json``, ``repro obs export t.jsonl``,
+    and ``repro obs validate t.jsonl`` all pass through unchanged.
+    """
+    from repro.obs.__main__ import main as obs_main
+
+    return obs_main(list(args.obs_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     from repro.experiments import iter_experiments
@@ -276,6 +313,48 @@ def build_parser() -> argparse.ArgumentParser:
             "serialized repro (off by default)",
         )
 
+    def observable(p, profile_alias=False):
+        """Add the opt-in observability flags (see docs/observability.md).
+
+        ``--profile`` is taken by the legacy subcommands (scenario
+        profile ``paper``/``quick``), so the cProfile flag is spelled
+        ``--profile-dir`` everywhere and additionally aliased to
+        ``--profile`` on conflict-free parsers (``repro run ...``,
+        ``repro scalability``).
+        """
+        p.add_argument(
+            "--trace",
+            type=Path,
+            nargs="?",
+            const=Path("repro-trace.jsonl"),
+            default=None,
+            metavar="PATH",
+            help="append wall-clock spans to PATH as Chrome-trace JSONL "
+            "(default repro-trace.jsonl; load via `repro obs export`)",
+        )
+        p.add_argument(
+            "--metrics",
+            type=Path,
+            nargs="?",
+            const=Path("repro-metrics.json"),
+            default=None,
+            metavar="PATH",
+            help="snapshot counters/gauges/histograms/series to PATH "
+            "(default repro-metrics.json; accumulates across runs)",
+        )
+        flags = ["--profile-dir"] + (["--profile"] if profile_alias else [])
+        p.add_argument(
+            *flags,
+            dest="obs_profile",
+            type=Path,
+            nargs="?",
+            const=Path("repro-profile"),
+            default=None,
+            metavar="DIR",
+            help="cProfile each pipeline stage into DIR "
+            "(default repro-profile/): .pstats + top-25 cumulative report",
+        )
+
     # --- repro run <experiment> ---------------------------------------
     p = sub.add_parser(
         "run", help="run a registered experiment from a typed config"
@@ -290,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(defaults when absent)",
         )
         settable(ep)
+        observable(ep, profile_alias=True)
         for option in experiment.cli_options:
             ep.add_argument(*option.flags, dest=option.dest, **dict(option.kwargs))
         ep.set_defaults(func=cmd_run)
@@ -315,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     settable(p)
     selfcheckable(p)
+    observable(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
@@ -333,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     settable(p)
     selfcheckable(p)
+    observable(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("scalability", help="FM-alone scaling study")
@@ -345,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         "best incumbent flagged as timed out instead of hanging",
     )
     settable(p)
+    observable(p, profile_alias=True)
     p.set_defaults(func=cmd_scalability)
 
     # --- model-file subcommands ---------------------------------------
@@ -363,12 +446,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="continue from an existing --checkpoint instead of epoch 0",
     )
+    observable(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("impute", help="impute the test split with a trained model")
     common(p)
     p.add_argument("--model", type=Path, required=True)
     selfcheckable(p)
+    observable(p)
     p.set_defaults(func=cmd_impute)
 
     p = sub.add_parser("verify", help="audit a trained model against C1-C3")
@@ -382,7 +467,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="exit non-zero if the within-tolerance rate falls below this",
     )
+    observable(p)
     p.set_defaults(func=cmd_verify)
+
+    # --- observability artifact inspection ----------------------------
+    p = sub.add_parser(
+        "obs",
+        help="inspect observability artifacts (summary / export / validate)",
+    )
+    p.add_argument(
+        "obs_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments for `python -m repro.obs` (try `repro obs --help`)",
+    )
+    p.set_defaults(func=cmd_obs)
 
     return parser
 
@@ -408,8 +507,30 @@ def main(argv: list[str] | None = None) -> int:
     from repro.testing.selfcheck import SelfCheckError
 
     args = build_parser().parse_args(argv)
+    obs_requested = any(
+        getattr(args, dest, None) is not None
+        for dest in ("trace", "metrics", "obs_profile")
+    )
+    if obs_requested:
+        import repro.obs as obs
+
+        obs.configure(
+            trace=getattr(args, "trace", None),
+            metrics=getattr(args, "metrics", None),
+            profile=getattr(args, "obs_profile", None),
+            header={
+                "argv": list(argv) if argv is not None else sys.argv[1:],
+                "command": args.command,
+            },
+        )
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout (e.g. `repro obs summary |
+        # head`); exit quietly with the conventional SIGPIPE status and
+        # detach stdout so the interpreter's shutdown flush stays silent.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
     except KeyboardInterrupt:
         # Pool workers are daemonic (terminated with us) and the journal /
         # checkpoint flush on every write, so there is nothing left to save.
@@ -438,6 +559,13 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    finally:
+        if obs_requested:
+            # Flush + write final artifacts even on error/interrupt, and
+            # disable so chained in-process main() calls don't leak state.
+            import repro.obs as obs
+
+            obs.finish()
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.eval.scenarios import (
     CacheLike,
     ScenarioConfig,
@@ -47,6 +48,7 @@ from repro.eval.scenarios import (
     trace_cache_params,
 )
 from repro.resilience.supervisor import (
+    AttemptRecord,
     FailureReport,
     JobFailure,
     RetryPolicy,
@@ -80,7 +82,12 @@ def derive_seeds(base_seed: int, count: int) -> list[int]:
 def _simulate_job(job_engine: tuple[ScenarioConfig, int, str]) -> SimulationTrace:
     """Pool worker: one uncached simulation (module-level, so picklable)."""
     config, seed, engine = job_engine
-    return generate_trace(config, seed=seed, cache=None, engine=engine)
+    with obs.span("parallel.job", seed=int(seed)):
+        trace = generate_trace(config, seed=seed, cache=None, engine=engine)
+    # Pool workers exit via os._exit (no atexit): flush inherited
+    # observability here or the child's spans/metrics are lost.
+    obs.child_flush()
+    return trace
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -109,28 +116,30 @@ def simulate_jobs(
     jobs = [(config, int(seed)) for config, seed in jobs]
     traces: list[SimulationTrace | None] = [None] * len(jobs)
 
-    misses: list[int] = []
-    for i, (config, seed) in enumerate(jobs):
-        if cache is not None:
-            cached = cache.get(trace_cache_params(config, seed))
-            if cached is not None:
-                traces[i] = cached
-                continue
-        misses.append(i)
-
-    if misses:
-        if workers is None:
-            workers = min(len(misses), os.cpu_count() or 1)
-        work = [(jobs[i][0], jobs[i][1], engine) for i in misses]
-        if workers <= 1 or len(misses) == 1:
-            results = [_simulate_job(item) for item in work]
-        else:
-            with _pool_context().Pool(processes=workers) as pool:
-                results = pool.map(_simulate_job, work)
-        for i, trace in zip(misses, results):
-            traces[i] = trace
+    with obs.span("parallel.simulate_jobs", jobs=len(jobs)) as span:
+        misses: list[int] = []
+        for i, (config, seed) in enumerate(jobs):
             if cache is not None:
-                cache.put(trace_cache_params(jobs[i][0], jobs[i][1]), trace)
+                cached = cache.get(trace_cache_params(config, seed))
+                if cached is not None:
+                    traces[i] = cached
+                    continue
+            misses.append(i)
+        span.annotate(misses=len(misses))
+
+        if misses:
+            if workers is None:
+                workers = min(len(misses), os.cpu_count() or 1)
+            work = [(jobs[i][0], jobs[i][1], engine) for i in misses]
+            if workers <= 1 or len(misses) == 1:
+                results = [_simulate_job(item) for item in work]
+            else:
+                with _pool_context().Pool(processes=workers) as pool:
+                    results = pool.map(_simulate_job, work)
+            for i, trace in zip(misses, results):
+                traces[i] = trace
+                if cache is not None:
+                    cache.put(trace_cache_params(jobs[i][0], jobs[i][1]), trace)
 
     return traces  # type: ignore[return-value]  # every slot is filled above
 
@@ -163,6 +172,15 @@ def simulate_jobs_supervised(
     traces: list[SimulationTrace | None] = [None] * len(jobs)
     report = FailureReport(total_jobs=len(jobs))
 
+    with obs.span("parallel.simulate_jobs_supervised", jobs=len(jobs)):
+        return _simulate_jobs_supervised(
+            jobs, traces, report, policy, workers, cache, engine, job_fn
+        )
+
+
+def _simulate_jobs_supervised(
+    jobs, traces, report, policy, workers, cache, engine, job_fn
+) -> SweepResult:
     misses: list[int] = []
     for i, (config, seed) in enumerate(jobs):
         if cache is not None:
@@ -182,8 +200,21 @@ def simulate_jobs_supervised(
         report.retries = sweep.report.retries
         # Remap the supervisor's miss-local indices onto job indices.
         report.failures = [
-            JobFailure(misses[f.index], f.kind, f.attempts, f.message)
+            JobFailure(
+                misses[f.index],
+                f.kind,
+                f.attempts,
+                f.message,
+                backoff_seconds=f.backoff_seconds,
+                wall_seconds=f.wall_seconds,
+            )
             for f in sweep.report.failures
+        ]
+        report.attempt_log = [
+            AttemptRecord(
+                misses[a.index], a.attempt, a.outcome, a.seconds, a.backoff_seconds
+            )
+            for a in sweep.report.attempt_log
         ]
         failed = set(f.index for f in report.failures)
         for local, i in enumerate(misses):

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.fm.cem_milp import MilpCem
 from repro.fm.model import FMImputer, scenario_from_trace
 from repro.imputation.cem import ConstraintEnforcer
@@ -114,32 +115,36 @@ def fm_scaling(
     base = as_generator(seed)
     seeds = [int(base.integers(0, 2**63)) for _ in horizons]
     points: list[FmScalingPoint] = []
-    for horizon, horizon_seed in zip(horizons, seeds):
-        if horizon % steps_per_interval:
-            raise ValueError(
-                f"horizon {horizon} not a multiple of interval {steps_per_interval}"
+    with obs.span("scalability.fm_scaling", horizons=list(map(int, horizons))):
+        for horizon, horizon_seed in zip(horizons, seeds):
+            if horizon % steps_per_interval:
+                raise ValueError(
+                    f"horizon {horizon} not a multiple of interval {steps_per_interval}"
+                )
+            with obs.span("scalability.horizon", horizon=int(horizon)) as span:
+                trace = _fm_trace(horizon, horizon_seed)
+                scenario = scenario_from_trace(
+                    trace,
+                    steps_per_interval=steps_per_interval,
+                    num_intervals=horizon // steps_per_interval,
+                    fan_in=3,
+                )
+                imputer = FMImputer(
+                    lp_backend=lp_backend, node_limit=node_limit, deadline=deadline
+                )
+                result = imputer.impute(scenario)
+                span.annotate(status=result.status, nodes=result.nodes_explored)
+                obs.series("scalability.nodes_explored").append(result.nodes_explored)
+            points.append(
+                FmScalingPoint(
+                    horizon=horizon,
+                    status=result.status,
+                    solve_seconds=result.solve_time,
+                    nodes_explored=result.nodes_explored,
+                    hit_node_limit=result.hit_node_limit,
+                    timed_out=result.timed_out,
+                )
             )
-        trace = _fm_trace(horizon, horizon_seed)
-        scenario = scenario_from_trace(
-            trace,
-            steps_per_interval=steps_per_interval,
-            num_intervals=horizon // steps_per_interval,
-            fan_in=3,
-        )
-        imputer = FMImputer(
-            lp_backend=lp_backend, node_limit=node_limit, deadline=deadline
-        )
-        result = imputer.impute(scenario)
-        points.append(
-            FmScalingPoint(
-                horizon=horizon,
-                status=result.status,
-                solve_seconds=result.solve_time,
-                nodes_explored=result.nodes_explored,
-                hit_node_limit=result.hit_node_limit,
-                timed_out=result.timed_out,
-            )
-        )
     return points
 
 

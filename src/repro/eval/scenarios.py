@@ -15,6 +15,7 @@ from typing import Any, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.switchsim.cache import TraceCache
 from repro.switchsim.simulation import Simulation, SimulationTrace
 from repro.switchsim.switch import SwitchConfig
@@ -184,20 +185,25 @@ def generate_trace(
             selfcheck_trace(trace, repro={**repro, "source": source})
         return trace
 
-    if cache is not None and cacheable:
-        cached = cache.get(params)
-        if cached is not None:
-            return checked(cached, "cache")
-    simulation = Simulation(
-        config.switch_config(),
-        build_traffic(config, seed=seed),
-        steps_per_bin=config.steps_per_bin,
-        engine=engine,
-    )
-    trace = checked(simulation.run(config.duration_bins), "simulation")
-    if cache is not None and cacheable:
-        cache.put(params, trace)
-    return trace
+    with obs.span(
+        "scenarios.generate_trace", bins=config.duration_bins
+    ) as span:
+        if cache is not None and cacheable:
+            cached = cache.get(params)
+            if cached is not None:
+                span.annotate(source="cache")
+                return checked(cached, "cache")
+        simulation = Simulation(
+            config.switch_config(),
+            build_traffic(config, seed=seed),
+            steps_per_bin=config.steps_per_bin,
+            engine=engine,
+        )
+        trace = checked(simulation.run(config.duration_bins), "simulation")
+        span.annotate(source="simulation")
+        if cache is not None and cacheable:
+            cache.put(params, trace)
+        return trace
 
 
 def dataset_from_trace(

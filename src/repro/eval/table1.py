@@ -24,6 +24,7 @@ from typing import Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.config import config_digest
 from repro.constraints.spec import check_constraints
 from repro.downstream.metrics import DownstreamReport, evaluate_downstream
@@ -107,25 +108,36 @@ def _evaluate_method(
     impute_fn,
     test: TelemetryDataset,
     config: Table1Config,
+    method: str = "",
 ) -> tuple[dict[str, float], float]:
     """Mean consistency + downstream errors of a method over the test set.
 
     Returns the per-row errors and the mean per-window imputation time.
+    ``method`` labels the span and, when metrics are on, the per-window
+    C1/C2/C3 residual histograms (``table1.<method>.residual.c1`` ...).
     """
     consistency = {"max": [], "periodic": [], "sent": []}
     downstream: list[DownstreamReport] = []
     elapsed = 0.0
-    for sample in test.samples:
-        start = time.perf_counter()
-        imputed = impute_fn(sample)
-        elapsed += time.perf_counter() - start
-        report = check_constraints(imputed, sample, test.switch_config)
-        consistency["max"].append(report.max_error)
-        consistency["periodic"].append(report.periodic_error)
-        consistency["sent"].append(report.sent_error)
-        downstream.append(
-            evaluate_downstream(imputed, sample.target_raw, config.burst_threshold)
-        )
+    with obs.span("table1.evaluate", method=method, windows=len(test.samples)):
+        record_residuals = obs.metrics_enabled() and method
+        for sample in test.samples:
+            start = time.perf_counter()
+            imputed = impute_fn(sample)
+            elapsed += time.perf_counter() - start
+            report = check_constraints(imputed, sample, test.switch_config)
+            consistency["max"].append(report.max_error)
+            consistency["periodic"].append(report.periodic_error)
+            consistency["sent"].append(report.sent_error)
+            if record_residuals:
+                obs.histogram(f"table1.{method}.residual.c1").observe(report.max_error)
+                obs.histogram(f"table1.{method}.residual.c2").observe(
+                    report.periodic_error
+                )
+                obs.histogram(f"table1.{method}.residual.c3").observe(report.sent_error)
+            downstream.append(
+                evaluate_downstream(imputed, sample.target_raw, config.burst_threshold)
+            )
     averaged = DownstreamReport.average(downstream)
     values = {key: float(np.mean(v)) for key, v in consistency.items()}
     values.update(
@@ -185,7 +197,9 @@ def train_transformer(
         val=val,
     )
     start = time.perf_counter()
-    trainer.train(checkpoint_path=checkpoint, resume=resume)
+    with obs.span("table1.train", method="kal" if use_kal else "plain"):
+        with obs.profile_stage(f"table1.train.{'kal' if use_kal else 'plain'}"):
+            trainer.train(checkpoint_path=checkpoint, resume=resume)
     return model, time.perf_counter() - start
 
 
@@ -214,6 +228,11 @@ def run_table1(
     behaviour with zero overhead.
     """
     config = config if config is not None else Table1Config()
+    with obs.span("table1.run", seed=config.seed, epochs=config.epochs):
+        return _run_table1(config, datasets, pretrained, journal)
+
+
+def _run_table1(config, datasets, pretrained, journal) -> Table1Result:
     journal = ResultJournal.coerce(journal)
     scope = journal_scope(config) if journal is not None else None
 
@@ -225,7 +244,9 @@ def run_table1(
             journal.put(f"{scope}/{method}", payload)
 
     if datasets is None:
-        datasets = generate_dataset(config.scenario, seed=config.seed)
+        with obs.span("table1.dataset"):
+            with obs.profile_stage("table1.dataset"):
+                datasets = generate_dataset(config.scenario, seed=config.seed)
     train, val, test = datasets
     if len(test) == 0:
         raise ValueError("test split is empty; increase duration_bins")
@@ -236,7 +257,7 @@ def run_table1(
     cell = recorded("IterImputer")
     if cell is None:
         iterative = IterativeImputer()
-        iter_values, _ = _evaluate_method(iterative.impute, test, config)
+        iter_values, _ = _evaluate_method(iterative.impute, test, config, method="iter")
         commit("IterImputer", {"values": iter_values})
     else:
         iter_values = cell["values"]
@@ -260,7 +281,9 @@ def run_table1(
             train_seconds["Transformer+KAL"] = seconds
 
     if plain_cell is None:
-        plain_values, _ = _evaluate_method(plain_model.impute, test, config)
+        plain_values, _ = _evaluate_method(
+            plain_model.impute, test, config, method="plain"
+        )
         commit("Transformer", {"values": plain_values})
     else:
         plain_values = plain_cell["values"]
@@ -268,7 +291,7 @@ def run_table1(
         values[key]["Transformer"] = value
 
     if kal_cell is None:
-        kal_values, _ = _evaluate_method(kal_model.impute, test, config)
+        kal_values, _ = _evaluate_method(kal_model.impute, test, config, method="kal")
         commit("Transformer+KAL", {"values": kal_values})
     else:
         kal_values = kal_cell["values"]
@@ -277,11 +300,24 @@ def run_table1(
 
     if cem_cell is None:
         enforcer = ConstraintEnforcer(test.switch_config)
+        record_before = obs.metrics_enabled()
 
         def full_method(sample):
-            return enforcer.enforce(kal_model.impute(sample), sample)
+            imputed = kal_model.impute(sample)
+            if record_before:
+                # Residuals going *into* CEM, paired with the post-CEM
+                # table1.full.residual.* histograms recorded by
+                # _evaluate_method — together they show what CEM repaired.
+                report = check_constraints(imputed, sample, test.switch_config)
+                obs.histogram("cem.residual_before.c1").observe(report.max_error)
+                obs.histogram("cem.residual_before.c2").observe(report.periodic_error)
+                obs.histogram("cem.residual_before.c3").observe(report.sent_error)
+            return enforcer.enforce(imputed, sample)
 
-        full_values, cem_seconds = _evaluate_method(full_method, test, config)
+        with obs.profile_stage("table1.cem"):
+            full_values, cem_seconds = _evaluate_method(
+                full_method, test, config, method="full"
+            )
         commit("Transformer+KAL+CEM", {"values": full_values})
     else:
         full_values = cem_cell["values"]

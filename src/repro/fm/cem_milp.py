@@ -31,6 +31,7 @@ from typing import Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.smt.expr import Or, RealVar, Sum
 from repro.smt.solver import Solver
 from repro.switchsim.switch import SwitchConfig
@@ -73,6 +74,19 @@ class MilpCem:
 
     def enforce(self, imputed: np.ndarray, sample: ImputationSample) -> MilpCemResult:
         """Solve the projection; returns the corrected series when optimal."""
+        with obs.span("cem.milp.enforce", backend=self.lp_backend) as span:
+            result = self._enforce(imputed, sample)
+            span.annotate(
+                status=result.status, nodes=result.nodes_explored,
+                timed_out=result.timed_out,
+            )
+            obs.counter("cem.milp.solves").inc()
+            obs.counter("cem.milp.nodes_explored").inc(result.nodes_explored)
+            if result.timed_out:
+                obs.counter("cem.milp.timeouts").inc()
+            return result
+
+    def _enforce(self, imputed: np.ndarray, sample: ImputationSample) -> MilpCemResult:
         imputed = np.asarray(imputed, dtype=float)
         Q, T = imputed.shape
         interval = sample.interval

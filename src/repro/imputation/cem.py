@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as obs
 from repro.constraints.spec import NONEMPTY_EPSILON, check_constraints
 from repro.switchsim.switch import SwitchConfig
 from repro.telemetry.dataset import ImputationSample
@@ -80,18 +81,20 @@ class ConstraintEnforcer:
             )
         np.clip(corrected, 0.0, None, out=corrected)
 
-        self._pin_samples(corrected, sample)
-        self._clip_to_max(corrected, sample)
-        self._enforce_sent_bound(corrected, sample)
-        self._raise_to_max(corrected, sample)
+        with obs.span("cem.enforce", bins=sample.num_bins):
+            self._pin_samples(corrected, sample)
+            self._clip_to_max(corrected, sample)
+            self._enforce_sent_bound(corrected, sample)
+            self._raise_to_max(corrected, sample)
 
-        if self.validate:
-            report = check_constraints(corrected, sample, self.config)
-            if not report.satisfied:
-                raise CEMInfeasibleError(
-                    f"correction left violations: max={report.max_error:.3g}, "
-                    f"periodic={report.periodic_error:.3g}, sent={report.sent_error:.3g}"
-                )
+            if self.validate:
+                report = check_constraints(corrected, sample, self.config)
+                if not report.satisfied:
+                    raise CEMInfeasibleError(
+                        f"correction left violations: max={report.max_error:.3g}, "
+                        f"periodic={report.periodic_error:.3g}, sent={report.sent_error:.3g}"
+                    )
+            obs.counter("cem.enforced").inc()
         return corrected
 
     def correction_cost(

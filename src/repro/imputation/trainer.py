@@ -41,6 +41,7 @@ from typing import Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.autodiff.optim import Adam, clip_grad_norm
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.constraints.differentiable import phi_max, phi_periodic, psi_sent
@@ -233,46 +234,61 @@ class Trainer:
             if resume and checkpoint_path.exists():
                 self.load_checkpoint(checkpoint_path)
         n = len(self.train_set)
+        with obs.span(
+            "trainer.train",
+            epochs=cfg.epochs,
+            start_epoch=self._next_epoch,
+            use_kal=cfg.use_kal,
+            examples=n,
+        ):
+            self._train_epochs(cfg, n, checkpoint_path, checkpoint_every)
+        return self.history
+
+    def _train_epochs(self, cfg, n, checkpoint_path, checkpoint_every) -> None:
+        kind = "kal" if cfg.use_kal else "base"
         for epoch in range(self._next_epoch, cfg.epochs):
-            self.model.train()
-            order = self._rng.permutation(n)
-            epoch_loss = 0.0
-            epoch_base = 0.0
-            epoch_constraint = 0.0
-            num_batches = 0
-            for start in range(0, n, cfg.batch_size):
-                indices = order[start : start + cfg.batch_size]
-                samples = [self.train_set[i] for i in indices]
-                features = Tensor(self.train_set.stack_features(samples))
-                target = Tensor(self.train_set.stack_targets(samples))
+            with obs.span("trainer.epoch", epoch=epoch, kind=kind):
+                self.model.train()
+                order = self._rng.permutation(n)
+                epoch_loss = 0.0
+                epoch_base = 0.0
+                epoch_constraint = 0.0
+                num_batches = 0
+                for start in range(0, n, cfg.batch_size):
+                    indices = order[start : start + cfg.batch_size]
+                    samples = [self.train_set[i] for i in indices]
+                    features = Tensor(self.train_set.stack_features(samples))
+                    target = Tensor(self.train_set.stack_targets(samples))
 
-                pred = self.model(features)
-                base = self._base_loss(pred, target)
-                if cfg.use_kal:
-                    phi1, phi2, psi = self._constraint_residuals(pred, samples)
-                    constraint = self._kal_terms(phi1, phi2, psi, indices)
-                    loss = base + constraint
-                else:
-                    constraint = None
-                    loss = base
+                    pred = self.model(features)
+                    base = self._base_loss(pred, target)
+                    if cfg.use_kal:
+                        phi1, phi2, psi = self._constraint_residuals(pred, samples)
+                        constraint = self._kal_terms(phi1, phi2, psi, indices)
+                        loss = base + constraint
+                    else:
+                        constraint = None
+                        loss = base
 
-                self.optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                self.optimizer.step()
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                    self.optimizer.step()
 
-                if cfg.use_kal:
-                    self._update_multipliers(phi1, phi2, psi, indices)
-                    epoch_constraint += constraint.item()
-                epoch_loss += loss.item()
-                epoch_base += base.item()
-                num_batches += 1
+                    if cfg.use_kal:
+                        self._update_multipliers(phi1, phi2, psi, indices)
+                        epoch_constraint += constraint.item()
+                    epoch_loss += loss.item()
+                    epoch_base += base.item()
+                    num_batches += 1
 
-            self.history.loss.append(epoch_loss / num_batches)
-            self.history.base_loss.append(epoch_base / num_batches)
-            self.history.constraint_loss.append(epoch_constraint / num_batches)
-            if self.val_set is not None and len(self.val_set):
-                self.history.val_emd.append(self.evaluate(self.val_set))
+                self.history.loss.append(epoch_loss / num_batches)
+                self.history.base_loss.append(epoch_base / num_batches)
+                self.history.constraint_loss.append(epoch_constraint / num_batches)
+                if self.val_set is not None and len(self.val_set):
+                    self.history.val_emd.append(self.evaluate(self.val_set))
+            if obs.metrics_enabled():
+                self._emit_epoch_metrics(kind)
             if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
                 val = f", val_emd={self.history.val_emd[-1]:.4f}" if self.history.val_emd else ""
                 print(
@@ -285,7 +301,32 @@ class Trainer:
                 or self._next_epoch == cfg.epochs
             ):
                 self.save_checkpoint(checkpoint_path)
-        return self.history
+
+    def _emit_epoch_metrics(self, kind: str) -> None:
+        """Stream the latest epoch's diagnostics into the metrics registry.
+
+        Series names are prefixed ``trainer.<kind>`` (``base`` or ``kal``)
+        so a Table-1 run's two trainings stay distinguishable; with KAL the
+        Lagrange multiplier L2 norms go out as well, making runaway
+        multipliers visible from the snapshot alone.
+        """
+        prefix = f"trainer.{kind}"
+        obs.series(f"{prefix}.loss").append(self.history.loss[-1])
+        obs.series(f"{prefix}.emd_loss").append(self.history.base_loss[-1])
+        obs.series(f"{prefix}.constraint_loss").append(
+            self.history.constraint_loss[-1]
+        )
+        if self.history.val_emd:
+            obs.series(f"{prefix}.val_emd").append(self.history.val_emd[-1])
+        if self.config.use_kal:
+            for name, values in (
+                ("lambda_max", self.lambda_max),
+                ("lambda_periodic", self.lambda_periodic),
+                ("lambda_sent", self.lambda_sent),
+            ):
+                obs.series(f"{prefix}.{name}_norm").append(
+                    float(np.linalg.norm(values))
+                )
 
     # ------------------------------------------------------------------
     # Checkpoint / resume

@@ -1,0 +1,404 @@
+"""Lightweight in-process metrics registry with a JSON snapshot.
+
+Four metric types, all process-local and thread-safe:
+
+* **counter** — monotonically increasing integer (``.inc(n)``); merged
+  across processes and runs by summation.
+* **gauge** — last value wins (``.set(v)``).
+* **histogram** — a value distribution (``.observe(v)``) summarised as
+  count/sum/min/max plus quantiles; raw values are kept up to a cap so
+  cross-process merges and re-quantiling stay exact for the sample sizes
+  this repo produces (residuals per Table-1 run, solver nodes, ...).
+* **series** — an append-only ordered list (``.append(v)``), e.g. the
+  per-epoch EMD loss trajectory; merged by extension.
+
+Snapshot document (``metrics.json``)::
+
+    {
+      "schema_version": 1,
+      "updated_unix": ...,
+      "runs": [{"argv": [...], "config_digest": "...", ...}, ...],
+      "metrics": {
+        "cache.hits": {"type": "counter", "value": 3},
+        "table1.kal.residual.c1": {"type": "histogram", "count": ..,
+                                    "sum": .., "min": .., "max": ..,
+                                    "quantiles": {"p50": .., ...},
+                                    "values": [...]},
+        ...
+      }
+    }
+
+Snapshots at one path **accumulate**: :func:`close_registry` merges the
+live registry into any existing document at the same path (mirroring the
+append-only trace file), so a chain of CLI runs sharing ``--metrics``
+builds one combined snapshot.
+
+Process model: a forked child's registry detects the pid change and
+resets (its inherited values are the parent's, which the parent still
+holds); the child then stages its own observations as one JSON line in a
+``<metrics>.parts`` sidecar via :func:`stage_child_parts`.  The parent's
+final :func:`close_registry` folds the parts in — keeping only the last
+line per child pid, so repeated staging never double-counts — and
+deletes the sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+METRICS_SCHEMA_VERSION = 1
+
+#: Histograms keep raw values up to this cap; beyond it only the running
+#: count/sum/min/max stay exact and quantiles become approximate (over
+#: the retained sample).
+HISTOGRAM_VALUE_CAP = 4096
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+_REGISTRY: "MetricsRegistry | None" = None
+_ORIGIN_PID: int | None = None  # pid that called open_registry
+
+
+class Counter:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    __slots__ = ("count", "sum", "min", "max", "values", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self.values) < HISTOGRAM_VALUE_CAP:
+                self.values.append(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return _histogram_snapshot(
+            count=self.count,
+            total=self.sum,
+            minimum=self.min,
+            maximum=self.max,
+            values=list(self.values),
+        )
+
+
+class Series:
+    __slots__ = ("values", "_lock")
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self._lock = threading.Lock()
+
+    def append(self, value: float) -> None:
+        with self._lock:
+            self.values.append(float(value))
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "series", "values": list(self.values)}
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    # Linear interpolation between closest ranks (numpy's default), kept
+    # dependency-free so summaries work on a bare metrics.json.
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def _histogram_snapshot(
+    count: int, total: float, minimum: float, maximum: float, values: list[float]
+) -> dict[str, Any]:
+    snapshot: dict[str, Any] = {
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "min": None if count == 0 else minimum,
+        "max": None if count == 0 else maximum,
+        "values": values,
+    }
+    if values:
+        ordered = sorted(values)
+        snapshot["quantiles"] = {
+            f"p{int(q * 100)}": _quantile(ordered, q) for q in _QUANTILES
+        }
+    else:
+        snapshot["quantiles"] = {}
+    return snapshot
+
+
+class MetricsRegistry:
+    """Per-process registry; forked children reset to empty on first use."""
+
+    def __init__(self, path: Path, header: dict[str, Any]):
+        self.path = path
+        self.pid = os.getpid()
+        self.run: dict[str, Any] = dict(header)
+        self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _check_fork(self) -> None:
+        if os.getpid() != self.pid:
+            # Inherited values belong to the parent (which still holds
+            # them); starting empty prevents double counting at merge.
+            self.pid = os.getpid()
+            self._metrics = {}
+
+    def _get(self, name: str, factory: type) -> Any:
+        with self._lock:
+            self._check_fork()
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, factory):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {factory.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def series(self, name: str) -> Series:
+        return self._get(name, Series)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            self._check_fork()
+            return {name: metric.snapshot() for name, metric in self._metrics.items()}
+
+    @property
+    def parts_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".parts")
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def merge_metric(base: "dict[str, Any] | None", update: dict[str, Any]) -> dict[str, Any]:
+    """Fold one metric snapshot into another of the same name."""
+    if base is None or base.get("type") != update.get("type"):
+        return update
+    kind = update["type"]
+    if kind == "counter":
+        return {"type": "counter", "value": base["value"] + update["value"]}
+    if kind == "gauge":
+        return update if update["value"] is not None else base
+    if kind == "series":
+        return {"type": "series", "values": list(base["values"]) + list(update["values"])}
+    if kind == "histogram":
+        count = base["count"] + update["count"]
+        if count == 0:
+            return update
+        values = (list(base.get("values", [])) + list(update.get("values", [])))[
+            :HISTOGRAM_VALUE_CAP
+        ]
+        minimums = [v["min"] for v in (base, update) if v["min"] is not None]
+        maximums = [v["max"] for v in (base, update) if v["max"] is not None]
+        return _histogram_snapshot(
+            count=count,
+            total=base["sum"] + update["sum"],
+            minimum=min(minimums),
+            maximum=max(maximums),
+            values=values,
+        )
+    return update
+
+
+def merge_snapshots(
+    base: dict[str, Any], update: dict[str, Any]
+) -> dict[str, Any]:
+    merged = dict(base)
+    for name, metric in update.items():
+        merged[name] = merge_metric(merged.get(name), metric)
+    return merged
+
+
+def _load_parts(parts_path: Path) -> dict[str, Any]:
+    """Merge staged child snapshots, keeping the last line per pid."""
+    if not parts_path.exists():
+        return {}
+    last_per_pid: dict[int, dict[str, Any]] = {}
+    with open(parts_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write from a killed child; drop it
+            if isinstance(record, dict) and "pid" in record:
+                last_per_pid[record["pid"]] = record.get("metrics", {})
+    merged: dict[str, Any] = {}
+    for snapshot in last_per_pid.values():
+        merged = merge_snapshots(merged, snapshot)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Module-level lifecycle (driven by repro.obs)
+# ----------------------------------------------------------------------
+def registry() -> MetricsRegistry:
+    reg = _REGISTRY
+    if reg is None:
+        raise RuntimeError("metrics not configured (call repro.obs.configure)")
+    return reg
+
+
+def open_registry(path: "str | os.PathLike[str]", header: dict[str, Any]) -> None:
+    global _REGISTRY, _ORIGIN_PID
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    _REGISTRY = MetricsRegistry(resolved, header)
+    _ORIGIN_PID = os.getpid()
+
+
+def annotate_run(fields: dict[str, Any]) -> None:
+    reg = _REGISTRY
+    if reg is not None:
+        reg.run.update(fields)
+
+
+def stage_child_parts() -> None:
+    """Append this forked child's snapshot to the ``.parts`` sidecar.
+
+    A no-op in the process that opened the registry — the root folds its
+    own live registry into the final snapshot at :func:`close_registry`.
+    """
+    reg = _REGISTRY
+    if reg is None or os.getpid() == _ORIGIN_PID:
+        return
+    snapshot = reg.snapshot()  # also triggers the fork reset if needed
+    if not snapshot:
+        return
+    line = json.dumps(
+        {"pid": os.getpid(), "metrics": snapshot}, separators=(",", ":")
+    )
+    data = (line + "\n").encode("utf-8")
+    fd = os.open(
+        str(reg.parts_path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+    )
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def close_registry(final: bool) -> None:
+    """Flush and drop the registry.
+
+    ``final=True`` (root process): write the merged ``metrics.json`` —
+    existing document at the path + staged child parts + live registry —
+    and delete the parts sidecar.  ``final=False`` (forked child):
+    stage this process's contribution to the sidecar instead.
+    """
+    global _REGISTRY
+    reg = _REGISTRY
+    _REGISTRY = None
+    if reg is None:
+        return
+    if not final:
+        _REGISTRY = reg
+        stage_child_parts()
+        _REGISTRY = None
+        return
+
+    metrics = _load_parts(reg.parts_path)
+    metrics = merge_snapshots(metrics, reg.snapshot())
+
+    runs: list[dict[str, Any]] = []
+    if reg.path.exists():
+        try:
+            existing = json.loads(reg.path.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = {}
+        if isinstance(existing, dict):
+            prior = existing.get("metrics", {})
+            if isinstance(prior, dict):
+                metrics = merge_snapshots(prior, metrics)
+            prior_runs = existing.get("runs", [])
+            if isinstance(prior_runs, list):
+                runs = list(prior_runs)
+    if reg.run:
+        runs.append(dict(reg.run))
+
+    document = {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "updated_unix": time.time(),
+        "runs": runs,
+        "metrics": metrics,
+    }
+    tmp = reg.path.with_name(reg.path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, reg.path)
+    if reg.parts_path.exists():
+        try:
+            reg.parts_path.unlink()
+        except OSError:
+            pass
+
+
+def load_snapshot(path: "str | os.PathLike[str]") -> dict[str, Any]:
+    """Read a ``metrics.json`` document (for summaries and tests)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "metrics" not in document:
+        raise ValueError(f"{path}: not a repro metrics snapshot")
+    return document

@@ -1,0 +1,111 @@
+"""Per-stage cProfile capture behind ``--profile-dir``.
+
+Each instrumented pipeline stage (``table1.train``, ``scalability``,
+``simulate``, ...) is wrapped in :func:`repro.obs.profile_stage`; when
+profiling is enabled the stage runs under :class:`cProfile.Profile` and
+two files land in the profile directory on stage exit:
+
+* ``<stage>.pstats`` — the raw stats archive, loadable with
+  ``python -m pstats`` or snakeviz;
+* ``<stage>.txt`` — a human top-N report sorted by cumulative time.
+
+cProfile cannot nest, so an inner ``profile_stage`` while another stage
+is live in the same process is a silent no-op — the outer stage's
+profile already covers the inner frames.  Forked worker processes
+inherit the configuration but start their own (per-pid-suffixed)
+capture only if a stage boundary runs inside them.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import re
+from pathlib import Path
+from typing import Any
+
+#: Lines shown in the human-readable ``<stage>.txt`` report.
+TOP_N = 25
+
+_DIR: Path | None = None
+_ORIGIN_PID: int | None = None
+_ACTIVE = False  # a stage is live in this process (cProfile cannot nest)
+
+
+def _safe_name(stage: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", stage)
+
+
+class _Stage:
+    __slots__ = ("name", "_profile")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._profile = cProfile.Profile()
+
+    def annotate(self, **args: Any) -> None:
+        """Accepted for span-API symmetry; profiles carry no args."""
+
+    def __enter__(self) -> "_Stage":
+        global _ACTIVE
+        _ACTIVE = True
+        self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        self._profile.disable()
+        _ACTIVE = False
+        directory = _DIR
+        if directory is not None:
+            base = _safe_name(self.name)
+            if os.getpid() != _ORIGIN_PID:
+                base = f"{base}.pid{os.getpid()}"
+            stats = pstats.Stats(self._profile)
+            stats.dump_stats(str(directory / f"{base}.pstats"))
+            report = io.StringIO()
+            text_stats = pstats.Stats(self._profile, stream=report)
+            text_stats.sort_stats("cumulative").print_stats(TOP_N)
+            (directory / f"{base}.txt").write_text(
+                report.getvalue(), encoding="utf-8"
+            )
+        return False
+
+
+class _NullStage:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **args: Any) -> None:
+        pass
+
+
+_NULL_STAGE = _NullStage()
+
+
+def stage(name: str) -> "_Stage | _NullStage":
+    if _DIR is None or _ACTIVE:
+        return _NULL_STAGE
+    return _Stage(name)
+
+
+def open_profiler(directory: "str | os.PathLike[str]") -> None:
+    global _DIR, _ORIGIN_PID
+    resolved = Path(directory)
+    resolved.mkdir(parents=True, exist_ok=True)
+    _DIR = resolved
+    _ORIGIN_PID = os.getpid()
+
+
+def close_profiler() -> None:
+    global _DIR, _ORIGIN_PID, _ACTIVE
+    _DIR = None
+    _ORIGIN_PID = None
+    _ACTIVE = False

@@ -1,0 +1,91 @@
+"""Human-readable rendering of metrics snapshots and trace aggregates."""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Any
+
+from repro.eval.report import format_table
+from repro.obs.metrics import load_snapshot
+from repro.obs.trace import read_events
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _metric_row(name: str, snapshot: dict[str, Any]) -> list[str]:
+    kind = snapshot.get("type", "?")
+    if kind == "counter":
+        return [name, kind, _fmt(snapshot["value"]), ""]
+    if kind == "gauge":
+        return [name, kind, _fmt(snapshot["value"]), ""]
+    if kind == "series":
+        values = snapshot.get("values", [])
+        last = _fmt(values[-1]) if values else "-"
+        return [name, kind, last, f"n={len(values)}"]
+    if kind == "histogram":
+        quantiles = snapshot.get("quantiles", {})
+        detail = (
+            f"n={snapshot['count']} min={_fmt(snapshot['min'])} "
+            f"p50={_fmt(quantiles.get('p50'))} "
+            f"p99={_fmt(quantiles.get('p99'))} max={_fmt(snapshot['max'])}"
+        )
+        mean = snapshot["sum"] / snapshot["count"] if snapshot["count"] else None
+        return [name, kind, _fmt(mean), detail]
+    return [name, kind, "?", ""]
+
+
+def summarize_metrics(path: "str | os.PathLike[str]") -> str:
+    """Render a ``metrics.json`` snapshot as a fixed-width table."""
+    document = load_snapshot(path)
+    metrics = document.get("metrics", {})
+    lines = [f"metrics snapshot: {path}"]
+    runs = document.get("runs", [])
+    if runs:
+        lines.append(f"runs recorded: {len(runs)}")
+        digests = {
+            r["config_digest"] for r in runs if isinstance(r, dict) and "config_digest" in r
+        }
+        if digests:
+            lines.append("config digests: " + ", ".join(sorted(d[:16] for d in digests)))
+    if not metrics:
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+    rows = [_metric_row(name, metrics[name]) for name in sorted(metrics)]
+    lines.append(format_table(["metric", "type", "value", "detail"], rows))
+    return "\n".join(lines)
+
+
+def summarize_trace(path: "str | os.PathLike[str]") -> str:
+    """Aggregate a trace file's spans by name: count and total/mean time."""
+    events = read_events(path)
+    totals: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    pids = set()
+    for event in events:
+        pids.add(event.get("pid"))
+        if event.get("ph") != "X":
+            continue
+        name = event.get("name", "?")
+        totals[name] += float(event.get("dur", 0.0))
+        counts[name] += 1
+    lines = [
+        f"trace: {path}",
+        f"events: {len(events)} across {len(pids)} process(es)",
+    ]
+    if not counts:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+    rows = []
+    for name in sorted(totals, key=totals.get, reverse=True):
+        total_ms = totals[name] / 1000.0
+        mean_ms = total_ms / counts[name]
+        rows.append([name, str(counts[name]), f"{total_ms:.3f}", f"{mean_ms:.3f}"])
+    lines.append(format_table(["span", "count", "total_ms", "mean_ms"], rows))
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""JSONL span tracing in the Chrome trace event format.
+
+One event per line, appended to a single file shared by every process of
+a run:
+
+* ``ph: "X"`` — a *complete* span: ``ts`` (absolute unix microseconds)
+  plus ``dur`` (microseconds, measured with ``perf_counter``).  Nesting
+  is positional — a span whose ``[ts, ts+dur]`` lies inside another's on
+  the same pid/tid renders as its child — so hierarchical flame charts
+  need no explicit parent links.
+* ``ph: "M"`` — metadata: the ``repro_trace_header`` record (schema
+  version, argv, ``config_digest``) and ``process_name`` labels.
+
+The file is strict JSONL (machine-validatable line by line; see
+:mod:`repro.obs.schema`); :func:`export_chrome` wraps it into the
+``{"traceEvents": [...]}`` JSON document that ``chrome://tracing`` and
+Perfetto load directly.
+
+Concurrency: events buffer per process and are flushed in a single
+``O_APPEND`` write (atomic on POSIX for these sizes), on every 512
+events, whenever the top-level span of a thread closes, and at
+:func:`close_writer`.  A forked child detects the pid change, drops the
+inherited parent buffer (the parent flushes its own copy), and starts a
+buffer of its own — so supervisor attempts and pool jobs appear in the
+same trace under their own pid.  Timestamps are wall-clock, hence
+directly comparable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+#: Version of the trace-file layout, stamped into the header event and
+#: checked by the validator (tests/corpus/obs_trace.schema.json).
+TRACE_SCHEMA_VERSION = 1
+
+_FLUSH_EVERY = 512
+_CATEGORY = "repro"
+
+_WRITER: "_TraceWriter | None" = None
+_LOCAL = threading.local()  # per-thread span depth
+
+
+def _depth() -> int:
+    return getattr(_LOCAL, "depth", 0)
+
+
+def _set_depth(value: int) -> None:
+    _LOCAL.depth = value
+
+
+class _TraceWriter:
+    """Buffered, fork-aware appender of JSONL trace events."""
+
+    def __init__(self, path: Path, header: dict[str, Any]):
+        self.path = path
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._lines: list[str] = []
+        self._header = dict(header)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._emit_process_metadata(role="main")
+        self._emit_header()
+
+    # -- event assembly -------------------------------------------------
+    def _emit_header(self) -> None:
+        args = {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "created_unix": time.time(),
+            **self._header,
+        }
+        self.emit(self._metadata_event("repro_trace_header", args))
+
+    def _emit_process_metadata(self, role: str) -> None:
+        name = f"repro[{role}:{os.getpid()}]"
+        self.emit(self._metadata_event("process_name", {"name": name}))
+
+    @staticmethod
+    def _metadata_event(name: str, args: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "name": name,
+            "cat": _CATEGORY,
+            "ph": "M",
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+            "args": args,
+        }
+
+    # -- output ---------------------------------------------------------
+    def emit(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if os.getpid() != self.pid:
+                self._rebind_after_fork()
+            self._lines.append(line)
+            if len(self._lines) >= _FLUSH_EVERY:
+                self._flush_locked()
+
+    def _rebind_after_fork(self) -> None:
+        # The inherited buffer belongs to the parent, which still holds
+        # (and will flush) its own copy; starting empty prevents
+        # duplicate lines.
+        self.pid = os.getpid()
+        self._lines = []
+        self._lines.append(
+            json.dumps(
+                self._metadata_event(
+                    "process_name", {"name": f"repro[worker:{self.pid}]"}
+                ),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+
+    def _flush_locked(self) -> None:
+        if not self._lines:
+            return
+        data = ("\n".join(self._lines) + "\n").encode("utf-8")
+        self._lines = []
+        fd = os.open(str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def flush(self) -> None:
+        with self._lock:
+            if os.getpid() != self.pid:
+                self._rebind_after_fork()
+            self._flush_locked()
+
+
+class _LiveSpan:
+    """A recording span; emitted as one complete ("X") event on exit."""
+
+    __slots__ = ("name", "args", "_ts_us", "_t0")
+
+    def __init__(self, name: str, args: dict[str, Any]):
+        self.name = name
+        self.args = args
+        self._ts_us = 0
+        self._t0 = 0.0
+
+    def annotate(self, **args: Any) -> None:
+        """Attach more args (e.g. a status known only at span end)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._ts_us = time.time_ns() // 1000
+        self._t0 = time.perf_counter()
+        _set_depth(_depth() + 1)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration_us = (time.perf_counter() - self._t0) * 1e6
+        depth = _depth() - 1
+        _set_depth(depth)
+        writer = _WRITER
+        if writer is not None:
+            if exc_type is not None:
+                self.args.setdefault("error", exc_type.__name__)
+            event = {
+                "name": self.name,
+                "cat": _CATEGORY,
+                "ph": "X",
+                "ts": self._ts_us,
+                "dur": round(duration_us, 3),
+                "pid": os.getpid(),
+                "tid": threading.get_native_id(),
+            }
+            if self.args:
+                event["args"] = self.args
+            writer.emit(event)
+            if depth == 0:
+                # Top-level span closed: make the thread's events durable
+                # (bounds loss in killed workers to the span in flight).
+                writer.flush()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Module-level lifecycle (driven by repro.obs)
+# ----------------------------------------------------------------------
+def open_writer(path: "str | os.PathLike[str]", header: dict[str, Any]) -> None:
+    global _WRITER
+    _WRITER = _TraceWriter(Path(path), header)
+
+
+def start_span(name: str, args: dict[str, Any]) -> _LiveSpan:
+    return _LiveSpan(name, args)
+
+
+def annotate_header(fields: dict[str, Any]) -> None:
+    """Emit an extra header-metadata event (position-independent)."""
+    writer = _WRITER
+    if writer is not None:
+        writer.emit(writer._metadata_event("repro_trace_header", dict(fields)))
+
+
+def flush() -> None:
+    writer = _WRITER
+    if writer is not None:
+        writer.flush()
+
+
+def close_writer() -> None:
+    global _WRITER
+    writer = _WRITER
+    _WRITER = None
+    if writer is not None:
+        writer.flush()
+
+
+# ----------------------------------------------------------------------
+# Offline tooling
+# ----------------------------------------------------------------------
+def read_events(path: "str | os.PathLike[str]") -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into its event dicts (strict: raises on
+    a malformed line — the writer never produces one)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: not valid JSON: {exc}") from None
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{number}: event is not an object")
+            events.append(event)
+    return events
+
+
+def export_chrome(
+    trace_path: "str | os.PathLike[str]", out_path: "str | os.PathLike[str]"
+) -> Path:
+    """Wrap a JSONL trace into the JSON document trace viewers load.
+
+    Produces ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — the
+    Chrome trace event container understood by ``chrome://tracing`` and
+    https://ui.perfetto.dev (Open trace file).
+    """
+    events = read_events(trace_path)
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    out.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return out

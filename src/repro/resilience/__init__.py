@@ -34,6 +34,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.journal import ResultJournal
 from repro.resilience.supervisor import (
+    AttemptRecord,
     FailureReport,
     JobFailure,
     RetryPolicy,
@@ -42,6 +43,7 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "Budget",
     "coerce_budget",
     "CheckpointError",

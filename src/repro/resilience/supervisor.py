@@ -41,6 +41,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+import repro.obs as obs
+
 #: Longest the event loop sleeps between bookkeeping passes (seconds).
 _POLL_CAP = 0.05
 
@@ -89,27 +91,60 @@ class RetryPolicy:
 
 @dataclass
 class JobFailure:
-    """One job that exhausted its attempts, and why."""
+    """One job that exhausted its attempts, and why.
+
+    ``backoff_seconds`` is the total retry backoff the job sat out and
+    ``wall_seconds`` the wall clock from its first launch to the terminal
+    failure — so a degraded sweep's report says not just *that* a job
+    died but how much time its retries consumed.  Both default to 0 for
+    hand-constructed failures.
+    """
 
     index: int
     kind: str  # "timeout" | "crash" | "error"
     attempts: int
     message: str
+    backoff_seconds: float = 0.0
+    wall_seconds: float = 0.0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"job {self.index}: {self.kind} after {self.attempts} "
             f"attempt(s): {self.message}"
         )
+        if self.wall_seconds > 0:
+            text += (
+                f" [{self.wall_seconds:.2f}s wall clock, "
+                f"{self.backoff_seconds:.2f}s in backoff]"
+            )
+        return text
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one job, as observed by the supervisor."""
+
+    index: int
+    attempt: int  # 1-based
+    outcome: str  # "ok" | "timeout" | "crash" | "error"
+    seconds: float  # attempt wall clock (launch to verdict)
+    backoff_seconds: float = 0.0  # delay scheduled before the next attempt
 
 
 @dataclass
 class FailureReport:
-    """Structured account of what a supervised sweep could not finish."""
+    """Structured account of what a supervised sweep could not finish.
+
+    ``attempt_log`` records every attempt — including successful ones —
+    with its outcome, duration, and the backoff scheduled after it, so a
+    degraded run is diagnosable from the report (or the emitted
+    ``supervisor.*`` metrics) alone.
+    """
 
     total_jobs: int = 0
     failures: list[JobFailure] = field(default_factory=list)
     retries: int = 0  # attempts beyond each job's first
+    attempt_log: list[AttemptRecord] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -147,11 +182,20 @@ class SweepResult:
         return [r for i, r in enumerate(self.results) if i not in set(self.report.failed_indices)]
 
 
-def _attempt_runner(fn, payload, conn) -> None:
-    """Child-process entry: run the job, report through the pipe."""
+def _attempt_runner(fn, payload, conn, index: int = 0, attempt: int = 1) -> None:
+    """Child-process entry: run the job, report through the pipe.
+
+    When observability is configured in the supervising process the
+    forked child inherits it: the attempt runs under a
+    ``supervisor.attempt`` span and the child's buffered trace events and
+    metrics are flushed before the process exits (``os._exit`` via
+    multiprocessing skips ``atexit``, so this is the only flush point).
+    """
     try:
-        result = fn(payload)
+        with obs.span("supervisor.attempt", job=index, attempt=attempt):
+            result = fn(payload)
     except BaseException as exc:  # noqa: BLE001 - everything must be reported
+        obs.child_flush()
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - pipe already gone
@@ -159,6 +203,7 @@ def _attempt_runner(fn, payload, conn) -> None:
         finally:
             conn.close()
         return
+    obs.child_flush()
     conn.send(("ok", result))
     conn.close()
 
@@ -172,6 +217,7 @@ class _Attempt:
     process: multiprocessing.Process
     conn: multiprocessing.connection.Connection
     deadline: float | None  # absolute monotonic time, None = no limit
+    started_at: float = 0.0  # monotonic launch time
 
 
 class Supervisor:
@@ -216,6 +262,10 @@ class Supervisor:
         pending.reverse()  # pop() then serves jobs in input order
         waiting: list[tuple[float, int, int]] = []  # (ready_at, index, attempt)
         inflight: dict[int, _Attempt] = {}
+        # Per-job diagnostics for the report: first launch time and the
+        # total backoff the job has sat out across its retries.
+        self._first_launch: dict[int, float] = {}
+        self._backoff_total: dict[int, float] = {}
 
         try:
             while pending or waiting or inflight:
@@ -286,12 +336,15 @@ class Supervisor:
     def _launch(self, payload: Any, index: int, attempt: int, now: float) -> _Attempt:
         recv, send = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
-            target=_attempt_runner, args=(self.fn, payload, send), daemon=True
+            target=_attempt_runner,
+            args=(self.fn, payload, send, index, attempt),
+            daemon=True,
         )
         process.start()
         send.close()  # parent keeps only the read end
         deadline = now + self.policy.timeout if self.policy.timeout else None
-        return _Attempt(index, attempt, process, recv, deadline)
+        self._first_launch.setdefault(index, now)
+        return _Attempt(index, attempt, process, recv, deadline, started_at=now)
 
     def _finish(self, attempt, results, report, pending, waiting) -> None:
         """Drain a readable pipe: success, reported error, or a torn write."""
@@ -303,19 +356,50 @@ class Supervisor:
         attempt.process.join()
         if status == "ok":
             results[attempt.index] = value
+            report.attempt_log.append(
+                AttemptRecord(
+                    attempt.index,
+                    attempt.attempt,
+                    "ok",
+                    time.monotonic() - attempt.started_at,
+                )
+            )
+            obs.counter("supervisor.jobs_completed").inc()
             return
         self._record(attempt, status, str(value), report, pending, waiting)
 
     def _record(self, attempt, kind, message, report, pending, waiting) -> None:
         """Schedule a retry with backoff, or record the terminal failure."""
+        now = time.monotonic()
+        seconds = now - attempt.started_at
+        plural = {"timeout": "timeouts", "crash": "crashes", "error": "errors"}
+        obs.counter(f"supervisor.{plural.get(kind, kind)}").inc()
         if attempt.attempt < self.policy.max_attempts:
             report.retries += 1
+            obs.counter("supervisor.retries").inc()
             delay = self.policy.backoff_seconds(attempt.index, attempt.attempt)
-            waiting.append((time.monotonic() + delay, attempt.index, attempt.attempt + 1))
-        else:
-            report.failures.append(
-                JobFailure(attempt.index, kind, attempt.attempt, message)
+            self._backoff_total[attempt.index] = (
+                self._backoff_total.get(attempt.index, 0.0) + delay
             )
+            report.attempt_log.append(
+                AttemptRecord(attempt.index, attempt.attempt, kind, seconds, delay)
+            )
+            waiting.append((now + delay, attempt.index, attempt.attempt + 1))
+        else:
+            report.attempt_log.append(
+                AttemptRecord(attempt.index, attempt.attempt, kind, seconds)
+            )
+            report.failures.append(
+                JobFailure(
+                    attempt.index,
+                    kind,
+                    attempt.attempt,
+                    message,
+                    backoff_seconds=self._backoff_total.get(attempt.index, 0.0),
+                    wall_seconds=now - self._first_launch[attempt.index],
+                )
+            )
+            obs.counter("supervisor.jobs_failed").inc()
 
     @staticmethod
     def _kill(attempt: _Attempt) -> None:

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+import repro.obs as obs
 from repro.resilience.budget import Budget, coerce_budget
 from repro.smt.branch_bound import BranchBoundStats, solve_milp
 from repro.smt.encode import Encoder
@@ -94,6 +95,28 @@ class Solver:
 
     # ------------------------------------------------------------------
     def _solve(self, objective: Optional[NumExpr], first_feasible: bool) -> CheckResult:
+        with obs.span(
+            "smt.solve",
+            mode="check" if first_feasible else "minimize",
+            assertions=len(self._assertions),
+        ) as span:
+            result = self._solve_inner(objective, first_feasible)
+            span.annotate(
+                status=result.status,
+                nodes=result.stats.nodes_explored,
+                timed_out=result.timed_out,
+            )
+            obs.counter("smt.solves").inc()
+            obs.counter("smt.nodes_explored").inc(result.stats.nodes_explored)
+            if result.stats.hit_deadline:
+                obs.counter("smt.deadline_hits").inc()
+            if result.stats.hit_node_limit:
+                obs.counter("smt.node_limit_hits").inc()
+            return result
+
+    def _solve_inner(
+        self, objective: Optional[NumExpr], first_feasible: bool
+    ) -> CheckResult:
         encoder = Encoder()
         for formula in self._assertions:
             encoder.assert_formula(formula)

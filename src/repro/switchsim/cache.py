@@ -46,6 +46,7 @@ import zipfile
 from pathlib import Path
 from typing import Any, Mapping, Union
 
+import repro.obs as obs
 from repro.config import canonicalize, config_digest
 from repro.switchsim.io import load_trace, save_trace
 from repro.switchsim.simulation import SimulationTrace
@@ -110,6 +111,22 @@ class TraceCache:
         self.quarantined = 0
         self.migrated = 0  # legacy-key entries adopted under their new key
 
+    def cache_stats(self) -> dict[str, int]:
+        """This instance's lifetime counters as a plain dict.
+
+        The same numbers stream into the :mod:`repro.obs` metrics
+        registry (``cache.hits``/``cache.misses``/...) when metrics are
+        enabled; the accessor works regardless, so tests and callers can
+        assert cache behaviour without turning observability on.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "migrated": self.migrated,
+        }
+
     def path_for(self, params: Mapping[str, Any]) -> Path:
         """The archive path a parameter mapping hashes to."""
         return self.root / f"{trace_key(params)}.npz"
@@ -128,27 +145,32 @@ class TraceCache:
         normally, so a warm cache survives the digest migration without
         a single re-simulation.
         """
-        path = self.path_for(params)
-        if not path.exists():
-            self._adopt_legacy_entry(params, path)
-        if path.exists():
-            try:
-                trace = load_trace(path)
-            # BadZipFile (a truncated archive) subclasses Exception
-            # directly, not OSError/ValueError.
-            except (
-                OSError,
-                ValueError,
-                KeyError,
-                AssertionError,
-                zipfile.BadZipFile,
-            ) as exc:
-                self._quarantine(path, exc)
-            else:
-                self.hits += 1
-                return trace
-        self.misses += 1
-        return None
+        with obs.span("cache.get") as span:
+            path = self.path_for(params)
+            if not path.exists():
+                self._adopt_legacy_entry(params, path)
+            if path.exists():
+                try:
+                    trace = load_trace(path)
+                # BadZipFile (a truncated archive) subclasses Exception
+                # directly, not OSError/ValueError.
+                except (
+                    OSError,
+                    ValueError,
+                    KeyError,
+                    AssertionError,
+                    zipfile.BadZipFile,
+                ) as exc:
+                    self._quarantine(path, exc)
+                else:
+                    self.hits += 1
+                    obs.counter("cache.hits").inc()
+                    span.annotate(outcome="hit")
+                    return trace
+            self.misses += 1
+            obs.counter("cache.misses").inc()
+            span.annotate(outcome="miss")
+            return None
 
     def _adopt_legacy_entry(self, params: Mapping[str, Any], path: Path) -> None:
         """Re-map a PR-3-era cache entry to its unified-digest key."""
@@ -163,6 +185,7 @@ class TraceCache:
             # this is simply the miss it would have been.
             return
         self.migrated += 1
+        obs.counter("cache.migrated").inc()
 
     def _quarantine(self, path: Path, exc: BaseException) -> None:
         """Move an unreadable entry out of the addressable namespace."""
@@ -177,6 +200,7 @@ class TraceCache:
             # entry is simply treated as the miss it is.
             note = "could not be moved"
         self.quarantined += 1
+        obs.counter("cache.quarantined").inc()
         warnings.warn(
             f"trace cache entry {path.name} is unreadable "
             f"({type(exc).__name__}: {exc}); {note}, will re-simulate",
@@ -191,24 +215,26 @@ class TraceCache:
 
     def put(self, params: Mapping[str, Any], trace: SimulationTrace) -> Path:
         """Store ``trace`` under the hash of ``params`` (atomic replace)."""
-        path = self.path_for(params)
-        self.root.mkdir(parents=True, exist_ok=True)
-        # np.savez appends ".npz" to other suffixes, so keep it explicit.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=path.stem, suffix=".tmp.npz"
-        )
-        os.close(fd)
-        try:
-            save_trace(trace, tmp_name)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with obs.span("cache.put"):
+            path = self.path_for(params)
+            self.root.mkdir(parents=True, exist_ok=True)
+            # np.savez appends ".npz" to other suffixes, so keep it explicit.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem, suffix=".tmp.npz"
+            )
+            os.close(fd)
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stores += 1
-        return path
+                save_trace(trace, tmp_name)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
+            obs.counter("cache.stores").inc()
+            return path
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

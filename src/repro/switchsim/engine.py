@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.switchsim.scheduler import RoundRobinScheduler, StrictPriorityScheduler
 from repro.switchsim.simulation import SimulationTrace
 from repro.switchsim.switch import SwitchConfig
@@ -175,6 +176,14 @@ class ArraySwitchEngine:
         self, traffic: "TrafficGenerator", num_bins: int, steps_per_bin: int
     ) -> SimulationTrace:
         """Simulate ``num_bins`` fine-grained bins and return the trace."""
+        # One coarse span per run — never per bin or step — so the
+        # disabled-path overhead on the hot loop stays unmeasurable.
+        with obs.span("switchsim.array.run", num_bins=int(num_bins)):
+            return self._run(traffic, num_bins, steps_per_bin)
+
+    def _run(
+        self, traffic: "TrafficGenerator", num_bins: int, steps_per_bin: int
+    ) -> SimulationTrace:
         cfg = self.config
         num_queues = cfg.num_queues
         num_ports = cfg.num_ports

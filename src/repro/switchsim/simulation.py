@@ -25,6 +25,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+import repro.obs as obs
 from repro.switchsim.switch import OutputQueuedSwitch, SwitchConfig
 from repro.utils.validation import check_positive
 
@@ -174,6 +175,10 @@ class Simulation:
     def run(self, num_bins: int) -> SimulationTrace:
         """Simulate ``num_bins`` fine-grained bins and return the trace."""
         check_positive("num_bins", num_bins)
+        with obs.span("switchsim.run", engine=self.engine, num_bins=int(num_bins)):
+            return self._run(num_bins)
+
+    def _run(self, num_bins: int) -> SimulationTrace:
         if self._array_engine is not None:
             initial_qlen = (
                 self._array_engine.queue_lengths() if self.selfcheck else None

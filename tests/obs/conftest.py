@@ -1,0 +1,14 @@
+"""Shared teardown: every obs test leaves observability disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def reset_obs():
+    """Guarantee the disabled state after each test, pass or fail."""
+    yield
+    obs.finish()

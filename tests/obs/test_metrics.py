@@ -1,0 +1,149 @@
+"""Metrics registry: types, snapshot document, merging, forked children."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import (
+    HISTOGRAM_VALUE_CAP,
+    load_snapshot,
+    merge_metric,
+)
+
+
+def _snapshot(path):
+    return load_snapshot(path)["metrics"]
+
+
+class TestMetricTypes:
+    def test_counter_gauge_histogram_series(self, tmp_path):
+        path = tmp_path / "m.json"
+        obs.configure(metrics=path)
+        obs.counter("c").inc()
+        obs.counter("c").inc(4)
+        obs.gauge("g").set(2.5)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            obs.histogram("h").observe(value)
+        obs.series("s").append(0.9)
+        obs.series("s").append(0.5)
+        obs.finish()
+
+        metrics = _snapshot(path)
+        assert metrics["c"] == {"type": "counter", "value": 5}
+        assert metrics["g"] == {"type": "gauge", "value": 2.5}
+        hist = metrics["h"]
+        assert (hist["count"], hist["sum"], hist["min"], hist["max"]) == (4, 10.0, 1.0, 4.0)
+        assert hist["quantiles"]["p50"] == pytest.approx(2.5)
+        assert metrics["s"] == {"type": "series", "values": [0.9, 0.5]}
+
+    def test_type_conflict_raises(self, tmp_path):
+        obs.configure(metrics=tmp_path / "m.json")
+        obs.counter("x").inc()
+        with pytest.raises(TypeError, match="already registered"):
+            obs.gauge("x")
+
+    def test_run_header_and_annotate_recorded(self, tmp_path):
+        path = tmp_path / "m.json"
+        obs.configure(metrics=path, header={"command": "test"})
+        obs.annotate(config_digest="deadbeef")
+        obs.counter("c").inc()
+        obs.finish()
+        (run,) = load_snapshot(path)["runs"]
+        assert run["command"] == "test"
+        assert run["config_digest"] == "deadbeef"
+
+
+class TestAccumulation:
+    def test_snapshots_at_same_path_accumulate(self, tmp_path):
+        path = tmp_path / "m.json"
+        for i in range(2):
+            obs.configure(metrics=path, header={"run": i})
+            obs.counter("c").inc(2)
+            obs.gauge("g").set(1.0)
+            obs.series("s").append(7.0)
+            obs.finish()
+        metrics = _snapshot(path)
+        assert metrics["c"]["value"] == 4
+        assert metrics["s"]["values"] == [7.0, 7.0]
+        assert len(load_snapshot(path)["runs"]) == 2
+
+    def test_merge_histograms_requantiles(self):
+        a = {
+            "type": "histogram", "count": 2, "sum": 3.0, "min": 1.0,
+            "max": 2.0, "values": [1.0, 2.0], "quantiles": {},
+        }
+        b = {
+            "type": "histogram", "count": 2, "sum": 7.0, "min": 3.0,
+            "max": 4.0, "values": [3.0, 4.0], "quantiles": {},
+        }
+        merged = merge_metric(a, b)
+        assert merged["count"] == 4
+        assert merged["min"] == 1.0 and merged["max"] == 4.0
+        assert merged["quantiles"]["p50"] == pytest.approx(2.5)
+
+    def test_histogram_value_cap_keeps_running_stats_exact(self, tmp_path):
+        path = tmp_path / "m.json"
+        obs.configure(metrics=path)
+        h = obs.histogram("h")
+        for i in range(HISTOGRAM_VALUE_CAP + 10):
+            h.observe(float(i))
+        obs.finish()
+        hist = _snapshot(path)["h"]
+        assert hist["count"] == HISTOGRAM_VALUE_CAP + 10
+        assert hist["max"] == float(HISTOGRAM_VALUE_CAP + 9)
+        assert len(hist["values"]) == HISTOGRAM_VALUE_CAP
+
+
+class TestForkedChildren:
+    def test_child_metrics_merge_through_parts_sidecar(self, tmp_path):
+        if not hasattr(os, "fork"):
+            pytest.skip("no fork on this platform")
+        path = tmp_path / "m.json"
+        obs.configure(metrics=path)
+        obs.counter("jobs").inc(3)
+        pid = os.fork()
+        if pid == 0:
+            try:
+                obs.counter("jobs").inc(5)
+                obs.child_flush()
+            finally:
+                os._exit(0)
+        assert os.waitpid(pid, 0)[1] == 0
+        parts = path.with_name(path.name + ".parts")
+        assert parts.exists()
+        obs.finish()
+        assert _snapshot(path)["jobs"]["value"] == 8
+        assert not parts.exists(), "parts sidecar must be folded in and removed"
+
+    def test_repeated_child_flush_does_not_double_count(self, tmp_path):
+        if not hasattr(os, "fork"):
+            pytest.skip("no fork on this platform")
+        path = tmp_path / "m.json"
+        obs.configure(metrics=path)
+        pid = os.fork()
+        if pid == 0:
+            try:
+                obs.counter("jobs").inc(2)
+                obs.child_flush()
+                obs.child_flush()  # dedup: last line per pid wins
+            finally:
+                os._exit(0)
+        assert os.waitpid(pid, 0)[1] == 0
+        obs.finish()
+        assert _snapshot(path)["jobs"]["value"] == 2
+
+    def test_torn_part_line_is_dropped(self, tmp_path):
+        path = tmp_path / "m.json"
+        obs.configure(metrics=path)
+        obs.counter("jobs").inc(1)
+        parts = path.with_name(path.name + ".parts")
+        good = json.dumps(
+            {"pid": 99999, "metrics": {"jobs": {"type": "counter", "value": 4}}}
+        )
+        parts.write_text(good + "\n" + '{"pid": 12345, "metr')  # torn write
+        obs.finish()
+        assert _snapshot(path)["jobs"]["value"] == 5

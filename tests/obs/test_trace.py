@@ -1,0 +1,129 @@
+"""Span tracing: Chrome trace event shape, nesting, forks, export."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.trace import export_chrome, read_events
+
+
+def _x_events(path):
+    return [e for e in read_events(path) if e["ph"] == "X"]
+
+
+def _header(path):
+    return [
+        e for e in read_events(path)
+        if e["ph"] == "M" and e["name"] == "repro_trace_header"
+    ]
+
+
+class TestSpans:
+    def test_span_becomes_complete_event(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        obs.configure(trace=trace)
+        with obs.span("unit.work", n=3):
+            pass
+        obs.finish()
+        (event,) = _x_events(trace)
+        assert event["name"] == "unit.work"
+        assert event["cat"] == "repro"
+        assert event["pid"] == os.getpid()
+        assert event["dur"] >= 0
+        assert event["args"]["n"] == 3
+
+    def test_nested_spans_share_tid_and_overlap(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        obs.configure(trace=trace)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.finish()
+        events = {e["name"]: e for e in _x_events(trace)}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["tid"] == inner["tid"]
+        # Positional nesting: the inner interval sits inside the outer one.
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+
+    def test_annotate_and_exception_args(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        obs.configure(trace=trace)
+        with pytest.raises(RuntimeError):
+            with obs.span("solve") as span:
+                span.annotate(status="sat")
+                raise RuntimeError("boom")
+        obs.finish()
+        (event,) = _x_events(trace)
+        assert event["args"]["status"] == "sat"
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_header_carries_configure_and_annotate_fields(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        obs.configure(trace=trace, header={"command": "test"})
+        obs.annotate(config_digest="abc123")
+        obs.finish()
+        headers = _header(trace)
+        assert headers[0]["args"]["command"] == "test"
+        assert any(h["args"].get("config_digest") == "abc123" for h in headers)
+
+    def test_append_only_across_runs(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        for name in ("first", "second"):
+            obs.configure(trace=trace)
+            with obs.span(name):
+                pass
+            obs.finish()
+        assert [e["name"] for e in _x_events(trace)] == ["first", "second"]
+
+
+class TestForkedChildren:
+    def test_child_spans_land_under_child_pid(self, tmp_path):
+        if not hasattr(os, "fork"):
+            pytest.skip("no fork on this platform")
+        trace = tmp_path / "t.jsonl"
+        obs.configure(trace=trace)
+        with obs.span("parent.work"):
+            pass
+        pid = os.fork()
+        if pid == 0:
+            try:
+                with obs.span("child.work"):
+                    pass
+                obs.child_flush()
+            finally:
+                os._exit(0)
+        assert os.waitpid(pid, 0)[1] == 0
+        obs.finish()
+        events = {e["name"]: e for e in _x_events(trace)}
+        assert events["parent.work"]["pid"] == os.getpid()
+        assert events["child.work"]["pid"] == pid
+        # The child announces itself as a worker process for the viewer.
+        worker_meta = [
+            e for e in read_events(trace)
+            if e["ph"] == "M" and e["name"] == "process_name" and e["pid"] == pid
+        ]
+        assert worker_meta, "forked child must emit its own process_name"
+
+
+class TestExportAndParse:
+    def test_export_chrome_wraps_trace_events(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        obs.configure(trace=trace)
+        with obs.span("a"):
+            pass
+        obs.finish()
+        out = export_chrome(trace, tmp_path / "t.chrome.json")
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["name"] == "a" for e in doc["traceEvents"])
+
+    def test_read_events_rejects_malformed_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "ok", "ph": "X"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2: not valid JSON"):
+            read_events(bad)

@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.resilience import (
+    AttemptRecord,
     FailureReport,
     JobFailure,
     RetryPolicy,
@@ -169,3 +170,38 @@ class TestReportShapes:
     def test_sweep_result_ok_delegates(self):
         sweep = SweepResult([1, 2], FailureReport(total_jobs=2))
         assert sweep.ok and sweep.completed() == [1, 2]
+
+
+class TestAttemptReporting:
+    def test_attempt_log_records_every_attempt(self, tmp_path):
+        fn = FailOnce(_square, tmp_path)
+        sweep = Supervisor(fn, policy=RetryPolicy(backoff_base=0.01)).run([5])
+        log = sweep.report.attempt_log
+        assert [(a.index, a.attempt, a.outcome) for a in log] == [
+            (0, 1, "error"),
+            (0, 2, "ok"),
+        ]
+        assert all(a.seconds >= 0 for a in log)
+        # The failed attempt carries the backoff scheduled after it.
+        assert log[0].backoff_seconds > 0
+        assert log[1].backoff_seconds == 0
+
+    def test_terminal_failure_reports_backoff_and_wall_clock(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.05, backoff_factor=2.0, jitter=0.0
+        )
+        sweep = Supervisor(_always_raises, policy=policy).run([7])
+        (failure,) = sweep.report.failures
+        assert failure.attempts == 3
+        # Two retries: backoff 0.05 then 0.10 (zero jitter = exact).
+        assert failure.backoff_seconds == pytest.approx(0.15, abs=0.01)
+        assert failure.wall_seconds >= failure.backoff_seconds
+        assert "wall clock" in str(failure) and "in backoff" in str(failure)
+        assert len(sweep.report.attempt_log) == 3
+
+    def test_hand_constructed_records_default_to_zero(self):
+        failure = JobFailure(2, "timeout", 3, "exceeded 1s")
+        assert failure.backoff_seconds == 0.0 and failure.wall_seconds == 0.0
+        assert "wall clock" not in str(failure)
+        record = AttemptRecord(0, 1, "ok", 0.5)
+        assert record.backoff_seconds == 0.0

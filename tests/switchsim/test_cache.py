@@ -176,3 +176,38 @@ class TestTraceCache:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(cache) == 0
+
+
+class TestCacheStats:
+    def test_cache_stats_tracks_lifetime_counters(self, tmp_path):
+        cfg = quick_scenario()
+        cache = TraceCache(tmp_path)
+        assert cache.cache_stats() == {
+            "hits": 0, "misses": 0, "stores": 0, "quarantined": 0, "migrated": 0,
+        }
+        generate_trace(cfg, seed=4, cache=cache)  # miss + store
+        generate_trace(cfg, seed=4, cache=cache)  # hit
+        stats = cache.cache_stats()
+        assert (stats["hits"], stats["misses"], stats["stores"]) == (1, 1, 1)
+        assert stats["quarantined"] == 0 and stats["migrated"] == 0
+        # The accessor returns a copy, not live state.
+        stats["hits"] = 99
+        assert cache.hits == 1
+
+    def test_cache_counters_stream_into_metrics_registry(self, tmp_path):
+        import repro.obs as obs
+        from repro.obs.metrics import load_snapshot
+
+        metrics_path = tmp_path / "metrics.json"
+        obs.configure(metrics=metrics_path)
+        try:
+            cfg = quick_scenario()
+            cache = TraceCache(tmp_path / "traces")
+            generate_trace(cfg, seed=4, cache=cache)
+            generate_trace(cfg, seed=4, cache=cache)
+        finally:
+            obs.finish()
+        metrics = load_snapshot(metrics_path)["metrics"]
+        assert metrics["cache.misses"]["value"] == 1
+        assert metrics["cache.hits"]["value"] == 1
+        assert metrics["cache.stores"]["value"] == 1
