@@ -1,0 +1,146 @@
+"""Measures training and CEM against their pre-optimization reference paths.
+
+The tentpole claim of the trainer-speed PR: float32 fused-kernel training
+plus the vectorized constraint projection make the learning side of the
+pipeline as cheap as the simulator side, without changing any float64
+number — the reference path (float64, composite kernels, per-interval
+CEM loop) is still there behind config knobs and is what we race against.
+
+Three measurements, written to ``BENCH_train.json``:
+
+* ``epochs/sec`` — one KAL training epoch on the profile's dataset,
+  reference (``dtype=float64, fused_kernels=False``) vs optimized
+  (``dtype=float32, fused_kernels=True``);
+* ``CEM projections/sec`` — per-window constraint projection over noisy
+  imputations, per-interval loop vs vectorized passes (outputs asserted
+  bit-identical);
+* ``end-to-end Table-1 wall-clock`` — :func:`repro.eval.table1.run_table1`
+  under the reference knobs vs the optimized defaults, same dataset, with
+  the paper profile required to reach >= 5x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from benchmarks.bench_schema import write_bench_json
+from benchmarks.conftest import save_result
+from repro.eval.table1 import run_table1, train_transformer
+from repro.imputation.cem import ConstraintEnforcer
+
+REFERENCE = dict(
+    dtype="float64", fused_kernels=False, cem_vectorized=False, batch_inference=False
+)
+OPTIMIZED = dict(
+    dtype="float32", fused_kernels=True, cem_vectorized=True, batch_inference=True
+)
+
+
+def _epoch_seconds(datasets, config, variant: dict) -> float:
+    """Wall-clock of one full KAL training run under ``variant`` knobs."""
+    train, val, _ = datasets
+    cfg = dataclasses.replace(config, **variant)
+    start = time.perf_counter()
+    train_transformer(train, val, cfg, use_kal=True)
+    return (time.perf_counter() - start) / cfg.epochs
+
+
+def _cem_seconds(test, vectorized: bool, noisy) -> tuple[float, list]:
+    enforcer = ConstraintEnforcer(test.switch_config, vectorized=vectorized)
+    start = time.perf_counter()
+    outputs = [
+        enforcer.enforce(imputed, sample)
+        for imputed, sample in zip(noisy, test.samples)
+    ]
+    return time.perf_counter() - start, outputs
+
+
+def test_train_speed(bench_profile, results_dir, datasets, table1_config):
+    if bench_profile == "paper":
+        train_epochs, e2e_epochs, required_speedup = 2, 3, 5.0
+    else:
+        # CI smoke: tiny config, shared runners are noisy — only require
+        # the optimized path to not be a regression.
+        train_epochs, e2e_epochs, required_speedup = 2, 2, 1.0
+    timing_config = dataclasses.replace(table1_config, epochs=train_epochs)
+    train, val, test = datasets
+
+    # --- training epochs/sec -----------------------------------------
+    ref_epoch = _epoch_seconds(datasets, timing_config, REFERENCE)
+    opt_epoch = _epoch_seconds(datasets, timing_config, OPTIMIZED)
+    train_speedup = ref_epoch / opt_epoch
+
+    # --- CEM projections/sec -----------------------------------------
+    # Repeat the window set so the vectorized timing is not all startup.
+    rng = np.random.default_rng(table1_config.seed)
+    repeats = max(1, 200 // max(len(test.samples), 1))
+    cem_test = dataclasses.replace(test, samples=list(test.samples) * repeats)
+    noisy = [
+        np.clip(s.target_raw + rng.normal(0.0, 3.0, s.target_raw.shape), 0.0, None)
+        for s in cem_test.samples
+    ]
+    ref_cem_seconds, ref_outputs = _cem_seconds(cem_test, False, noisy)
+    opt_cem_seconds, opt_outputs = _cem_seconds(cem_test, True, noisy)
+    for expected, actual in zip(ref_outputs, opt_outputs):
+        assert (expected == actual).all(), "vectorized CEM diverged from reference"
+    cem_windows = len(cem_test.samples)
+    cem_speedup = ref_cem_seconds / opt_cem_seconds
+
+    # --- end-to-end Table 1 ------------------------------------------
+    e2e = {}
+    for label, variant in (("reference", REFERENCE), ("optimized", OPTIMIZED)):
+        cfg = dataclasses.replace(table1_config, epochs=e2e_epochs, **variant)
+        start = time.perf_counter()
+        result = run_table1(cfg, datasets=datasets)
+        e2e[label] = time.perf_counter() - start
+        assert set(result.values) and all(
+            np.isfinite(list(column.values())).all()
+            for column in result.values.values()
+        )
+    e2e_speedup = e2e["reference"] / e2e["optimized"]
+
+    write_bench_json(
+        "train",
+        config=table1_config,
+        timings={
+            "reference_epoch_seconds": ref_epoch,
+            "optimized_epoch_seconds": opt_epoch,
+            "reference_cem_seconds": ref_cem_seconds,
+            "optimized_cem_seconds": opt_cem_seconds,
+            "reference_table1_seconds": e2e["reference"],
+            "optimized_table1_seconds": e2e["optimized"],
+        },
+        metrics={
+            "profile": bench_profile,
+            "train_windows": len(train),
+            "cem_windows": cem_windows,
+            "reference_epochs_per_sec": 1.0 / ref_epoch,
+            "optimized_epochs_per_sec": 1.0 / opt_epoch,
+            "train_speedup": train_speedup,
+            "reference_cem_projections_per_sec": cem_windows / ref_cem_seconds,
+            "optimized_cem_projections_per_sec": cem_windows / opt_cem_seconds,
+            "cem_speedup": cem_speedup,
+            "table1_epochs": e2e_epochs,
+            "table1_speedup": e2e_speedup,
+        },
+    )
+
+    lines = [
+        f"profile: {bench_profile}  ({len(train)} train windows, "
+        f"{cem_windows} CEM windows)",
+        f"training (KAL):  reference {ref_epoch:6.2f} s/epoch   "
+        f"optimized {opt_epoch:6.2f} s/epoch   ({train_speedup:.1f}x)",
+        f"CEM projection:  reference {cem_windows / ref_cem_seconds:8,.0f} win/s   "
+        f"optimized {cem_windows / opt_cem_seconds:8,.0f} win/s   "
+        f"({cem_speedup:.1f}x, outputs bit-identical)",
+        f"table1 ({e2e_epochs} epochs): reference {e2e['reference']:6.1f} s        "
+        f"optimized {e2e['optimized']:6.1f} s        ({e2e_speedup:.1f}x)",
+    ]
+    save_result(results_dir, "train_speed.txt", "\n".join(lines))
+
+    assert e2e_speedup >= required_speedup, (
+        f"table1 only {e2e_speedup:.1f}x faster (need >= {required_speedup}x)"
+    )

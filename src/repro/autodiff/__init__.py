@@ -16,14 +16,27 @@ Gradients are exact (verified against central finite differences in the
 test suite) and broadcasting follows numpy semantics.
 """
 
-from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+)
 from repro.autodiff import functional
+from repro.autodiff.fused import fused_kernels, fused_kernels_enabled, set_fused_kernels
 from repro.autodiff.module import Module, Parameter
 from repro.autodiff.optim import SGD, Adam, clip_grad_norm
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "fused_kernels",
+    "fused_kernels_enabled",
+    "set_fused_kernels",
     "functional",
     "Module",
     "Parameter",

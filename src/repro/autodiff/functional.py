@@ -2,6 +2,10 @@
 
 Everything here is expressed in terms of the primitive ops in
 :mod:`repro.autodiff.tensor`, so gradients come for free and stay exact.
+The transformer hot-path ops (softmax, log-softmax, GELU, layer-norm)
+dispatch to :mod:`repro.autodiff.fused` by default; the composite bodies
+below are the reference implementations the fused kernels are verified
+against (see :func:`repro.autodiff.fused.set_fused_kernels`).
 """
 
 from __future__ import annotations
@@ -10,30 +14,39 @@ from typing import Optional
 
 import numpy as np
 
+from repro.autodiff import fused as _fused
 from repro.autodiff.tensor import Tensor
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    if _fused.fused_kernels_enabled():
+        return _fused.softmax(x, axis=axis)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True), dtype=x.data.dtype)
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    if _fused.fused_kernels_enabled():
+        return _fused.log_softmax(x, axis=axis)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True), dtype=x.data.dtype)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT)."""
+    if _fused.fused_kernels_enabled():
+        return _fused.gelu(x)
     inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
     return x * (inner.tanh() + 1.0) * 0.5
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last axis with affine parameters."""
+    if _fused.fused_kernels_enabled():
+        return _fused.layer_norm(x, weight, bias, eps=eps)
     mean = x.mean(axis=-1, keepdims=True)
     centred = x - mean
     variance = (centred * centred).mean(axis=-1, keepdims=True)
@@ -47,8 +60,8 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Te
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
-    return x * Tensor(mask)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask, dtype=mask.dtype)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:

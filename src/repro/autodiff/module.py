@@ -110,13 +110,33 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in params.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Preserve the parameter's dtype: a float32 model loading a
+            # float32 checkpoint must round-trip bit-identically, and a
+            # float64 checkpoint loaded into a float32 model must not
+            # silently flip the model back to double precision.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, "
                     f"got {value.shape}"
                 )
             param.data = value.copy()
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place and return ``self``.
+
+        Gradients and reuse buffers are dropped (they would be stale in
+        the old dtype).  Non-parameter buffers are handled lazily by the
+        modules that own them (e.g. positional-encoding tables are cast
+        to the input dtype at forward time).
+        """
+        resolved = np.dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != resolved:
+                param.data = param.data.astype(resolved)
+            param.grad = None
+            param._grad_buffer = None
+        return self
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""

@@ -133,7 +133,7 @@ def _load_moment_lists(params, targets: dict, state: dict) -> None:
                 f"{len(current)} parameters"
             )
         for param, slot, value in zip(params, current, incoming):
-            value = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"optimizer state {key!r} shape {value.shape} does not "

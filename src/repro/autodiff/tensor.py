@@ -22,6 +22,39 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def get_default_dtype() -> np.dtype:
+    """Dtype new tensors are created with (float64 unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used when constructing tensors from raw data.
+
+    Only float32 and float64 are supported: float64 is the library
+    default (gradient checks, golden fingerprints), float32 is the
+    training fast path (fused kernels + single-precision BLAS).
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {resolved}")
+    _DEFAULT_DTYPE = resolved
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype`."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -38,6 +71,24 @@ def no_grad():
 def grad_enabled() -> bool:
     """Return whether operations currently record the autodiff graph."""
     return _GRAD_ENABLED
+
+
+_OPTIMIZED_ACCUMULATION = True
+
+
+def set_optimized_accumulation(enabled: bool) -> None:
+    """Select the gradient-accumulation strategy.
+
+    ``True`` (default): leaves reuse a private grad buffer across
+    backward passes and interior nodes adopt their first contribution
+    without copying.  ``False`` restores the pre-optimization
+    allocate-and-add behaviour for every node; the fused-kernel switch
+    (:func:`repro.autodiff.fused.set_fused_kernels`) toggles this in
+    lockstep so reference benchmarks measure the original execution
+    path faithfully.  Both strategies produce bit-identical gradients.
+    """
+    global _OPTIMIZED_ACCUMULATION
+    _OPTIMIZED_ACCUMULATION = bool(enabled)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -58,21 +109,31 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """An ndarray with an optional gradient and a recorded backward graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_buffer",
+        "name",
+    )
 
     def __init__(
         self,
         data: ArrayLike,
         requires_grad: bool = False,
         name: Optional[str] = None,
+        dtype=None,
     ):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE if dtype is None else dtype)
         self.requires_grad = bool(requires_grad) and grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple[Tensor, ...] = ()
+        self._grad_buffer: Optional[np.ndarray] = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -101,7 +162,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._wrap(self.data)
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -114,8 +175,29 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _lift(value: ArrayLike) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _wrap(data: np.ndarray) -> "Tensor":
+        """Wrap an ndarray as a leaf tensor without dtype coercion."""
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out._grad_buffer = None
+        out.name = None
+        return out
+
+    def _lift(self, value: ArrayLike) -> "Tensor":
+        """Coerce an operand to a tensor, matching this tensor's dtype.
+
+        Raw scalars and arrays are constants (no gradient), so casting
+        them to ``self``'s dtype is free of correctness concerns and
+        prevents float32 graphs from silently upcasting to float64 via
+        numpy's promotion rules.
+        """
+        if isinstance(value, Tensor):
+            return value
+        return Tensor._wrap(np.asarray(value, dtype=self.data.dtype))
 
     def _make(
         self,
@@ -123,7 +205,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        out = Tensor(data)
+        out = Tensor._wrap(data)
         if grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
@@ -131,9 +213,46 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        if not _OPTIMIZED_ACCUMULATION:
+            # Reference accumulation: allocate-and-add for every node.
+            # Selected together with the composite kernels so reference
+            # benchmarks measure the pre-optimization execution faithfully.
+            if self.grad is None:
+                self.grad = np.zeros_like(self.data)
+            self.grad += grad
+            return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            if self._parents:
+                # Interior node: adopt the contribution without copying.
+                # Backward closures never mutate the arrays they hand
+                # off, and a second contribution allocates below instead
+                # of writing in place — the adopted array may be shared
+                # with a sibling's gradient (both parents of an add see
+                # the same object).
+                self.grad = grad
+                return
+            buffer = self._grad_buffer
+            if (
+                buffer is not None
+                and buffer.shape == grad.shape
+                and buffer.dtype == self.data.dtype
+            ):
+                # Leaf: copy into the private buffer from a previous
+                # backward pass instead of allocating (zeros_like
+                # dominated backward profiles).  A private copy is
+                # required here — the optimizer and clip_grad_norm
+                # mutate leaf gradients in place.
+                np.copyto(buffer, grad)
+                self.grad = buffer
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype)
+                self._grad_buffer = self.grad
+        elif self.grad is self._grad_buffer:
+            self.grad += grad  # leaf: private reusable buffer
+        else:
+            # Interior: the first contribution was adopted, not owned —
+            # never write through a potential alias.
+            self.grad = self.grad + grad
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -153,7 +272,7 @@ class Tensor:
                     f"got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"seed gradient shape {grad.shape} does not match tensor shape {self.shape}"
@@ -382,7 +501,7 @@ class Tensor:
         """Max reduction; gradient is split evenly across ties."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         expanded = self.data.max(axis=axis, keepdims=True)
-        mask = (self.data == expanded).astype(np.float64)
+        mask = (self.data == expanded).astype(self.data.dtype)
         mask /= mask.sum(axis=axis, keepdims=True)
 
         def backward(grad: np.ndarray) -> None:
@@ -478,7 +597,7 @@ class Tensor:
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         """Concatenate tensors along an existing axis."""
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
@@ -496,7 +615,7 @@ class Tensor:
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         """Stack tensors along a new axis."""
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         out_data = np.stack([t.data for t in tensors], axis=axis)
 
         def backward(grad: np.ndarray) -> None:

@@ -172,7 +172,13 @@ def cmd_train(args) -> int:
 
     scenario = _scenario(args)
     train, val, test = generate_dataset(scenario, seed=args.seed)
-    config = Table1Config(scenario=scenario, epochs=args.epochs, seed=args.seed)
+    config = Table1Config(
+        scenario=scenario,
+        epochs=args.epochs,
+        seed=args.seed,
+        dtype=args.dtype,
+        workers=args.workers,
+    )
     _annotate_obs(config, experiment="train")
     model, seconds = train_transformer(
         train,
@@ -435,6 +441,18 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--no-kal", action="store_true", help="disable the knowledge-augmented loss")
+    p.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float32",
+        help="training precision; float64 reproduces the reference kernels bit-for-bit",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="gradient worker processes (results are worker-count independent)",
+    )
     p.add_argument("--out", type=Path, default=Path("model.npz"))
     p.add_argument(
         "--checkpoint",

@@ -71,6 +71,11 @@ class TransformerImputer(Module, Imputer):
         out = self.head(hidden)  # (B, T, Q)
         return out.softplus().transpose(0, 2, 1)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the model parameters (see :meth:`Module.to_dtype`)."""
+        return self.head.weight.data.dtype
+
     # ------------------------------------------------------------------
     # Imputer interface
     # ------------------------------------------------------------------
@@ -78,5 +83,20 @@ class TransformerImputer(Module, Imputer):
         """Impute one window; returns (Q, T) in packet units."""
         self.eval()
         with no_grad():
-            pred = self.forward(Tensor(sample.features[None]))
+            pred = self.forward(Tensor(sample.features[None], dtype=self.dtype))
         return self.scaler.denormalise_qlen(pred.numpy()[0])
+
+    def impute_batch(self, samples: list[ImputationSample]) -> list[np.ndarray]:
+        """Impute many windows in one batched forward pass.
+
+        The transformer treats batch items independently, so each result
+        is identical to the corresponding :meth:`impute` call; batching
+        just amortises the per-forward graph and GEMM dispatch overhead.
+        """
+        if not samples:
+            return []
+        self.eval()
+        with no_grad():
+            features = np.stack([s.features for s in samples])
+            pred = self.forward(Tensor(features, dtype=self.dtype))
+        return [self.scaler.denormalise_qlen(p) for p in pred.numpy()]

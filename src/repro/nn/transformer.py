@@ -9,10 +9,12 @@ the full model.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.autodiff import functional as F
 from repro.autodiff.module import Module
 from repro.autodiff.tensor import Tensor
@@ -33,13 +35,18 @@ class PositionalEncoding(Module):
         table[:, 0::2] = np.sin(position * div)
         table[:, 1::2] = np.cos(position * div)
         self._table = table
+        self._table_cast = table
         self.max_len = max_len
 
     def forward(self, x: Tensor) -> Tensor:
         seq = x.shape[-2]
         if seq > self.max_len:
             raise ValueError(f"sequence length {seq} exceeds max_len {self.max_len}")
-        return x + Tensor(self._table[:seq])
+        # The table is built in float64; cache a cast copy so float32
+        # inputs are not upcast by the addition.
+        if self._table_cast.dtype != x.data.dtype:
+            self._table_cast = self._table.astype(x.data.dtype)
+        return x + Tensor(self._table_cast[:seq], dtype=x.data.dtype)
 
 
 class TransformerEncoderLayer(Module):
@@ -52,9 +59,13 @@ class TransformerEncoderLayer(Module):
         d_ff: int,
         dropout: float = 0.0,
         seed: RngLike = None,
+        label: str = "layer",
     ):
         rngs = spawn_generators(seed, 5)
-        self.self_attn = MultiHeadAttention(d_model, num_heads, dropout=dropout, seed=rngs[0])
+        self.label = label
+        self.self_attn = MultiHeadAttention(
+            d_model, num_heads, dropout=dropout, seed=rngs[0], label=f"{label}.attn"
+        )
         self.norm1 = LayerNorm(d_model)
         self.norm2 = LayerNorm(d_model)
         self.ff1 = Linear(d_model, d_ff, seed=rngs[1])
@@ -62,10 +73,20 @@ class TransformerEncoderLayer(Module):
         self.dropout1 = Dropout(dropout, seed=rngs[3])
         self.dropout2 = Dropout(dropout, seed=rngs[4])
 
+    def _feed_forward(self, x: Tensor) -> Tensor:
+        return self.ff2(F.gelu(self.ff1(x)))
+
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         attended = self.self_attn(self.norm1(x), mask=mask)
         x = x + self.dropout1(attended)
-        transformed = self.ff2(F.gelu(self.ff1(self.norm2(x))))
+        if obs.metrics_enabled():
+            start = time.perf_counter()
+            transformed = self._feed_forward(self.norm2(x))
+            obs.histogram(f"nn.gemm.{self.label}.ffn.seconds").observe(
+                time.perf_counter() - start
+            )
+        else:
+            transformed = self._feed_forward(self.norm2(x))
         return x + self.dropout2(transformed)
 
 
@@ -85,8 +106,10 @@ class TransformerEncoder(Module):
             raise ValueError(f"num_layers must be positive, got {num_layers}")
         rngs = spawn_generators(seed, num_layers)
         self.layers = [
-            TransformerEncoderLayer(d_model, num_heads, d_ff, dropout=dropout, seed=rng)
-            for rng in rngs
+            TransformerEncoderLayer(
+                d_model, num_heads, d_ff, dropout=dropout, seed=rng, label=f"layer{i}"
+            )
+            for i, rng in enumerate(rngs)
         ]
         self.final_norm = LayerNorm(d_model)
 

@@ -15,10 +15,14 @@ detail string describing the first divergence:
   C1–C3, and the L1 correction costs must match (both projections are
   optimal, so equal cost is the equivalence criterion — the argmin need
   not be unique);
+* :func:`diff_cem_vectorized` — the vectorized CEM projection passes vs
+  the per-interval reference loop they replaced, compared *bit-exactly*
+  (same zeroed queues, same raised samples) including infeasibility
+  agreement;
 * :func:`diff_simplex` — the native two-phase simplex + branch-and-bound
   vs exhaustive enumeration over small all-integer domains.
 
-:func:`run_fuzz` drives the three harnesses over seeded random cases and
+:func:`run_fuzz` drives the harnesses over seeded random cases and
 greedily minimizes every discrepancy before reporting it; the nightly CI
 job is a thin wrapper around it (:mod:`repro.testing.fuzz`).
 """
@@ -144,6 +148,54 @@ def diff_cem(case: CemCase) -> str | None:
     return None
 
 
+def diff_cem_vectorized(case: CemCase) -> str | None:
+    """Vectorized CEM passes vs the per-interval reference loop.
+
+    Unlike :func:`diff_cem` (which accepts any equal-cost projection),
+    the vectorized rewrite promises *bit-exact* float64 agreement with
+    the loop it replaced — same zeroed queues, same raised samples, byte
+    for byte.  Infeasibility must also agree, though the two paths may
+    word their diagnostics differently.
+    """
+    from repro.imputation.cem import CEMInfeasibleError, ConstraintEnforcer
+
+    sample, imputed = case.build()
+    config = case.switch_config()
+    reference = ConstraintEnforcer(config, vectorized=False)
+    vectorized = ConstraintEnforcer(config, vectorized=True)
+
+    try:
+        expected = reference.enforce(imputed, sample)
+    except CEMInfeasibleError as error:
+        try:
+            vectorized.enforce(imputed, sample)
+        except CEMInfeasibleError:
+            return None  # both infeasible: agreement
+        return (
+            f"reference CEM declared infeasible ({error}) but the vectorized "
+            "passes produced a projection"
+        )
+
+    try:
+        actual = vectorized.enforce(imputed, sample)
+    except CEMInfeasibleError as error:
+        return (
+            f"vectorized CEM declared infeasible ({error}) but the reference "
+            "loop produced a projection"
+        )
+
+    if expected.shape != actual.shape:
+        return f"shape diverged: reference {expected.shape} vs vectorized {actual.shape}"
+    diff = np.nonzero(expected != actual)
+    if diff[0].size:
+        where = tuple(int(d[0]) for d in diff)
+        return (
+            f"corrected[{list(where)}]: reference {expected[where]!r} vs "
+            f"vectorized {actual[where]!r} (bit-exact agreement required)"
+        )
+    return None
+
+
 def _lp_case_formulas(case: LpCase):
     from repro.smt import IntVar, Sum
 
@@ -215,10 +267,16 @@ def diff_simplex(case: LpCase) -> str | None:
 HARNESSES: dict[str, tuple[Callable, Callable]] = {
     "engine": (diff_engines, random_engine_case),
     "cem": (diff_cem, random_cem_case),
+    "cem_vectorized": (diff_cem_vectorized, random_cem_case),
     "lp": (diff_simplex, random_lp_case),
 }
 
-_CASE_TYPES = {"engine": EngineCase, "cem": CemCase, "lp": LpCase}
+_CASE_TYPES = {
+    "engine": EngineCase,
+    "cem": CemCase,
+    "cem_vectorized": CemCase,
+    "lp": LpCase,
+}
 
 
 # ----------------------------------------------------------------------
@@ -286,6 +344,7 @@ def run_fuzz(
     engine_cases: int = 0,
     cem_cases: int = 0,
     lp_cases: int = 0,
+    cem_vectorized_cases: int = 0,
     minimize: bool = True,
     max_discrepancies: int = 5,
     log: Callable[[str], None] | None = None,
@@ -297,8 +356,15 @@ def run_fuzz(
     of a failing run).
     """
     report = FuzzReport()
-    budgets = {"engine": engine_cases, "cem": cem_cases, "lp": lp_cases}
-    streams = {"engine": 1, "cem": 2, "lp": 3}  # stable sub-stream ids
+    budgets = {
+        "engine": engine_cases,
+        "cem": cem_cases,
+        "lp": lp_cases,
+        "cem_vectorized": cem_vectorized_cases,
+    }
+    # Stable sub-stream ids: appending a harness must not reshuffle the
+    # cases the existing harnesses see for a given seed.
+    streams = {"engine": 1, "cem": 2, "lp": 3, "cem_vectorized": 4}
     for harness, budget in budgets.items():
         diff, make_case = HARNESSES[harness]
         rng = np.random.default_rng([seed, streams[harness]])

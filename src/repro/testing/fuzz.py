@@ -32,7 +32,12 @@ from repro.testing.differential import (
 )
 from repro.testing.strategies import CemCase, EngineCase, LpCase
 
-_CASE_TYPES = {"engine": EngineCase, "cem": CemCase, "lp": LpCase}
+_CASE_TYPES = {
+    "engine": EngineCase,
+    "cem": CemCase,
+    "cem_vectorized": CemCase,
+    "lp": LpCase,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine-cases", type=int, default=40)
     parser.add_argument("--cem-cases", type=int, default=20)
     parser.add_argument("--lp-cases", type=int, default=40)
+    parser.add_argument(
+        "--cem-vectorized-cases",
+        type=int,
+        default=20,
+        help="bit-exactness cases for the vectorized CEM vs the reference loop",
+    )
     parser.add_argument(
         "--corpus", type=Path, help="replay this corpus file before the random sweep"
     )
@@ -111,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
         engine_cases=args.engine_cases,
         cem_cases=args.cem_cases,
         lp_cases=args.lp_cases,
+        cem_vectorized_cases=args.cem_vectorized_cases,
         minimize=not args.no_minimize,
         log=print,
     )
