@@ -1,0 +1,122 @@
+"""Measures the streaming imputation service against its offline twin.
+
+The serving PR's claim: ``repro.serve`` sustains a replayed fleet —
+per-interval coarse records for many switches, windowed, batch-imputed
+and CEM-projected as windows fill — with bounded per-window latency and
+*zero* numerical drift from the offline ``build_dataset -> impute ->
+ConstraintEnforcer`` pipeline on the same windows.
+
+Two measurements, written to ``BENCH_serve.json``:
+
+* sustained throughput — switch-intervals/sec over the full replay
+  (every record of every switch, interval-major arrival order), plus
+  the switches the fleet comprised and the windows emitted;
+* per-window imputation latency — p50/p99/max seconds from record
+  ingestion of a window's last interval to the window's emission.
+
+The parity assertion runs on every emitted window (bit-identical for a
+float64 model, tolerance-pinned for float32), so the published numbers
+are only written for a numerically faithful replay.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.bench_schema import write_bench_json
+from benchmarks.conftest import save_result
+from repro.testing.stream import (
+    assert_stream_matches_offline,
+    fleet_record_schedule,
+    offline_windows,
+    replay,
+)
+
+
+def _fleet_traces(scenario, seed: int, num_switches: int) -> dict:
+    """Per-switch simulator traces under derived seeds (seed+0 trained)."""
+    from repro.eval.scenarios import generate_trace
+
+    return {
+        f"sw{index:04d}": generate_trace(scenario, seed=seed + index + 1)
+        for index in range(num_switches)
+    }
+
+
+def test_serve_throughput(bench_profile, results_dir, table1_config, trained_models):
+    from repro.serve.service import StreamService
+
+    num_switches, shards = (4, 2) if bench_profile == "paper" else (6, 2)
+    scenario = table1_config.scenario
+    model = trained_models["kal"]
+    exact = model.dtype == np.float64
+
+    # --- fleet + schedule (setup, not timed) --------------------------
+    start = time.perf_counter()
+    traces = _fleet_traces(scenario, table1_config.seed, num_switches)
+    records = fleet_record_schedule(traces, scenario.interval)
+    setup_seconds = time.perf_counter() - start
+
+    # --- the replay (timed) -------------------------------------------
+    service = StreamService(
+        model,
+        scenario.switch_config(),
+        model.scaler,
+        scenario.interval,
+        scenario.window_intervals,
+        shards=shards,
+    )
+    start = time.perf_counter()
+    streamed, report = replay(service, records)
+    replay_seconds = time.perf_counter() - start
+
+    # --- parity: the numbers only count if the stream is faithful -----
+    offline = offline_windows(
+        model, traces, scenario.interval, scenario.window_intervals, model.scaler
+    )
+    assert set(streamed) == set(offline), "stream lost or invented windows"
+    assert_stream_matches_offline(
+        streamed, offline, exact=exact, rtol=1e-5, atol=1e-5
+    )
+    assert report.windows == len(offline)
+    assert report.respawns == 0 and np.isfinite(report.latency_p99)
+
+    write_bench_json(
+        "serve",
+        config=table1_config,
+        timings={
+            "setup_seconds": setup_seconds,
+            "replay_seconds": replay_seconds,
+        },
+        metrics={
+            "profile": bench_profile,
+            "switches": num_switches,
+            "shards": shards,
+            "records": report.records,
+            "windows": report.windows,
+            "switch_intervals_per_sec": report.switch_intervals_per_sec,
+            "switches_per_sec": report.switch_intervals_per_sec
+            / max(report.records // max(num_switches, 1), 1),
+            "p50_latency_seconds": report.latency_p50,
+            "p99_latency_seconds": report.latency_p99,
+            "max_latency_seconds": report.latency_max,
+            "backpressure_events": report.backpressure_events,
+            "queue_high_water": report.queue_high_water,
+            "parity": "bit-identical" if exact else "rtol=1e-5",
+        },
+    )
+
+    lines = [
+        f"profile: {bench_profile}  ({num_switches} switches x "
+        f"{report.records // max(num_switches, 1)} intervals, {shards} shards)",
+        f"throughput: {report.switch_intervals_per_sec:8,.0f} switch-intervals/s   "
+        f"({report.windows} windows in {replay_seconds:.2f} s)",
+        f"latency:    p50 {report.latency_p50 * 1e3:7.1f} ms   "
+        f"p99 {report.latency_p99 * 1e3:7.1f} ms   "
+        f"max {report.latency_max * 1e3:7.1f} ms",
+        f"parity:     {'bit-identical' if exact else 'within 1e-5'} "
+        f"to the offline pipeline on all {report.windows} windows",
+    ]
+    save_result(results_dir, "serve_throughput.txt", "\n".join(lines))

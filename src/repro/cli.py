@@ -145,6 +145,23 @@ def cmd_table1(args) -> int:
     )
 
 
+def cmd_serve(args) -> int:
+    """Legacy alias: stream a replayed fleet through the imputation service."""
+    from repro.experiments import run_serve_experiment
+    from repro.serve.config import ServeConfig
+
+    config = ServeConfig(
+        scenario=_scenario(args),
+        seed=args.seed,
+        num_switches=args.switches,
+        shards=args.shards,
+        supervised=args.supervised,
+    )
+    config = _apply_overrides(config, args)
+    _annotate_obs(config, experiment="serve")
+    return run_serve_experiment(config, selfcheck=args.selfcheck)
+
+
 def cmd_scalability(args) -> int:
     """Legacy alias: FM-alone solve effort vs horizon."""
     from repro.eval.scalability import ScalabilityConfig
@@ -423,6 +440,26 @@ def build_parser() -> argparse.ArgumentParser:
     observable(p)
     p.set_defaults(func=cmd_table1)
 
+    p = sub.add_parser(
+        "serve", help="stream a replayed fleet through the imputation service"
+    )
+    common(p)
+    p.add_argument(
+        "--switches", type=int, default=4, help="fleet size to replay"
+    )
+    p.add_argument(
+        "--shards", type=int, default=2, help="worker shards (switches hash-assigned)"
+    )
+    p.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run shards as supervised worker processes (respawn on crash)",
+    )
+    settable(p)
+    selfcheckable(p)
+    observable(p)
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("scalability", help="FM-alone scaling study")
     p.add_argument("--horizons", type=int, nargs="+", default=[8, 16, 32])
     p.add_argument("--node-limit", type=int, default=2_000)
@@ -521,6 +558,7 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro.config import ConfigError
     from repro.imputation.cem import CEMInfeasibleError
+    from repro.serve.errors import ServeError
     from repro.switchsim.engine import EngineUnsupported
     from repro.testing.selfcheck import SelfCheckError
 
@@ -564,6 +602,9 @@ def main(argv: list[str] | None = None) -> int:
     except SelfCheckError as exc:
         print(f"error: self-check violation: {exc}", file=sys.stderr)
         return 3
+    except ServeError as exc:
+        print(f"error: streaming service degraded: {exc}", file=sys.stderr)
+        return 2
     except EngineUnsupported as exc:
         print(
             f"error: --engine array cannot reproduce this configuration: {exc}\n"

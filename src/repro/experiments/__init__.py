@@ -1,7 +1,8 @@
 """repro.experiments — first-class, registered experiments.
 
 Importing this package registers the built-in experiments (``table1``,
-``scalability``, ``replication``, ``simulate``); each is a named triple
+``scalability``, ``replication``, ``simulate``, ``serve``); each is a
+named triple
 of (typed config dataclass, run function, artifact directory) the CLI
 resolves for ``repro run <name> --config cfg.toml --set key=value``.
 
@@ -15,6 +16,7 @@ from repro.experiments.builtin import (
     SimulateConfig,
     run_replication_experiment,
     run_scalability_experiment,
+    run_serve_experiment,
     run_simulate_experiment,
     run_table1_experiment,
 )
@@ -40,6 +42,7 @@ __all__ = [
     "run_experiment",
     "run_replication_experiment",
     "run_scalability_experiment",
+    "run_serve_experiment",
     "run_simulate_experiment",
     "run_table1_experiment",
 ]

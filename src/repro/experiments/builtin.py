@@ -1,4 +1,4 @@
-"""The built-in experiments: table1, scalability, replication, simulate.
+"""The built-in experiments: table1, scalability, replication, simulate, serve.
 
 Each entry pairs a typed config dataclass with a run function whose
 stdout is the experiment's report; the legacy CLI subcommands
@@ -22,6 +22,7 @@ from repro.eval.scalability import ScalabilityConfig
 from repro.eval.scenarios import ScenarioConfig, quick_scenario
 from repro.eval.table1 import Table1Config
 from repro.experiments.registry import CliOption, Experiment, register
+from repro.serve.config import ServeConfig
 
 #: Where ``table1 --resume`` keeps its journal when ``--journal`` is absent.
 DEFAULT_TABLE1_JOURNAL = Path("repro-table1.journal.jsonl")
@@ -95,6 +96,13 @@ def run_table1_experiment(
     return 0
 
 
+def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
+    """Train the model, stream a replayed fleet through repro.serve."""
+    from repro.serve.runner import run_serve_experiment as _run
+
+    return _run(config, selfcheck=selfcheck)
+
+
 def run_scalability_experiment(config: ScalabilityConfig) -> int:
     """FM-alone solve effort vs horizon."""
     from repro.eval.report import format_table
@@ -151,6 +159,10 @@ def _default_simulate() -> SimulateConfig:
     return SimulateConfig(scenario=quick_scenario(), seed=0, engine="auto")
 
 
+def _default_serve() -> ServeConfig:
+    return ServeConfig()
+
+
 _SELFCHECK = CliOption(
     flags=("--selfcheck",),
     dest="selfcheck",
@@ -190,6 +202,18 @@ register(
             ),
             _SELFCHECK,
         ),
+    )
+)
+
+register(
+    Experiment(
+        name="serve",
+        config_cls=ServeConfig,
+        default_config=_default_serve,
+        run=run_serve_experiment,
+        artifact_dir="artifacts/serve",
+        summary="stream a replayed fleet through the imputation service",
+        cli_options=(_SELFCHECK,),
     )
 )
 

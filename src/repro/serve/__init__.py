@@ -1,0 +1,94 @@
+"""repro.serve — the always-on streaming imputation service.
+
+The paper's use case — operators imputing fine-grained telemetry
+fleet-wide from coarse LANZ/SNMP counters — is a *service*, not a
+script: per-interval coarse records arrive continuously for thousands of
+switches, and imputed fine-grained series must come back with bounded
+latency.  This package is that service layer, assembled from the
+substrates the offline pipeline already trusts:
+
+* :mod:`repro.serve.records` — the wire-level unit: one switch's coarse
+  measurements for one interval (:class:`CoarseRecord`), and the emitted
+  :class:`ImputedWindow`;
+* :mod:`repro.serve.windows` — per-switch sliding-window assembly
+  (:class:`WindowAssembler`): records in, completed
+  :class:`WindowTask` s out, with a strict per-switch ordering protocol;
+* :mod:`repro.serve.sharding` — stable switch → shard assignment
+  (:func:`shard_of`), independent of process, run, and fleet size;
+* :mod:`repro.serve.queueing` — the bounded pending-window queue whose
+  overflow is the service's backpressure signal;
+* :mod:`repro.serve.service` — :class:`StreamService`: batched
+  transformer inference (``impute_batch``) + vectorized CEM projection
+  over micro-batches of completed windows, inline or sharded across
+  worker processes via the :class:`~repro.resilience.supervisor.
+  Supervisor` (respawn/backoff; the per-window protocol is stateless, so
+  a crashed shard re-derives bit-identical output);
+* :mod:`repro.serve.config` / :mod:`repro.serve.runner` — the typed
+  :class:`ServeConfig` and the ``repro run serve`` experiment.
+
+The headline correctness property, enforced by the deterministic
+stream-test harness in :mod:`repro.testing.stream`: replaying a recorded
+scenario through the service yields output **bit-identical** to the
+offline ``train → table1`` pipeline on the same windows — for one shard
+or many, and across a shard-crash respawn.
+
+Everything here is strictly opt-in: importing :mod:`repro` (or running
+any pre-existing CLI path) constructs no serve machinery — this module
+lazily re-exports its submodules' names, and only the :class:`ServeConfig`
+dataclass is imported when the experiment registry is built (pinned by
+``tests/serve/test_disabled_serve.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "CoarseRecord",
+    "ImputedWindow",
+    "ServeConfig",
+    "ServeError",
+    "ServeReport",
+    "StreamService",
+    "WindowAssembler",
+    "WindowTask",
+    "StreamProtocolError",
+    "BoundedQueue",
+    "shard_of",
+    "records_from_telemetry",
+    "run_serve_experiment",
+]
+
+_EXPORTS = {
+    "CoarseRecord": "repro.serve.records",
+    "ImputedWindow": "repro.serve.records",
+    "records_from_telemetry": "repro.serve.records",
+    "WindowAssembler": "repro.serve.windows",
+    "WindowTask": "repro.serve.windows",
+    "StreamProtocolError": "repro.serve.windows",
+    "BoundedQueue": "repro.serve.queueing",
+    "shard_of": "repro.serve.sharding",
+    "StreamService": "repro.serve.service",
+    "ServeError": "repro.serve.errors",
+    "ServeReport": "repro.serve.service",
+    "ServeConfig": "repro.serve.config",
+    "run_serve_experiment": "repro.serve.runner",
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazy re-exports: nothing below this package loads until used."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.serve' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,59 @@
+"""The typed configuration of the streaming service.
+
+:class:`ServeConfig` is the complete, digestable specification of a
+``repro run serve`` run: the scenario (which fixes the switch geometry,
+interval, and window length — shared with the model's training), the
+fleet being replayed, the sharding/batching/backpressure knobs, and the
+training hyper-parameters of the model the service loads.
+
+This module stays deliberately light: it is imported when the experiment
+registry is built (so ``repro --help`` can list ``serve``), and must not
+pull in any service machinery — the disabled-path guarantee in
+``tests/serve/test_disabled_serve.py`` pins exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.scenarios import ScenarioConfig, quick_scenario
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that determines one streaming-service run.
+
+    The training fields mirror :class:`~repro.eval.table1.Table1Config`
+    field-for-field, because the serve parity story is literal: the
+    service runs the *same* trained model over the *same* windows the
+    offline pipeline would, so its training spec must be expressible
+    identically (the runner derives a ``Table1Config`` from these).
+    """
+
+    scenario: ScenarioConfig = field(default_factory=quick_scenario)
+
+    # --- the replayed fleet -------------------------------------------
+    num_switches: int = 4  # switches whose streams are replayed
+    max_intervals: int | None = 24  # cap per-switch stream length (None = all)
+
+    # --- service topology and flow control ----------------------------
+    shards: int = 2  # worker shards (switches hash-assigned)
+    supervised: bool = False  # run shards as supervised worker processes
+    batch_windows: int = 8  # micro-batch size for impute_batch
+    queue_capacity: int = 64  # pending-window bound (backpressure beyond)
+    deadline: float | None = None  # per-attempt wall clock in supervised mode
+    max_attempts: int = 3  # supervisor attempts per shard dispatch
+    use_cem: bool = True  # project every window onto C1–C3
+
+    # --- model training (mirrors Table1Config) ------------------------
+    epochs: int = 2
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    d_model: int = 32
+    num_layers: int = 2
+    d_ff: int = 64
+    num_heads: int = 4
+    mu: float = 0.5
+    seed: int = 0
+    dtype: str = "float32"  # float64 gives bit-exact stream/offline parity
+    fused_kernels: bool = True

@@ -1,0 +1,14 @@
+"""Service error types, import-light by design.
+
+The CLI maps :class:`ServeError` to an exit code in ``main()``'s
+dispatcher, which runs on *every* ``repro`` invocation — so the type
+lives here, in a module with no dependencies, rather than in
+:mod:`repro.serve.service` (whose import would drag the whole service
+layer into unrelated CLI paths and void the disabled-path guarantee).
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """A shard exhausted its attempts; the stream cannot make progress."""

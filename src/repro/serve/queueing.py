@@ -1,0 +1,52 @@
+"""The bounded pending-window queue and its backpressure signal.
+
+Completed windows wait here for the next micro-batch dispatch.  The
+queue is bounded: an ingest path that outruns inference must not grow
+memory without limit, so pushing into a full queue *fails* and the
+service reacts by dispatching synchronously before retrying — the
+ingest call blocks until capacity frees up, which is what backpressure
+means for an in-process service.  Overflows are counted so operators
+see when they are ingest-bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+from repro.utils.validation import check_positive
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`BoundedQueue.push` when at capacity."""
+
+
+class BoundedQueue:
+    """A FIFO with a hard capacity and high-water bookkeeping."""
+
+    def __init__(self, capacity: int):
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self._items: deque[Any] = deque()
+        self.high_water = 0  # deepest the queue has ever been
+        self.overflows = 0  # rejected pushes (backpressure events)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: Any) -> None:
+        """Append ``item``; raises :class:`QueueFull` at capacity."""
+        if len(self._items) >= self.capacity:
+            self.overflows += 1
+            raise QueueFull(
+                f"pending-window queue at capacity ({self.capacity}); "
+                "dispatch before ingesting more"
+            )
+        self._items.append(item)
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+
+    def drain(self) -> Iterator[Any]:
+        """Pop and yield everything currently queued, FIFO."""
+        while self._items:
+            yield self._items.popleft()

@@ -1,0 +1,111 @@
+"""The service's wire-level units: coarse records in, imputed windows out.
+
+A :class:`CoarseRecord` is exactly what a monitoring stack delivers for
+one switch every coarse interval (50 ms in the paper): the periodic
+queue-length sample and LANZ max per queue, and the SNMP
+received/sent/dropped counts per port.  It is the streaming twin of one
+column of :class:`~repro.telemetry.sampling.CoarseTelemetry`, tagged
+with the switch it came from and its position in that switch's stream.
+
+An :class:`ImputedWindow` is the service's output unit: the
+constraint-enforced fine-grained series of one completed window of one
+switch, tagged with enough provenance (window index, start interval,
+shard) to line it up bit-for-bit against the offline batch pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.telemetry.sampling import CoarseTelemetry
+
+
+@dataclass(frozen=True)
+class CoarseRecord:
+    """One switch's coarse measurements for one interval.
+
+    ``interval_index`` counts intervals from the start of the switch's
+    stream; the assembler requires records to arrive in order per switch
+    (the protocol a real collector enforces with sequence numbers).
+    """
+
+    switch_id: str
+    interval_index: int
+    qlen_sample: np.ndarray  # (Q,)
+    qlen_max: np.ndarray  # (Q,)
+    received: np.ndarray  # (P,)
+    sent: np.ndarray  # (P,)
+    dropped: np.ndarray  # (P,)
+
+    def validate_shapes(self, num_queues: int, num_ports: int) -> None:
+        if self.qlen_sample.shape != (num_queues,) or self.qlen_max.shape != (
+            num_queues,
+        ):
+            raise ValueError(
+                f"record for {self.switch_id!r} interval {self.interval_index}: "
+                f"per-queue arrays must have shape ({num_queues},), got "
+                f"{self.qlen_sample.shape} / {self.qlen_max.shape}"
+            )
+        for name in ("received", "sent", "dropped"):
+            value = getattr(self, name)
+            if value.shape != (num_ports,):
+                raise ValueError(
+                    f"record for {self.switch_id!r} interval {self.interval_index}: "
+                    f"{name} must have shape ({num_ports},), got {value.shape}"
+                )
+
+
+@dataclass(frozen=True)
+class ImputedWindow:
+    """One emitted window: the enforced fine-grained series plus provenance.
+
+    ``values`` is (num_queues, window_bins) in packet units —
+    bit-identical to what the offline pipeline produces for the same
+    window (the stream parity tests pin this).  ``latency_seconds`` is
+    the wall clock from the moment the window completed (its last record
+    arrived) to the moment its result was emitted, so it includes
+    queueing, batching, and any shard respawns — the number an operator's
+    SLO is about.
+    """
+
+    switch_id: str
+    window_index: int
+    start_interval: int
+    start_bin: int
+    values: np.ndarray  # (Q, T) packets
+    shard: int
+    latency_seconds: float
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """The service-wide identity of this window (dedup/parity key)."""
+        return (self.switch_id, self.window_index)
+
+
+def records_from_telemetry(
+    switch_id: str,
+    telemetry: CoarseTelemetry,
+    max_intervals: int | None = None,
+) -> Iterator[CoarseRecord]:
+    """Yield the record stream a switch's monitoring stack would send.
+
+    Replays batch telemetry (e.g. sampled from a recorded trace) as the
+    per-interval records the service ingests — the deterministic
+    scenario-replay primitive the stream-test harness builds on.
+    """
+    n = telemetry.num_intervals
+    if max_intervals is not None:
+        n = min(n, int(max_intervals))
+    for i in range(n):
+        yield CoarseRecord(
+            switch_id=switch_id,
+            interval_index=i,
+            qlen_sample=telemetry.qlen_sample[:, i].astype(float),
+            qlen_max=telemetry.qlen_max[:, i].astype(float),
+            received=telemetry.received[:, i].astype(float),
+            sent=telemetry.sent[:, i].astype(float),
+            dropped=telemetry.dropped[:, i].astype(float),
+        )

@@ -1,0 +1,22 @@
+"""Stable switch → shard assignment.
+
+The shard of a switch must be a pure function of its id and the shard
+count — independent of the process, the run, the arrival order, and the
+rest of the fleet — so that a respawned worker, a restarted service, or
+the offline parity harness all agree on who owns what.  Python's builtin
+``hash`` is salted per process (``PYTHONHASHSEED``) and therefore
+exactly wrong here; we hash with BLAKE2b instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.utils.validation import check_positive
+
+
+def shard_of(switch_id: str, num_shards: int) -> int:
+    """Deterministic shard index of ``switch_id`` in ``[0, num_shards)``."""
+    check_positive("num_shards", num_shards)
+    digest = hashlib.blake2b(switch_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % int(num_shards)

@@ -1,0 +1,186 @@
+"""Per-switch sliding-window assembly: records in, completed windows out.
+
+The :class:`WindowAssembler` keeps one small ring buffer per switch and
+turns the per-interval record stream into the exact windows the offline
+pipeline trains and evaluates on: ``window_intervals`` consecutive
+intervals starting every ``stride_intervals`` (non-overlapping by
+default, matching :func:`~repro.telemetry.dataset.build_dataset`'s
+evaluation layout).
+
+The protocol is deliberately strict: records must arrive **in order**
+per switch, with no gaps and no duplicates.  A collector that can
+reorder or drop must resequence before the service — the alternative
+(silently imputing over a hole) is precisely the failure mode the
+paper's constraint story exists to prevent.  Violations raise
+:class:`StreamProtocolError` naming the switch and the expected index.
+
+Assembly is *stateless per window* in the sense that matters for
+recovery: a completed :class:`WindowTask` carries the full coarse
+telemetry of its window, so imputing it is a pure function of the task
+(plus frozen model parameters) — a crashed shard worker can be respawned
+and re-derive bit-identical output from the same task.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.records import CoarseRecord
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.dataset import FeatureScaler, ImputationSample, build_features
+from repro.telemetry.sampling import CoarseTelemetry
+from repro.utils.validation import check_positive
+
+
+class StreamProtocolError(ValueError):
+    """A record violated the per-switch ordering protocol (gap/duplicate)."""
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """One completed window awaiting imputation.
+
+    Self-contained: holds the window's coarse telemetry block, so the
+    imputation is a pure function of the task — the property that makes
+    shard-crash respawn bit-identical (see module docstring).
+    ``created_at`` (``perf_counter``) marks window completion; emitted
+    windows measure their latency from it.
+    """
+
+    switch_id: str
+    window_index: int
+    start_interval: int
+    telemetry: CoarseTelemetry
+    created_at: float = field(compare=False, default=0.0)
+
+    @property
+    def start_bin(self) -> int:
+        return self.start_interval * self.telemetry.interval
+
+    def sample(self, scaler: FeatureScaler, num_queues: int) -> ImputationSample:
+        """Assemble the :class:`ImputationSample` of this window.
+
+        Identical construction to the offline
+        :func:`~repro.telemetry.dataset.build_dataset` windows (features
+        via :func:`build_features`, measurements as floats), with a zero
+        placeholder target — unknown at inference time, and unused by
+        both the model forward pass and the CEM projection.
+        """
+        window_bins = self.telemetry.num_intervals * self.telemetry.interval
+        features = build_features(self.telemetry, scaler, window_bins)
+        placeholder = np.zeros((num_queues, window_bins))
+        return ImputationSample(
+            features=features,
+            target=placeholder,
+            target_raw=placeholder,
+            m_max=self.telemetry.qlen_max.astype(float),
+            m_sample=self.telemetry.qlen_sample.astype(float),
+            m_sent=self.telemetry.sent.astype(float),
+            m_dropped=self.telemetry.dropped.astype(float),
+            m_received=self.telemetry.received.astype(float),
+            sample_positions=self.telemetry.sample_positions(window_bins),
+            interval=self.telemetry.interval,
+            window_start=self.start_bin,
+        )
+
+
+@dataclass
+class _SwitchState:
+    """Assembly state for one switch's stream."""
+
+    buffer: deque  # last window_intervals records
+    next_interval: int = 0  # expected interval_index of the next record
+    next_window_start: int = 0  # first interval of the next window to emit
+    windows_emitted: int = 0
+
+
+class WindowAssembler:
+    """Turns per-switch record streams into completed window tasks."""
+
+    def __init__(
+        self,
+        switch_config: SwitchConfig,
+        interval: int,
+        window_intervals: int,
+        stride_intervals: int | None = None,
+    ):
+        check_positive("interval", interval)
+        check_positive("window_intervals", window_intervals)
+        self.switch_config = switch_config
+        self.interval = int(interval)
+        self.window_intervals = int(window_intervals)
+        self.stride_intervals = int(
+            window_intervals if stride_intervals is None else stride_intervals
+        )
+        check_positive("stride_intervals", self.stride_intervals)
+        if self.stride_intervals > self.window_intervals:
+            raise ValueError(
+                "stride_intervals > window_intervals would skip intervals "
+                "entirely; the service refuses to silently drop telemetry"
+            )
+        self._switches: dict[str, _SwitchState] = {}
+
+    @property
+    def num_switches(self) -> int:
+        return len(self._switches)
+
+    def pending_intervals(self, switch_id: str) -> int:
+        """Intervals buffered toward ``switch_id``'s next window."""
+        state = self._switches.get(switch_id)
+        if state is None:
+            return 0
+        return state.next_interval - state.next_window_start
+
+    def push(self, record: CoarseRecord) -> list[WindowTask]:
+        """Ingest one record; returns the windows it completed (0 or 1).
+
+        Raises :class:`StreamProtocolError` on an out-of-order,
+        duplicated, or gapped record, and :class:`ValueError` on shape
+        mismatches — both before mutating any state.
+        """
+        record.validate_shapes(
+            self.switch_config.num_queues, self.switch_config.num_ports
+        )
+        state = self._switches.get(record.switch_id)
+        if state is None:
+            state = _SwitchState(buffer=deque(maxlen=self.window_intervals))
+            self._switches[record.switch_id] = state
+        if record.interval_index != state.next_interval:
+            kind = (
+                "duplicate or out-of-order"
+                if record.interval_index < state.next_interval
+                else "gap in"
+            )
+            raise StreamProtocolError(
+                f"{kind} record stream for switch {record.switch_id!r}: "
+                f"expected interval {state.next_interval}, got "
+                f"{record.interval_index}"
+            )
+        state.buffer.append(record)
+        state.next_interval += 1
+
+        last_needed = state.next_window_start + self.window_intervals - 1
+        if record.interval_index != last_needed:
+            return []
+        window = list(state.buffer)[-self.window_intervals :]
+        task = WindowTask(
+            switch_id=record.switch_id,
+            window_index=state.windows_emitted,
+            start_interval=state.next_window_start,
+            telemetry=CoarseTelemetry(
+                interval=self.interval,
+                qlen_sample=np.stack([r.qlen_sample for r in window], axis=1),
+                qlen_max=np.stack([r.qlen_max for r in window], axis=1),
+                received=np.stack([r.received for r in window], axis=1),
+                sent=np.stack([r.sent for r in window], axis=1),
+                dropped=np.stack([r.dropped for r in window], axis=1),
+            ),
+            created_at=time.perf_counter(),
+        )
+        state.windows_emitted += 1
+        state.next_window_start += self.stride_intervals
+        return [task]

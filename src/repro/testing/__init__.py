@@ -28,6 +28,9 @@ checks:
   minimal repro;
 * :mod:`repro.testing.golden` — content fingerprints of traces for golden
   regression tests that pin the RNG stream layout (``TRAFFIC_REV``);
+* :mod:`repro.testing.stream` — the deterministic stream-test harness:
+  golden fleet replays through :mod:`repro.serve` pinned bit-identical to
+  the offline batch pipeline on the same windows;
 * :mod:`repro.testing.fuzz` — the command-line fuzz runner used by the
   nightly CI job (``python -m repro.testing.fuzz``).
 """
@@ -65,6 +68,12 @@ from repro.testing.differential import (
     run_fuzz,
 )
 from repro.testing.minimize import minimize_case
+from repro.testing.stream import (
+    assert_stream_matches_offline,
+    fleet_record_schedule,
+    offline_windows,
+    replay,
+)
 
 __all__ = [
     "OracleViolation",
@@ -96,4 +105,8 @@ __all__ = [
     "replay_corpus",
     "run_fuzz",
     "minimize_case",
+    "assert_stream_matches_offline",
+    "fleet_record_schedule",
+    "offline_windows",
+    "replay",
 ]

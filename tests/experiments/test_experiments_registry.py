@@ -19,6 +19,7 @@ class TestRegistry:
         assert experiment_names() == [
             "replication",
             "scalability",
+            "serve",
             "simulate",
             "table1",
         ]

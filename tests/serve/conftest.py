@@ -1,0 +1,132 @@
+"""Fixtures for the streaming-service tests: a golden fleet + models.
+
+Everything is session-scoped and deterministic: three small switch
+traces under fixed seeds (the golden scenarios the stream harness
+replays), a seeded-but-untrained float64 model for fast parity tests,
+and one actually-trained model (via the literal ``table1``
+``train_transformer`` path) for the train → table1 parity pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imputation.transformer_imputer import TransformerConfig, TransformerImputer
+from repro.switchsim import Simulation, SwitchConfig
+from repro.telemetry import build_dataset
+from repro.traffic import CompositeTraffic, IncastTraffic, PoissonFlowTraffic
+from repro.traffic.distributions import FixedSizes
+
+#: The fleet's window geometry (mirrors the top-level small_dataset).
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+@pytest.fixture(scope="session")
+def serve_config() -> SwitchConfig:
+    return SwitchConfig(
+        num_ports=2, queues_per_port=2, buffer_capacity=60, alphas=(1.0, 0.5)
+    )
+
+
+def _make_trace(config: SwitchConfig, seed_a: int, seed_b: int, bins: int = 600):
+    traffic = CompositeTraffic(
+        [
+            PoissonFlowTraffic(
+                num_sources=6,
+                num_ports=2,
+                flows_per_step=0.02,
+                sizes=FixedSizes(6),
+                seed=seed_a,
+            ),
+            IncastTraffic(
+                fan_in=5,
+                burst_size=20,
+                period=300 * 8,
+                dst_port=1,
+                qclass=1,
+                jitter=50,
+                seed=seed_b,
+            ),
+        ]
+    )
+    return Simulation(config, traffic, steps_per_bin=8).run(bins)
+
+
+@pytest.fixture(scope="session")
+def fleet_traces(serve_config):
+    """Three deterministic 600-bin switch traces (24 intervals, 6 windows)."""
+    return {
+        f"sw{i}": _make_trace(serve_config, seed_a=7 + i, seed_b=80 + i)
+        for i in range(3)
+    }
+
+
+@pytest.fixture(scope="session")
+def training_dataset(fleet_traces):
+    """The "training" windows: sw0's trace, overlapping stride (as offline)."""
+    return build_dataset(
+        fleet_traces["sw0"],
+        interval=INTERVAL,
+        window_intervals=WINDOW_INTERVALS,
+        stride_intervals=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def serve_scaler(training_dataset):
+    return training_dataset.scaler
+
+
+def _model(training_dataset, seed: int) -> TransformerImputer:
+    return TransformerImputer(
+        TransformerConfig(
+            num_features=training_dataset.num_features,
+            num_queues=training_dataset.num_queues,
+            d_model=16,
+            num_heads=2,
+            num_layers=1,
+            d_ff=32,
+        ),
+        training_dataset.scaler,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def model_f64(training_dataset):
+    """Seeded (untrained) float64 model — the fast bit-exactness subject."""
+    model = _model(training_dataset, seed=3)
+    model.to_dtype(np.float64)
+    return model
+
+
+@pytest.fixture(scope="session")
+def model_f32(training_dataset):
+    """Seeded (untrained) float32 model — the tolerance-pinned subject."""
+    model = _model(training_dataset, seed=3)
+    model.to_dtype(np.float32)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_model(training_dataset):
+    """A model trained through the literal table1 path (1 epoch, float64)."""
+    from repro.eval.scenarios import quick_scenario
+    from repro.eval.table1 import Table1Config, train_transformer
+
+    train, val, _ = training_dataset.split(0.7, 0.15, seed=0)
+    config = Table1Config(
+        scenario=quick_scenario(),  # train_transformer only reads the knobs below
+        epochs=1,
+        batch_size=8,
+        d_model=16,
+        num_heads=2,
+        num_layers=1,
+        d_ff=32,
+        seed=0,
+        dtype="float64",
+    )
+    model, _ = train_transformer(train, val, config, use_kal=True)
+    return model

@@ -1,0 +1,62 @@
+"""CLI coverage: ``repro run serve``, the legacy alias, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+MICRO = [
+    "--set", "epochs=1",
+    "--set", "num_switches=2",
+    "--set", "shards=2",
+    "--set", "max_intervals=6",
+    "--set", "d_model=8",
+    "--set", "num_heads=2",
+    "--set", "num_layers=1",
+    "--set", "d_ff=16",
+    "--set", "scenario.duration_bins=1200",
+]
+
+
+def test_run_serve_micro_stream_succeeds(capsys):
+    from repro.cli import main
+
+    assert main(["run", "serve", *MICRO]) == 0
+    out = capsys.readouterr().out
+    assert "streaming imputation service" in out
+    assert "windows emitted" in out
+    assert "imputation latency" in out
+
+
+def test_legacy_serve_alias_matches_run_serve(capsys):
+    from repro.cli import main
+
+    rc = main(
+        [
+            "serve",
+            "--switches", "2",
+            "--shards", "2",
+            *MICRO[2:],  # same micro overrides minus the epochs pair ...
+            "--set", "epochs=1",  # ... re-applied (order is irrelevant)
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "streaming imputation service" in out
+
+
+def test_serve_is_registered():
+    from repro.experiments import experiment_names, get_experiment
+    from repro.serve.config import ServeConfig
+
+    assert "serve" in experiment_names()
+    experiment = get_experiment("serve")
+    assert experiment.config_cls is ServeConfig
+    assert isinstance(experiment.default_config(), ServeConfig)
+
+
+def test_run_serve_supervised_micro(capsys):
+    from repro.cli import main
+
+    assert main(["run", "serve", *MICRO, "--set", "supervised=true"]) == 0
+    out = capsys.readouterr().out
+    assert "shard respawns      0" in out

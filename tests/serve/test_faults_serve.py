@@ -1,0 +1,117 @@
+"""Fault injection: the service's recovery paths, actually fired.
+
+A shard worker killed mid-stream (CrashOnce) must cost zero lost or
+duplicated windows and leave the final output bit-identical to a clean
+run — the stateless per-window protocol makes the respawned attempt a
+pure re-derivation.  A hung shard (HangOnce) must trip the per-attempt
+deadline and retry.  A deterministically failing shard must surface as
+:class:`ServeError` after ``max_attempts``, never as silent loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import CrashOnce, HangOnce
+from repro.serve.errors import ServeError
+from repro.serve.service import StreamService
+from repro.testing.stream import (
+    assert_stream_matches_offline,
+    fleet_record_schedule,
+    offline_windows,
+    replay,
+)
+
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+def _service(model, serve_config, serve_scaler, **kwargs):
+    kwargs.setdefault("batch_windows", 4)
+    kwargs.setdefault("queue_capacity", 16)
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("supervised", True)
+    return StreamService(
+        model, serve_config, serve_scaler, INTERVAL, WINDOW_INTERVALS, **kwargs
+    )
+
+
+def test_shard_crash_respawn_is_lossless_and_bit_identical(
+    tmp_path, model_f64, serve_config, serve_scaler, fleet_traces
+):
+    # Every shard of the first dispatch is killed mid-flight (os._exit in
+    # the forked worker); the supervisor respawns each exactly once.
+    service = _service(
+        model_f64,
+        serve_config,
+        serve_scaler,
+        job_wrapper=lambda job: CrashOnce(
+            job, tmp_path / "faults", selector=lambda payload: payload[0] == 0
+        ),
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, report = replay(service, records)
+
+    assert report.respawns >= 1, "the injected crash never fired"
+    # Zero lost, zero duplicated: exactly the clean run's window set
+    # (replay() itself asserts no duplicates on the way through).
+    offline = offline_windows(
+        model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert set(streamed) == set(offline)
+    # ... and bit-identical content after the respawn.
+    assert_stream_matches_offline(streamed, offline, exact=True)
+
+
+def test_hung_shard_trips_deadline_and_recovers(
+    tmp_path, model_f64, serve_config, serve_scaler, fleet_traces
+):
+    # The first dispatch's shards hang well past the 1 s per-attempt
+    # deadline; the supervisor kills and retries them, and the stream
+    # completes with bounded queues and full, bit-identical output.
+    service = _service(
+        model_f64,
+        serve_config,
+        serve_scaler,
+        deadline=1.0,
+        job_wrapper=lambda job: HangOnce(
+            job,
+            tmp_path / "faults",
+            selector=lambda payload: payload[0] == 0,
+            hang_seconds=30.0,
+        ),
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, report = replay(service, records)
+
+    assert report.respawns >= 1, "the injected hang never tripped the deadline"
+    # The stalled dispatch's windows waited out the deadline — their
+    # latency proves the hang actually happened and was bounded by it.
+    assert report.latency_max >= 1.0
+    assert report.queue_high_water <= service.queue.capacity
+    offline = offline_windows(
+        model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert set(streamed) == set(offline)
+    assert_stream_matches_offline(streamed, offline, exact=True)
+
+
+def test_terminally_failing_shard_raises_serve_error(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    def poisoned(job):
+        def always_fails(payload):
+            raise RuntimeError("injected permanent shard failure")
+
+        return always_fails
+
+    service = _service(
+        model_f64,
+        serve_config,
+        serve_scaler,
+        max_attempts=1,
+        job_wrapper=poisoned,
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    with pytest.raises(ServeError, match="cannot make progress"):
+        replay(service, records)

@@ -1,0 +1,72 @@
+"""BoundedQueue semantics and the service's backpressure behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.queueing import BoundedQueue, QueueFull
+from repro.serve.service import StreamService
+from repro.testing.stream import (
+    assert_stream_matches_offline,
+    fleet_record_schedule,
+    offline_windows,
+    replay,
+)
+
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+class TestBoundedQueue:
+    def test_fifo_drain(self):
+        queue = BoundedQueue(4)
+        for item in "abc":
+            queue.push(item)
+        assert list(queue.drain()) == ["a", "b", "c"]
+        assert len(queue) == 0
+
+    def test_overflow_raises_and_counts(self):
+        queue = BoundedQueue(2)
+        queue.push(1)
+        queue.push(2)
+        with pytest.raises(QueueFull):
+            queue.push(3)
+        with pytest.raises(QueueFull):
+            queue.push(4)
+        assert queue.overflows == 2
+        assert queue.high_water == 2
+        # Draining frees capacity again.
+        list(queue.drain())
+        queue.push(5)
+        assert len(queue) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+
+class TestServiceBackpressure:
+    def test_full_queue_forces_dispatch_and_preserves_parity(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        # batch_windows larger than the queue: the only dispatch trigger
+        # is backpressure, so overflows must fire — and cost nothing in
+        # correctness or coverage.
+        service = StreamService(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            INTERVAL,
+            WINDOW_INTERVALS,
+            batch_windows=100,
+            queue_capacity=2,
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        streamed, report = replay(service, records)
+        assert report.backpressure_events > 0
+        assert report.queue_high_water <= 2
+        offline = offline_windows(
+            model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+        )
+        assert set(streamed) == set(offline)
+        assert_stream_matches_offline(streamed, offline, exact=True)

@@ -1,0 +1,98 @@
+"""Invariant oracles on the stream: every emitted window, opt-in.
+
+With ``selfcheck=True`` the service runs the PR-2 C1–C3 oracles
+(:func:`selfcheck_enforced`) on each window after enforcement.  A
+CEM-enforced stream passes; a deliberately violated stream (CEM
+disabled, raw transformer output) must trip :class:`SelfCheckError` —
+inline, across supervised worker processes, and as exit code 3 from the
+CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.service import StreamService
+from repro.testing.selfcheck import SelfCheckError
+from repro.testing.stream import fleet_record_schedule, replay
+
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+def _service(model, serve_config, serve_scaler, **kwargs):
+    kwargs.setdefault("batch_windows", 4)
+    kwargs.setdefault("queue_capacity", 16)
+    return StreamService(
+        model, serve_config, serve_scaler, INTERVAL, WINDOW_INTERVALS, **kwargs
+    )
+
+
+def test_enforced_stream_passes_selfcheck(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    service = _service(
+        model_f64, serve_config, serve_scaler, use_cem=True, selfcheck=True
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, report = replay(service, records)
+    assert report.windows == len(streamed) > 0
+
+
+def test_violated_window_trips_selfcheck_inline(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    # Without CEM the raw (untrained) transformer output violates C1–C3;
+    # the oracle must reject the very first emitted window.
+    service = _service(
+        model_f64, serve_config, serve_scaler, use_cem=False, selfcheck=True
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    with pytest.raises(SelfCheckError):
+        replay(service, records)
+
+
+def test_violated_window_trips_selfcheck_across_processes(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    # In supervised mode the oracle fires inside a shard worker; the
+    # parent must re-raise it as SelfCheckError (exit code 3 at the CLI),
+    # not bury it in a generic shard-failure report.
+    service = _service(
+        model_f64,
+        serve_config,
+        serve_scaler,
+        use_cem=False,
+        selfcheck=True,
+        supervised=True,
+        shards=2,
+        max_attempts=1,
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    with pytest.raises(SelfCheckError):
+        replay(service, records)
+
+
+def test_cli_serve_selfcheck_violation_exits_3(capsys):
+    from repro.cli import main
+
+    rc = main(
+        [
+            "run",
+            "serve",
+            "--selfcheck",
+            "--set", "use_cem=false",
+            "--set", "epochs=1",
+            "--set", "num_switches=1",
+            "--set", "shards=1",
+            "--set", "max_intervals=6",
+            "--set", "d_model=8",
+            "--set", "num_heads=2",
+            "--set", "num_layers=1",
+            "--set", "d_ff=16",
+            "--set", "scenario.duration_bins=1200",
+        ]
+    )
+    assert rc == 3
+    captured = capsys.readouterr()
+    assert "self-check violation" in captured.err

@@ -1,0 +1,138 @@
+"""The headline guarantee: streamed output == offline pipeline output.
+
+Golden fleet scenarios replayed through :class:`StreamService` must
+yield windows bit-identical (float64) / tolerance-pinned (float32) to
+the offline batch path — :func:`build_dataset` + ``model.impute`` +
+``ConstraintEnforcer`` — for one shard, k shards, supervised worker
+processes, and a model trained through the literal table1 path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.service import StreamService
+from repro.testing.stream import (
+    assert_stream_matches_offline,
+    fleet_record_schedule,
+    offline_windows,
+    replay,
+)
+
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+def _service(model, serve_config, serve_scaler, **kwargs):
+    kwargs.setdefault("batch_windows", 4)
+    kwargs.setdefault("queue_capacity", 16)
+    return StreamService(
+        model, serve_config, serve_scaler, INTERVAL, WINDOW_INTERVALS, **kwargs
+    )
+
+
+def _expect_windows(fleet_traces):
+    """Every switch's trace holds 600 bins → 24 intervals → 6 windows."""
+    return 6 * len(fleet_traces)
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+def test_float64_stream_is_bit_identical_to_offline(
+    shards, model_f64, serve_config, serve_scaler, fleet_traces
+):
+    service = _service(model_f64, serve_config, serve_scaler, shards=shards)
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, report = replay(service, records)
+    offline = offline_windows(
+        model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert set(streamed) == set(offline)
+    assert report.windows == _expect_windows(fleet_traces)
+    assert_stream_matches_offline(streamed, offline, exact=True)
+
+
+def test_float32_stream_is_tolerance_pinned(
+    model_f32, serve_config, serve_scaler, fleet_traces
+):
+    service = _service(model_f32, serve_config, serve_scaler, shards=2)
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, _ = replay(service, records)
+    offline = offline_windows(
+        model_f32, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert set(streamed) == set(offline)
+    assert_stream_matches_offline(streamed, offline, exact=False, rtol=1e-5, atol=1e-5)
+
+
+def test_supervised_worker_processes_preserve_bit_equality(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    # The same dispatches, but computed in forked shard workers under the
+    # Supervisor — crossing the process boundary must not change a bit.
+    service = _service(
+        model_f64, serve_config, serve_scaler, shards=2, supervised=True
+    )
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, report = replay(service, records)
+    offline = offline_windows(
+        model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert set(streamed) == set(offline)
+    assert report.respawns == 0
+    assert_stream_matches_offline(streamed, offline, exact=True)
+
+
+def test_trained_table1_model_streams_bit_identical(
+    trained_model, serve_config, serve_scaler, fleet_traces
+):
+    # The model comes out of the literal table1 train_transformer path;
+    # the service must reproduce the offline pipeline's output exactly.
+    service = _service(trained_model, serve_config, serve_scaler, shards=2)
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, _ = replay(service, records)
+    offline = offline_windows(
+        trained_model, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert set(streamed) == set(offline)
+    assert_stream_matches_offline(streamed, offline, exact=True)
+
+
+def test_truncated_stream_covers_prefix_windows(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    # Capping the stream at 2 windows' worth of intervals emits exactly
+    # the prefix windows, still bit-identical to their offline twins.
+    service = _service(model_f64, serve_config, serve_scaler)
+    records = fleet_record_schedule(
+        fleet_traces, INTERVAL, max_intervals=2 * WINDOW_INTERVALS
+    )
+    streamed, report = replay(service, records)
+    assert report.windows == 2 * len(fleet_traces)
+    assert {key[1] for key in streamed} == {0, 1}
+    offline = offline_windows(
+        model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+    )
+    assert_stream_matches_offline(streamed, offline, exact=True)
+
+
+def test_emitted_windows_carry_consistent_provenance(
+    model_f64, serve_config, serve_scaler, fleet_traces
+):
+    from repro.serve.sharding import shard_of
+
+    service = _service(model_f64, serve_config, serve_scaler, shards=3)
+    records = fleet_record_schedule(fleet_traces, INTERVAL)
+    streamed, _ = replay(service, records)
+    for (switch_id, index), window in streamed.items():
+        assert window.switch_id == switch_id
+        assert window.window_index == index
+        assert window.start_interval == index * WINDOW_INTERVALS
+        assert window.start_bin == window.start_interval * INTERVAL
+        assert window.shard == shard_of(switch_id, 3)
+        assert window.latency_seconds >= 0.0
+        assert window.values.shape == (
+            serve_config.num_queues,
+            WINDOW_INTERVALS * INTERVAL,
+        )
+        assert np.isfinite(window.values).all()
