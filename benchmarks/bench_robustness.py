@@ -1,60 +1,32 @@
-"""Extension benchmark: robustness to degraded telemetry.
+"""Robustness benchmarks: degraded telemetry and the distribution-shift suite.
 
-Not a paper artefact — §2.1's footnote notes that LANZ only reports queues
-above a threshold, and real SNMP polls get lost.  This bench feeds the
-trained KAL model telemetry degraded in both ways and measures how the
-full method (with CEM) degrades: imputation error should rise gracefully
-and constraint satisfaction (w.r.t. the degraded measurements the CEM is
-given) must remain exact.
+Not a paper artefact — §2.1's footnote notes that LANZ only reports
+queues above a threshold, and real SNMP polls get lost.  Two benches:
+
+* ``test_degraded_telemetry`` — feed the trained KAL model telemetry
+  degraded by the shared injectors (:mod:`repro.robustness.degrade` —
+  the same implementation the shift suite uses) and check the full
+  method degrades gracefully while staying constraint-consistent with
+  the measurements it was given;
+* ``test_shift_suite`` — run the full
+  :func:`repro.robustness.suite.run_robustness` grid and pin the result
+  as ``BENCH_robustness.json``: per-method degradation curves across
+  every shift axis, plus the machine-checked claim that
+  ``Transformer+KAL+CEM`` degrades no faster than plain ``Transformer``.
+
+The suite stays on the quick scenario in both profiles — its grid
+multiplies simulation cost per point — with the paper profile buying
+more training epochs instead.
 """
-
-import dataclasses
 
 import numpy as np
 
+from benchmarks.bench_schema import write_bench_json
 from benchmarks.conftest import save_result
 from repro.constraints import check_constraints
 from repro.eval.report import format_table
 from repro.imputation import ConstraintEnforcer
-from repro.telemetry.dataset import build_features
-from repro.telemetry.sampling import CoarseTelemetry
-
-
-def _degrade_sample(sample, scaler, lanz_threshold=0, rng=None, snmp_loss=0.0):
-    """Apply LANZ thresholding / SNMP loss to one window's measurements."""
-    m_max = sample.m_max.copy()
-    if lanz_threshold > 0:
-        suppressed = m_max <= lanz_threshold
-        m_max[suppressed] = sample.m_sample[suppressed]
-    m_sent = sample.m_sent.copy()
-    m_received = sample.m_received.copy()
-    m_dropped = sample.m_dropped.copy()
-    if snmp_loss > 0 and rng is not None:
-        lost = rng.random(m_sent.shape) < snmp_loss
-        # Operator fallback: carry the previous interval's value forward.
-        for port in range(m_sent.shape[0]):
-            for i in range(m_sent.shape[1]):
-                if lost[port, i] and i > 0:
-                    m_sent[port, i] = m_sent[port, i - 1]
-                    m_received[port, i] = m_received[port, i - 1]
-                    m_dropped[port, i] = m_dropped[port, i - 1]
-    telemetry = CoarseTelemetry(
-        interval=sample.interval,
-        qlen_sample=sample.m_sample,
-        qlen_max=m_max,
-        received=m_received,
-        sent=m_sent,
-        dropped=m_dropped,
-    )
-    features = build_features(telemetry, scaler, sample.num_bins)
-    return dataclasses.replace(
-        sample,
-        features=features,
-        m_max=m_max,
-        m_sent=m_sent,
-        m_received=m_received,
-        m_dropped=m_dropped,
-    )
+from repro.robustness.degrade import degrade_sample
 
 
 def test_degraded_telemetry(benchmark, datasets, trained_models, results_dir):
@@ -77,7 +49,7 @@ def test_degraded_telemetry(benchmark, datasets, trained_models, results_dir):
             satisfied = 0
             infeasible = 0
             for sample in test.samples:
-                degraded = _degrade_sample(sample, test.scaler, rng=rng, **kwargs)
+                degraded = degrade_sample(sample, test.scaler, rng=rng, **kwargs)
                 try:
                     imputed = enforcer.enforce(kal.impute(degraded), degraded)
                 except Exception:
@@ -120,3 +92,37 @@ def test_degraded_telemetry(benchmark, datasets, trained_models, results_dir):
     for name, values in table.items():
         if values["infeasible"] < len(test):
             assert values["mae"] <= table["clean"]["mae"] * 1.25, (name, values)
+
+
+def test_shift_suite(benchmark, bench_profile, results_dir):
+    from repro.robustness.config import RobustnessConfig
+    from repro.robustness.suite import bench_payload, run_robustness
+
+    # Quick profile = the pinned default config, so a CI run regenerates
+    # BENCH_robustness.json byte-comparable to the committed artifact.
+    config = (
+        RobustnessConfig(epochs=10)
+        if bench_profile == "paper"
+        else RobustnessConfig()
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_robustness(config), rounds=1, iterations=1
+    )
+
+    save_result(results_dir, "robustness_suite.txt", result.render())
+    timings, metrics = bench_payload(result)
+    path = write_bench_json(
+        "robustness", config=config, timings=timings, metrics=metrics
+    )
+    print(f"wrote {path}")
+
+    # The pinned claim: on every axis the full method's worst absolute
+    # MAE increase is no larger than plain ML's (within tolerance).
+    assert metrics["claim"]["holds"], metrics["claim"]
+    # Coverage: >= 4 methods, all 5 axes, >= 2 points per axis curve.
+    assert len(metrics["methods"]) >= 4
+    assert set(metrics["axes"]) == {"load", "burst", "buffer", "lanz", "snmp"}
+    for axis, curves in metrics["curves"].items():
+        for method, points in curves.items():
+            assert len(points) >= 2, (axis, method)

@@ -1,4 +1,4 @@
-"""The built-in experiments: table1, scalability, replication, simulate, serve.
+"""The built-in experiments: table1, scalability, replication, simulate, serve, robustness.
 
 Each entry pairs a typed config dataclass with a run function whose
 stdout is the experiment's report; the legacy CLI subcommands
@@ -22,6 +22,7 @@ from repro.eval.scalability import ScalabilityConfig
 from repro.eval.scenarios import ScenarioConfig, quick_scenario
 from repro.eval.table1 import Table1Config
 from repro.experiments.registry import CliOption, Experiment, register
+from repro.robustness.config import RobustnessConfig
 from repro.serve.config import ServeConfig
 
 #: Where ``table1 --resume`` keeps its journal when ``--journal`` is absent.
@@ -103,6 +104,20 @@ def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
     return _run(config, selfcheck=selfcheck)
 
 
+def run_robustness_experiment(
+    config: RobustnessConfig,
+    bench_out: Union[str, Path, None] = None,
+    check_claim: bool = False,
+    selfcheck: bool = False,
+) -> int:
+    """Distribution-shift suite: degradation curves + the KAL+CEM claim."""
+    from repro.robustness.runner import run_robustness_experiment as _run
+
+    return _run(
+        config, bench_out=bench_out, check_claim=check_claim, selfcheck=selfcheck
+    )
+
+
 def run_scalability_experiment(config: ScalabilityConfig) -> int:
     """FM-alone solve effort vs horizon."""
     from repro.eval.report import format_table
@@ -163,6 +178,10 @@ def _default_serve() -> ServeConfig:
     return ServeConfig()
 
 
+def _default_robustness() -> RobustnessConfig:
+    return RobustnessConfig()
+
+
 _SELFCHECK = CliOption(
     flags=("--selfcheck",),
     dest="selfcheck",
@@ -214,6 +233,39 @@ register(
         artifact_dir="artifacts/serve",
         summary="stream a replayed fleet through the imputation service",
         cli_options=(_SELFCHECK,),
+    )
+)
+
+register(
+    Experiment(
+        name="robustness",
+        config_cls=RobustnessConfig,
+        default_config=_default_robustness,
+        run=run_robustness_experiment,
+        artifact_dir="artifacts/robustness",
+        summary="distribution-shift suite: per-method degradation curves "
+        "and the KAL+CEM off-distribution claim",
+        cli_options=(
+            CliOption(
+                flags=("--bench-out",),
+                dest="bench_out",
+                kwargs={
+                    "type": Path,
+                    "help": "write the run as a BENCH_robustness.json-shaped "
+                    "artifact at this path",
+                },
+            ),
+            CliOption(
+                flags=("--check-claim",),
+                dest="check_claim",
+                kwargs={
+                    "action": "store_true",
+                    "help": "exit 1 unless KAL+CEM degrades no faster than "
+                    "plain ML on every axis (CI regression sentinel)",
+                },
+            ),
+            _SELFCHECK,
+        ),
     )
 )
 

@@ -1,0 +1,123 @@
+"""The OOD sentinel: the paper's constraints as a deployed drift detector.
+
+The insight is that the serve path already computes everything a cheap
+shift score needs: the C1-C3 residuals of the *pre-enforcement*
+prediction (how far the model is from what the measurements pin) and the
+CEM correction mass (how much L1 work the projection had to do).  On
+in-distribution traffic a trained model lands near the constraint set,
+so both quantities are small; off-distribution they grow long before
+anyone inspects the imputed series — the failure mode Geyer & Bondorf
+document for DL-predicted network models.
+
+:func:`calibrate_sentinel` fits the score's exceedance threshold as a
+quantile over held-out in-distribution windows; the resulting frozen
+:class:`OODSentinel` is handed to :class:`~repro.serve.service.
+StreamService`, which observes every window's score into the
+``serve.ood.score`` histogram and flags (or quarantines) windows above
+the threshold.  The sentinel never mutates imputed values — it is a
+verdict, not a repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.constraints.spec import check_constraints
+from repro.switchsim.switch import SwitchConfig
+from repro.telemetry.dataset import ImputationSample, TelemetryDataset
+
+
+@dataclass(frozen=True)
+class OODSentinel:
+    """A calibrated shift detector over pre-enforcement constraint residuals.
+
+    ``threshold`` is the calibrated ``quantile`` of in-distribution
+    scores; :meth:`flags` is the deployment predicate.  ``qlen_scale``
+    normalises the CEM correction mass into the same dimensionless range
+    as the residual terms (it is the training scaler's queue scale).
+    """
+
+    threshold: float
+    quantile: float
+    qlen_scale: float
+    calibration_size: int
+
+    def score(
+        self,
+        pre_enforcement: np.ndarray,
+        corrected: np.ndarray | None,
+        sample: ImputationSample,
+        config: SwitchConfig,
+    ) -> float:
+        """The shift score of one window (higher = further off-distribution).
+
+        Sum of the three normalised pre-enforcement residuals (C1-C3, as
+        :func:`~repro.constraints.spec.check_constraints` defines them)
+        plus the mean per-bin CEM correction normalised by the queue
+        scale (0 when CEM is off).  All four terms are dimensionless and
+        O(1) on in-distribution traffic, so a plain sum is a usable
+        score without per-term weighting.
+        """
+        report = check_constraints(pre_enforcement, sample, config)
+        mass_term = 0.0
+        if corrected is not None:
+            mass = np.abs(
+                np.asarray(corrected, dtype=float)
+                - np.asarray(pre_enforcement, dtype=float)
+            ).mean()
+            mass_term = float(mass) / self.qlen_scale
+        return float(
+            report.max_error + report.periodic_error + report.sent_error + mass_term
+        )
+
+    def flags(self, score: float) -> bool:
+        """True when a window's score exceeds the calibrated threshold."""
+        return score > self.threshold
+
+
+def calibrate_sentinel(
+    model: Any,
+    dataset: TelemetryDataset,
+    *,
+    quantile: float = 0.99,
+    use_cem: bool = True,
+    batch_size: int = 16,
+) -> OODSentinel:
+    """Calibrate a sentinel on in-distribution windows.
+
+    Scores every window of ``dataset`` (typically the validation split —
+    held out from training but drawn from the training distribution) with
+    the deployed model and pins the exceedance threshold at ``quantile``
+    of those scores.  Deterministic: the model, the dataset, and the CEM
+    projection all are.
+    """
+    from repro.imputation.cem import ConstraintEnforcer
+
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must lie in (0, 1], got {quantile}")
+    if len(dataset) == 0:
+        raise ValueError("cannot calibrate a sentinel on an empty dataset")
+    enforcer = (
+        ConstraintEnforcer(dataset.switch_config, vectorized=True) if use_cem else None
+    )
+    probe = OODSentinel(
+        threshold=float("inf"),
+        quantile=quantile,
+        qlen_scale=dataset.scaler.qlen_scale,
+        calibration_size=0,
+    )
+    scores: list[float] = []
+    for start in range(0, len(dataset.samples), batch_size):
+        chunk = dataset.samples[start : start + batch_size]
+        for sample, pre in zip(chunk, model.impute_batch(chunk)):
+            corrected = enforcer.enforce(pre, sample) if enforcer is not None else None
+            scores.append(probe.score(pre, corrected, sample, dataset.switch_config))
+    return OODSentinel(
+        threshold=float(np.quantile(np.asarray(scores), quantile)),
+        quantile=float(quantile),
+        qlen_scale=dataset.scaler.qlen_scale,
+        calibration_size=len(scores),
+    )

@@ -53,6 +53,8 @@ __all__ = [
     "WindowAssembler",
     "WindowTask",
     "StreamProtocolError",
+    "DegradedStreamPolicy",
+    "DegradedStreamStats",
     "BoundedQueue",
     "shard_of",
     "records_from_telemetry",
@@ -66,6 +68,8 @@ _EXPORTS = {
     "WindowAssembler": "repro.serve.windows",
     "WindowTask": "repro.serve.windows",
     "StreamProtocolError": "repro.serve.windows",
+    "DegradedStreamPolicy": "repro.serve.windows",
+    "DegradedStreamStats": "repro.serve.windows",
     "BoundedQueue": "repro.serve.queueing",
     "shard_of": "repro.serve.sharding",
     "StreamService": "repro.serve.service",

@@ -45,6 +45,19 @@ class ServeConfig:
     max_attempts: int = 3  # supervisor attempts per shard dispatch
     use_cem: bool = True  # project every window onto C1–C3
 
+    # --- graceful degradation (strict protocol by default) -------------
+    # "raise" keeps the strict per-switch protocol; "skip"/"reset" opt
+    # into DegradedStreamPolicy handling (see repro.serve.windows).
+    on_gap: str = "raise"
+    on_duplicate: str = "raise"
+    repair_intervals: int = 0  # carry-forward repair for gaps <= this
+
+    # --- OOD sentinel (off by default) ----------------------------------
+    # "off" | "flag" | "quarantine": what to do with windows whose
+    # calibrated shift score exceeds the threshold (repro.robustness).
+    ood_action: str = "off"
+    ood_quantile: float = 0.99  # calibration quantile on in-distribution scores
+
     # --- model training (mirrors Table1Config) ------------------------
     epochs: int = 2
     batch_size: int = 8

@@ -78,6 +78,10 @@ class ImputedWindow:
     values: np.ndarray  # (Q, T) packets
     shard: int
     latency_seconds: float
+    # OOD sentinel verdict (None / False when no sentinel is installed):
+    # the score is advisory provenance, never a mutation of ``values``.
+    ood_score: float | None = None
+    ood_flagged: bool = False
 
     @property
     def key(self) -> tuple[str, int]:
@@ -95,8 +99,30 @@ def records_from_telemetry(
     Replays batch telemetry (e.g. sampled from a recorded trace) as the
     per-interval records the service ingests — the deterministic
     scenario-replay primitive the stream-test harness builds on.
+
+    The telemetry block is validated up front: every array must be 2-D
+    ``(series, intervals)`` with one interval count across all five
+    fields.  A mismatch raises :class:`ValueError` naming the switch,
+    the offending field, and the interval extent — previously a ragged
+    block surfaced only as an opaque ``np.stack`` error deep inside
+    window assembly, with no way to tell *whose* telemetry was bad.
     """
-    n = telemetry.num_intervals
+    n = None
+    for name in ("qlen_sample", "qlen_max", "received", "sent", "dropped"):
+        value = np.asarray(getattr(telemetry, name))
+        if value.ndim != 2:
+            raise ValueError(
+                f"telemetry for switch {switch_id!r}: {name} must be 2-D "
+                f"(series, intervals), got shape {value.shape}"
+            )
+        if n is None:
+            n = value.shape[1]
+        elif value.shape[1] != n:
+            raise ValueError(
+                f"telemetry for switch {switch_id!r}: {name} covers "
+                f"{value.shape[1]} intervals, expected {n} "
+                f"(per qlen_sample) — the block is ragged"
+            )
     if max_intervals is not None:
         n = min(n, int(max_intervals))
     for i in range(n):

@@ -72,6 +72,24 @@ def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
             )
             print(f"trained Transformer+KAL on {len(train)} windows in {train_seconds:.0f}s")
 
+            sentinel = None
+            if config.ood_action != "off":
+                # Calibrated on the validation split: held out from
+                # training but drawn from the training distribution.
+                from repro.robustness.sentinel import calibrate_sentinel
+
+                with obs.span("serve.calibrate_sentinel"):
+                    sentinel = calibrate_sentinel(
+                        model,
+                        val,
+                        quantile=config.ood_quantile,
+                        use_cem=config.use_cem,
+                    )
+                print(
+                    f"calibrated OOD sentinel on {sentinel.calibration_size} windows "
+                    f"(q{config.ood_quantile:g} threshold {sentinel.threshold:.4f})"
+                )
+
             # The fleet: per-switch traces under distinct derived seeds
             # (seed+0 is the training trace; the fleet starts at seed+1).
             streams = []
@@ -89,7 +107,7 @@ def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
                 )
 
             service = StreamService.from_config(
-                model, model.scaler, config, selfcheck=selfcheck
+                model, model.scaler, config, selfcheck=selfcheck, sentinel=sentinel
             )
             emitted = 0
             with obs.span("serve.replay"):

@@ -30,11 +30,24 @@ streamed output is bit-identical to ``train → table1`` on the same
 windows (``tests/serve/test_stream_parity.py``), for one shard or many,
 across a crash-respawn.
 
+Two opt-in robustness layers ride on top (both absent from the default
+strict path — no policy object, no sentinel, behaviour-identical):
+
+* a :class:`~repro.serve.windows.DegradedStreamPolicy` lets the
+  assembler repair, skip, or resync around per-switch protocol
+  violations instead of raising (``serve.degraded.*`` counters);
+* an :class:`~repro.robustness.sentinel.OODSentinel` scores every
+  window's pre-enforcement constraint residuals + CEM correction mass
+  and flags — or quarantines — windows that look off-distribution
+  (``serve.ood.score`` histogram, ``serve.ood.flagged`` /
+  ``serve.ood.quarantined`` counters).
+
 Service metrics (when :mod:`repro.obs` is configured): the
 ``serve.latency_seconds`` histogram (p50/p99 via its quantiles),
 ``serve.queue_depth`` / ``serve.switch_intervals_per_sec`` gauges, and
-``serve.records`` / ``serve.windows`` / ``serve.dispatches`` /
-``serve.backpressure`` / ``serve.respawns`` counters.
+``serve.records`` / ``serve.records_rejected`` / ``serve.windows`` /
+``serve.dispatches`` / ``serve.backpressure`` / ``serve.respawns``
+counters.
 """
 
 from __future__ import annotations
@@ -51,19 +64,30 @@ from repro.serve.errors import ServeError
 from repro.serve.queueing import BoundedQueue, QueueFull
 from repro.serve.records import CoarseRecord, ImputedWindow
 from repro.serve.sharding import shard_of
-from repro.serve.windows import WindowAssembler, WindowTask
+from repro.serve.windows import (
+    DegradedStreamPolicy,
+    StreamProtocolError,
+    WindowAssembler,
+    WindowTask,
+)
 from repro.switchsim.switch import SwitchConfig
 from repro.telemetry.dataset import FeatureScaler
 from repro.testing.selfcheck import SelfCheckError, selfcheck_enforced
 from repro.utils.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.sentinel import OODSentinel
     from repro.serve.config import ServeConfig
 
 
 #: Child → parent result for one window: everything the parent needs to
-#: build an :class:`ImputedWindow`, in picklable primitives.
-_WindowResult = tuple  # (switch_id, window_index, start_interval, start_bin, values)
+#: build an :class:`ImputedWindow`, in picklable primitives.  The final
+#: element is the OOD shift score (None when no sentinel is installed).
+_WindowResult = tuple  # (switch_id, window_index, start_interval, start_bin,
+#                        values, ood_score)
+
+#: Valid values of ``StreamService``'s ``ood_action``.
+_OOD_ACTIONS = ("off", "flag", "quarantine")
 
 
 class _ShardJob:
@@ -83,12 +107,14 @@ class _ShardJob:
         switch_config: SwitchConfig,
         use_cem: bool,
         selfcheck: bool,
+        sentinel: "OODSentinel | None" = None,
     ):
         self.model = model
         self.scaler = scaler
         self.switch_config = switch_config
         self.use_cem = use_cem
         self.selfcheck = selfcheck
+        self.sentinel = sentinel
         self.enforcer = (
             ConstraintEnforcer(switch_config, vectorized=True) if use_cem else None
         )
@@ -102,9 +128,21 @@ class _ShardJob:
             ]
             imputed = self.model.impute_batch(samples)
             results: list[_WindowResult] = []
-            for task, sample, values in zip(tasks, samples, imputed):
+            for task, sample, pre_enforcement in zip(tasks, samples, imputed):
+                values = pre_enforcement
                 if self.enforcer is not None:
-                    values = self.enforcer.enforce(values, sample)
+                    values = self.enforcer.enforce(pre_enforcement, sample)
+                score = None
+                if self.sentinel is not None:
+                    # Scored from the raw prediction's residuals + the
+                    # CEM correction mass — computed here, shard-side,
+                    # because the parent only ever sees enforced values.
+                    score = self.sentinel.score(
+                        pre_enforcement,
+                        values if self.enforcer is not None else None,
+                        sample,
+                        self.switch_config,
+                    )
                 if self.selfcheck:
                     selfcheck_enforced(
                         values,
@@ -119,6 +157,7 @@ class _ShardJob:
                         task.start_interval,
                         task.start_bin,
                         values,
+                        score,
                     )
                 )
         return results
@@ -142,6 +181,15 @@ class ServeReport:
     latency_mean: float = 0.0
     latency_max: float = 0.0
     switch_intervals_per_sec: float = 0.0
+    # Degraded-mode and OOD fields stay 0 on the strict default path —
+    # their render lines only appear when something actually happened.
+    records_rejected: int = 0
+    gaps_repaired: int = 0
+    gaps_skipped: int = 0
+    resyncs: int = 0
+    duplicates_dropped: int = 0
+    ood_flagged: int = 0
+    ood_quarantined: int = 0
 
     def render(self) -> str:
         lines = [
@@ -161,6 +209,18 @@ class ServeReport:
             f"p99 {self.latency_p99 * 1e3:.2f} ms · "
             f"max {self.latency_max * 1e3:.2f} ms",
         ]
+        degraded = [
+            ("records rejected", self.records_rejected),
+            ("gaps repaired", self.gaps_repaired),
+            ("gaps skipped", self.gaps_skipped),
+            ("stream resyncs", self.resyncs),
+            ("duplicates dropped", self.duplicates_dropped),
+            ("OOD flagged", self.ood_flagged),
+            ("OOD quarantined", self.ood_quarantined),
+        ]
+        lines.extend(
+            f"  {name:<19} {count}" for name, count in degraded if count
+        )
         return "\n".join(lines)
 
 
@@ -199,24 +259,44 @@ class StreamService:
         selfcheck: bool = False,
         seed: int = 0,
         job_wrapper: Callable[[Callable], Callable] | None = None,
+        policy: DegradedStreamPolicy | None = None,
+        sentinel: "OODSentinel | None" = None,
+        ood_action: str = "off",
     ):
         check_positive("shards", shards)
         check_positive("batch_windows", batch_windows)
+        if ood_action not in _OOD_ACTIONS:
+            raise ValueError(
+                f"ood_action must be one of {_OOD_ACTIONS}, got {ood_action!r}"
+            )
+        if ood_action != "off" and sentinel is None:
+            raise ValueError(
+                f"ood_action={ood_action!r} requires a calibrated sentinel "
+                "(see repro.robustness.calibrate_sentinel)"
+            )
         self.shards = int(shards)
         self.batch_windows = int(batch_windows)
         self.deadline = deadline
         self.max_attempts = int(max_attempts)
         self.supervised = bool(supervised)
         self.seed = int(seed)
+        self.ood_action = ood_action
+        self.sentinel = sentinel if ood_action != "off" else None
         self.assembler = WindowAssembler(
-            switch_config, interval, window_intervals, stride_intervals
+            switch_config, interval, window_intervals, stride_intervals,
+            policy=policy,
         )
         self.queue = BoundedQueue(queue_capacity)
-        self._job = _ShardJob(model, scaler, switch_config, use_cem, selfcheck)
+        self._job = _ShardJob(
+            model, scaler, switch_config, use_cem, selfcheck, sentinel=self.sentinel
+        )
         self._dispatch_fn = job_wrapper(self._job) if job_wrapper else self._job
         self._emitted_keys: set[tuple[str, int]] = set()
+        self._quarantined: list[ImputedWindow] = []
         self._latencies: list[float] = []
         self._records = 0
+        self._records_rejected = 0
+        self._ood_flagged = 0
         self._dispatches = 0
         self._respawns = 0
         self._started_at: float | None = None
@@ -231,8 +311,22 @@ class StreamService:
         *,
         selfcheck: bool = False,
         job_wrapper: Callable[[Callable], Callable] | None = None,
+        sentinel: "OODSentinel | None" = None,
     ) -> "StreamService":
         scenario = config.scenario
+        # The strict default constructs no policy object at all — the
+        # degraded-mode machinery exists only when opted into.
+        policy = None
+        if (
+            config.on_gap != "raise"
+            or config.on_duplicate != "raise"
+            or config.repair_intervals > 0
+        ):
+            policy = DegradedStreamPolicy(
+                on_gap=config.on_gap,
+                on_duplicate=config.on_duplicate,
+                repair_intervals=config.repair_intervals,
+            )
         return cls(
             model,
             scenario.switch_config(),
@@ -250,6 +344,9 @@ class StreamService:
             selfcheck=selfcheck,
             seed=config.seed,
             job_wrapper=job_wrapper,
+            policy=policy,
+            sentinel=sentinel,
+            ood_action=config.ood_action,
         )
 
     # ------------------------------------------------------------------
@@ -260,7 +357,16 @@ class StreamService:
         triggered (micro-batch full, or backpressure on a full queue)."""
         if self._started_at is None:
             self._started_at = time.perf_counter()
-        tasks = self.assembler.push(record)
+        try:
+            tasks = self.assembler.push(record)
+        except StreamProtocolError:
+            # Protocol violations are ordering bugs, not malformed data —
+            # they surface unchanged and are not "rejected records".
+            raise
+        except ValueError:
+            self._records_rejected += 1
+            obs.counter("serve.records_rejected").inc()
+            raise
         self._records += 1
         obs.counter("serve.records").inc()
         emitted: list[ImputedWindow] = []
@@ -317,7 +423,10 @@ class StreamService:
         emitted: list[ImputedWindow] = []
         for payload, results in zip(payloads, shard_results):
             _, shard, _ = payload
-            for switch_id, window_index, start_interval, start_bin, values in results:
+            for result in results:
+                switch_id, window_index, start_interval, start_bin, values, score = (
+                    result
+                )
                 key = (switch_id, window_index)
                 if key in self._emitted_keys:
                     raise ServeError(
@@ -329,17 +438,31 @@ class StreamService:
                 self._latencies.append(latency)
                 obs.histogram("serve.latency_seconds").observe(latency)
                 obs.counter("serve.windows").inc()
-                emitted.append(
-                    ImputedWindow(
-                        switch_id=switch_id,
-                        window_index=window_index,
-                        start_interval=start_interval,
-                        start_bin=start_bin,
-                        values=values,
-                        shard=shard,
-                        latency_seconds=latency,
-                    )
+                flagged = False
+                if score is not None:
+                    obs.histogram("serve.ood.score").observe(score)
+                    obs.gauge("serve.ood.last_score").set(score)
+                    flagged = self.sentinel.flags(score)
+                    if flagged:
+                        self._ood_flagged += 1
+                        obs.counter("serve.ood.flagged").inc()
+                window = ImputedWindow(
+                    switch_id=switch_id,
+                    window_index=window_index,
+                    start_interval=start_interval,
+                    start_bin=start_bin,
+                    values=values,
+                    shard=shard,
+                    latency_seconds=latency,
+                    ood_score=score,
+                    ood_flagged=flagged,
                 )
+                if flagged and self.ood_action == "quarantine":
+                    # Held back, not lost: inspectable via quarantined().
+                    self._quarantined.append(window)
+                    obs.counter("serve.ood.quarantined").inc()
+                    continue
+                emitted.append(window)
         emitted.sort(key=lambda w: w.key)
         return emitted
 
@@ -380,14 +503,19 @@ class StreamService:
         if self._started_at is not None:
             self._wall_seconds = time.perf_counter() - self._started_at
 
+    def quarantined(self) -> list[ImputedWindow]:
+        """Windows the sentinel held back (``ood_action="quarantine"``)."""
+        return list(self._quarantined)
+
     def report(self) -> ServeReport:
         latencies = np.asarray(self._latencies, dtype=float)
         wall = self._wall_seconds
         throughput = self._records / wall if wall > 0 else 0.0
+        stats = self.assembler.stats
         obs.gauge("serve.switch_intervals_per_sec").set(throughput)
         return ServeReport(
             records=self._records,
-            windows=len(self._emitted_keys),
+            windows=len(self._emitted_keys) - len(self._quarantined),
             switches=self.assembler.num_switches,
             shards=self.shards,
             dispatches=self._dispatches,
@@ -400,6 +528,13 @@ class StreamService:
             latency_mean=float(latencies.mean()) if latencies.size else 0.0,
             latency_max=float(latencies.max()) if latencies.size else 0.0,
             switch_intervals_per_sec=throughput,
+            records_rejected=self._records_rejected,
+            gaps_repaired=stats.gaps_repaired,
+            gaps_skipped=stats.gaps_skipped,
+            resyncs=stats.resyncs,
+            duplicates_dropped=stats.duplicates_dropped,
+            ood_flagged=self._ood_flagged,
+            ood_quarantined=len(self._quarantined),
         )
 
 

@@ -7,12 +7,24 @@ intervals starting every ``stride_intervals`` (non-overlapping by
 default, matching :func:`~repro.telemetry.dataset.build_dataset`'s
 evaluation layout).
 
-The protocol is deliberately strict: records must arrive **in order**
+The protocol is strict by default: records must arrive **in order**
 per switch, with no gaps and no duplicates.  A collector that can
 reorder or drop must resequence before the service — the alternative
 (silently imputing over a hole) is precisely the failure mode the
 paper's constraint story exists to prevent.  Violations raise
 :class:`StreamProtocolError` naming the switch and the expected index.
+
+Deployments that cannot resequence opt into a
+:class:`DegradedStreamPolicy`: small gaps can be repaired by carrying
+the last delivered record forward (the operator fallback
+:mod:`repro.robustness.degrade` models), larger gaps can drop the
+partial window (``skip``) or resynchronise the stream at the new index
+(``reset``) — never silently: every degraded-mode event increments a
+``serve.degraded.*`` counter and the per-assembler
+:class:`DegradedStreamStats`.  Other switches' streams are untouched,
+and once a stream heals, ``reset`` windows are bit-identical to the
+offline pipeline on the post-gap suffix (pinned by
+``tests/serve/test_degraded_serve.py``).
 
 Assembly is *stateless per window* in the sense that matters for
 recovery: a completed :class:`WindowTask` carries the full coarse
@@ -23,21 +35,97 @@ and re-derive bit-identical output from the same task.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.serve.records import CoarseRecord
 from repro.switchsim.switch import SwitchConfig
 from repro.telemetry.dataset import FeatureScaler, ImputationSample, build_features
 from repro.telemetry.sampling import CoarseTelemetry
 from repro.utils.validation import check_positive
 
+#: Valid per-event actions of a :class:`DegradedStreamPolicy`.
+_POLICY_ACTIONS = ("raise", "skip", "reset")
+
 
 class StreamProtocolError(ValueError):
     """A record violated the per-switch ordering protocol (gap/duplicate)."""
+
+
+@dataclass(frozen=True)
+class DegradedStreamPolicy:
+    """What the assembler does when a stream violates the strict protocol.
+
+    * ``on_gap`` — a record arrives beyond the expected index.  ``raise``
+      keeps the strict protocol; ``skip`` abandons the partial window and
+      waits for the next stride-aligned window start; ``reset``
+      resynchronises the switch's stream at the new index (the next full
+      window starts there, bit-identical to the offline pipeline run on
+      the post-gap suffix).
+    * ``on_duplicate`` — a record arrives at or below an index already
+      consumed.  ``raise`` keeps the strict protocol; ``skip`` drops the
+      record; ``reset`` treats it as the start of a replayed stream and
+      resynchronises there.
+    * ``repair_intervals`` — gaps of at most this many intervals are
+      healed *before* ``on_gap`` applies, by carrying the switch's last
+      delivered record forward (the same operator fallback
+      :func:`repro.robustness.degrade.carry_forward` models for lost
+      SNMP polls).  0 disables repair.
+
+    The default policy is indistinguishable from no policy: every action
+    raises, nothing is repaired.
+    """
+
+    on_gap: str = "raise"
+    on_duplicate: str = "raise"
+    repair_intervals: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("on_gap", "on_duplicate"):
+            action = getattr(self, name)
+            if action not in _POLICY_ACTIONS:
+                raise ValueError(
+                    f"{name} must be one of {_POLICY_ACTIONS}, got {action!r}"
+                )
+        if self.repair_intervals < 0:
+            raise ValueError(
+                f"repair_intervals must be >= 0, got {self.repair_intervals}"
+            )
+
+    @property
+    def is_strict(self) -> bool:
+        return (
+            self.on_gap == "raise"
+            and self.on_duplicate == "raise"
+            and self.repair_intervals == 0
+        )
+
+
+@dataclass
+class DegradedStreamStats:
+    """Counters of every degraded-mode event an assembler performed."""
+
+    gaps_repaired: int = 0  # gaps healed by carry-forward
+    repaired_intervals: int = 0  # synthesized records across those gaps
+    gaps_skipped: int = 0  # partial windows abandoned on gap
+    resyncs: int = 0  # streams resynchronised (gap or duplicate)
+    duplicates_dropped: int = 0  # duplicate records silently dropped
+
+    @property
+    def any(self) -> bool:
+        return any(
+            (
+                self.gaps_repaired,
+                self.gaps_skipped,
+                self.resyncs,
+                self.duplicates_dropped,
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -107,6 +195,8 @@ class WindowAssembler:
         interval: int,
         window_intervals: int,
         stride_intervals: int | None = None,
+        *,
+        policy: DegradedStreamPolicy | None = None,
     ):
         check_positive("interval", interval)
         check_positive("window_intervals", window_intervals)
@@ -122,6 +212,8 @@ class WindowAssembler:
                 "stride_intervals > window_intervals would skip intervals "
                 "entirely; the service refuses to silently drop telemetry"
             )
+        self.policy = policy
+        self.stats = DegradedStreamStats()
         self._switches: dict[str, _SwitchState] = {}
 
     @property
@@ -136,11 +228,14 @@ class WindowAssembler:
         return state.next_interval - state.next_window_start
 
     def push(self, record: CoarseRecord) -> list[WindowTask]:
-        """Ingest one record; returns the windows it completed (0 or 1).
+        """Ingest one record; returns the windows it completed.
 
-        Raises :class:`StreamProtocolError` on an out-of-order,
-        duplicated, or gapped record, and :class:`ValueError` on shape
-        mismatches — both before mutating any state.
+        Without a policy (the strict default), raises
+        :class:`StreamProtocolError` on an out-of-order, duplicated, or
+        gapped record, and :class:`ValueError` on shape mismatches —
+        both before mutating any state.  With a policy, protocol
+        violations are handled per :class:`DegradedStreamPolicy` (a
+        repaired gap can complete more than one window at once).
         """
         record.validate_shapes(
             self.switch_config.num_queues, self.switch_config.num_ports
@@ -150,16 +245,93 @@ class WindowAssembler:
             state = _SwitchState(buffer=deque(maxlen=self.window_intervals))
             self._switches[record.switch_id] = state
         if record.interval_index != state.next_interval:
-            kind = (
-                "duplicate or out-of-order"
-                if record.interval_index < state.next_interval
-                else "gap in"
-            )
-            raise StreamProtocolError(
-                f"{kind} record stream for switch {record.switch_id!r}: "
-                f"expected interval {state.next_interval}, got "
-                f"{record.interval_index}"
-            )
+            return self._violation(record, state)
+        return self._accept(record, state)
+
+    def _protocol_error(self, record: CoarseRecord, state: _SwitchState):
+        kind = (
+            "duplicate or out-of-order"
+            if record.interval_index < state.next_interval
+            else "gap in"
+        )
+        return StreamProtocolError(
+            f"{kind} record stream for switch {record.switch_id!r}: "
+            f"expected interval {state.next_interval}, got "
+            f"{record.interval_index}"
+        )
+
+    def _violation(
+        self, record: CoarseRecord, state: _SwitchState
+    ) -> list[WindowTask]:
+        """Handle a record that broke the strict per-switch protocol."""
+        policy = self.policy
+        if policy is None:
+            raise self._protocol_error(record, state)
+        if record.interval_index < state.next_interval:
+            action = policy.on_duplicate
+            if action == "raise":
+                raise self._protocol_error(record, state)
+            if action == "skip":
+                self.stats.duplicates_dropped += 1
+                obs.counter("serve.degraded.duplicates_dropped").inc()
+                return []
+            return self._resync(record, state)
+
+        gap = record.interval_index - state.next_interval
+        if 0 < gap <= policy.repair_intervals and state.buffer:
+            # Carry-forward repair: re-deliver the last record for each
+            # missing interval (same fallback a collector applies for
+            # lost SNMP polls — see repro.robustness.degrade).
+            last = state.buffer[-1]
+            tasks: list[WindowTask] = []
+            with obs.span(
+                "serve.degraded.repair",
+                switch=record.switch_id,
+                intervals=gap,
+            ):
+                for index in range(state.next_interval, record.interval_index):
+                    synthesized = dataclasses.replace(last, interval_index=index)
+                    tasks.extend(self._accept(synthesized, state))
+            self.stats.gaps_repaired += 1
+            self.stats.repaired_intervals += gap
+            obs.counter("serve.degraded.gaps_repaired").inc()
+            obs.counter("serve.degraded.repaired_intervals").inc(gap)
+            tasks.extend(self._accept(record, state))
+            return tasks
+        action = policy.on_gap
+        if action == "raise":
+            raise self._protocol_error(record, state)
+        if action == "skip":
+            # Abandon the partial window; resume on the original stride
+            # grid at the first window start not before this record.
+            state.buffer.clear()
+            state.next_interval = record.interval_index
+            behind = record.interval_index - state.next_window_start
+            if behind > 0:
+                strides = -(-behind // self.stride_intervals)  # ceil div
+                state.next_window_start += strides * self.stride_intervals
+            self.stats.gaps_skipped += 1
+            obs.counter("serve.degraded.gaps_skipped").inc()
+            return self._accept(record, state)
+        return self._resync(record, state)
+
+    def _resync(self, record: CoarseRecord, state: _SwitchState) -> list[WindowTask]:
+        """Restart the switch's stream at this record's index.
+
+        The next full window starts exactly here, so once the stream
+        heals its windows are bit-identical to the offline pipeline run
+        on the post-gap suffix.  ``windows_emitted`` keeps counting up —
+        window identity stays unique across a resync.
+        """
+        state.buffer.clear()
+        state.next_interval = record.interval_index
+        state.next_window_start = record.interval_index
+        self.stats.resyncs += 1
+        obs.counter("serve.degraded.resyncs").inc()
+        return self._accept(record, state)
+
+    def _accept(self, record: CoarseRecord, state: _SwitchState) -> list[WindowTask]:
+        """Buffer an in-protocol record; emit the window it completes."""
         state.buffer.append(record)
         state.next_interval += 1
 

@@ -20,7 +20,14 @@ detail string describing the first divergence:
   (same zeroed queues, same raised samples) including infeasibility
   agreement;
 * :func:`diff_simplex` — the native two-phase simplex + branch-and-bound
-  vs exhaustive enumeration over small all-integer domains.
+  vs exhaustive enumeration over small all-integer domains;
+* :func:`diff_cem_misleading` — CEM under *misleading* predictions
+  (all-zeros / uniform-random inputs): the projection must still emit
+  constraint-satisfying output (zero residual) or declare infeasibility,
+  never silently violate C1–C3.  The harness additionally accumulates
+  how *wrong* the constraint-satisfying output can be (max/mean EMD vs
+  the true series, :data:`MISLEADING_STATS`) — quantifying the paper's
+  caveat that constraints make output consistent, not correct.
 
 :func:`run_fuzz` drives the harnesses over seeded random cases and
 greedily minimizes every discrepancy before reporting it; the nightly CI
@@ -29,6 +36,7 @@ job is a thin wrapper around it (:mod:`repro.testing.fuzz`).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -263,12 +271,107 @@ def diff_simplex(case: LpCase) -> str | None:
     return None
 
 
+@dataclass
+class MisleadingStats:
+    """What the ``cem_misleading`` harness measured across one run.
+
+    ``max_emd``/``mean_emd`` quantify how far a constraint-*satisfying*
+    projection can sit from the truth when the prediction it started from
+    was garbage — the residual is zero, the error is not.
+    """
+
+    cases: int = 0
+    infeasible: int = 0  # CEM (correctly) refused the input
+    enforced: int = 0  # CEM produced constraint-satisfying output
+    max_emd: float = 0.0  # worst post-CEM EMD vs the true series
+    sum_emd: float = 0.0
+    worst_case: dict | None = None  # serialized case behind max_emd
+
+    @property
+    def mean_emd(self) -> float:
+        return self.sum_emd / self.enforced if self.enforced else 0.0
+
+    def reset(self) -> None:
+        self.cases = 0
+        self.infeasible = 0
+        self.enforced = 0
+        self.max_emd = 0.0
+        self.sum_emd = 0.0
+        self.worst_case = None
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "infeasible": self.infeasible,
+            "enforced": self.enforced,
+            "max_emd": self.max_emd,
+            "mean_emd": self.mean_emd,
+            "worst_case": self.worst_case,
+        }
+
+
+#: Accumulated by :func:`diff_cem_misleading`; reset per :func:`run_fuzz`.
+MISLEADING_STATS = MisleadingStats()
+
+
+def random_misleading_cem_case(rng) -> CemCase:
+    """A CEM case whose input is deliberately wildly wrong."""
+    case = random_cem_case(rng)
+    kind = ("zeros", "random")[int(rng.integers(2))]
+    return dataclasses.replace(case, input_kind=kind)
+
+
+def diff_cem_misleading(case: CemCase) -> str | None:
+    """CEM on a misleading prediction: zero residual or declared infeasible.
+
+    A discrepancy is output that claims success while violating C1–C3.
+    Infeasibility is *not* a discrepancy — refusing garbage is correct
+    behaviour.  Side effect: accumulates the post-CEM EMD against the
+    true series into :data:`MISLEADING_STATS`.
+    """
+    from repro.constraints.spec import check_constraints
+    from repro.imputation.cem import CEMInfeasibleError, ConstraintEnforcer
+    from repro.nn.losses import emd_numpy
+
+    sample, imputed = case.build()
+    config = case.switch_config()
+    enforcer = ConstraintEnforcer(config, vectorized=True)
+    MISLEADING_STATS.cases += 1
+    try:
+        corrected = enforcer.enforce(imputed, sample)
+    except CEMInfeasibleError:
+        MISLEADING_STATS.infeasible += 1
+        return None
+    report = check_constraints(corrected, sample, config)
+    if not report.satisfied:
+        return (
+            "post-CEM constraints unsatisfied on a misleading input "
+            f"(kind={case.input_kind!r}): C1 {report.max_error:.3g} "
+            f"C2 {report.periodic_error:.3g} C3 {report.sent_error:.3g}"
+        )
+    emd = float(
+        np.mean(
+            [
+                emd_numpy(corrected[q], sample.target_raw[q])
+                for q in range(corrected.shape[0])
+            ]
+        )
+    )
+    MISLEADING_STATS.enforced += 1
+    MISLEADING_STATS.sum_emd += emd
+    if emd > MISLEADING_STATS.max_emd:
+        MISLEADING_STATS.max_emd = emd
+        MISLEADING_STATS.worst_case = case.to_dict()
+    return None
+
+
 #: harness name -> (diff function, random case factory)
 HARNESSES: dict[str, tuple[Callable, Callable]] = {
     "engine": (diff_engines, random_engine_case),
     "cem": (diff_cem, random_cem_case),
     "cem_vectorized": (diff_cem_vectorized, random_cem_case),
     "lp": (diff_simplex, random_lp_case),
+    "cem_misleading": (diff_cem_misleading, random_misleading_cem_case),
 }
 
 _CASE_TYPES = {
@@ -276,6 +379,7 @@ _CASE_TYPES = {
     "cem": CemCase,
     "cem_vectorized": CemCase,
     "lp": LpCase,
+    "cem_misleading": CemCase,
 }
 
 
@@ -304,6 +408,8 @@ class FuzzReport:
 
     cases_run: dict[str, int] = field(default_factory=dict)
     discrepancies: list[Discrepancy] = field(default_factory=list)
+    #: per-harness side-channel measurements (e.g. cem_misleading EMDs)
+    stats: dict[str, dict] = field(default_factory=dict)
 
     @property
     def total_cases(self) -> int:
@@ -345,6 +451,7 @@ def run_fuzz(
     cem_cases: int = 0,
     lp_cases: int = 0,
     cem_vectorized_cases: int = 0,
+    cem_misleading_cases: int = 0,
     minimize: bool = True,
     max_discrepancies: int = 5,
     log: Callable[[str], None] | None = None,
@@ -356,15 +463,23 @@ def run_fuzz(
     of a failing run).
     """
     report = FuzzReport()
+    MISLEADING_STATS.reset()
     budgets = {
         "engine": engine_cases,
         "cem": cem_cases,
         "lp": lp_cases,
         "cem_vectorized": cem_vectorized_cases,
+        "cem_misleading": cem_misleading_cases,
     }
     # Stable sub-stream ids: appending a harness must not reshuffle the
     # cases the existing harnesses see for a given seed.
-    streams = {"engine": 1, "cem": 2, "lp": 3, "cem_vectorized": 4}
+    streams = {
+        "engine": 1,
+        "cem": 2,
+        "lp": 3,
+        "cem_vectorized": 4,
+        "cem_misleading": 5,
+    }
     for harness, budget in budgets.items():
         diff, make_case = HARNESSES[harness]
         rng = np.random.default_rng([seed, streams[harness]])
@@ -382,9 +497,15 @@ def run_fuzz(
                 if log:
                     log(f"{harness} case {index}: {detail}")
                 if len(report.discrepancies) >= max_discrepancies:
-                    return report
+                    return _with_stats(report)
             elif log and (index + 1) % 25 == 0:
                 log(f"{harness}: {index + 1}/{budget} cases clean")
+    return _with_stats(report)
+
+
+def _with_stats(report: FuzzReport) -> FuzzReport:
+    if MISLEADING_STATS.cases:
+        report.stats["cem_misleading"] = MISLEADING_STATS.to_dict()
     return report
 
 

@@ -37,6 +37,7 @@ _CASE_TYPES = {
     "cem": CemCase,
     "cem_vectorized": CemCase,
     "lp": LpCase,
+    "cem_misleading": CemCase,
 }
 
 
@@ -54,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=20,
         help="bit-exactness cases for the vectorized CEM vs the reference loop",
+    )
+    parser.add_argument(
+        "--cem-misleading-cases",
+        type=int,
+        default=20,
+        help="CEM on deliberately wrong inputs: zero post-CEM residual "
+        "required; reports max EMD vs the truth",
     )
     parser.add_argument(
         "--corpus", type=Path, help="replay this corpus file before the random sweep"
@@ -79,6 +87,7 @@ def _report_payload(report: FuzzReport, seconds: float) -> dict:
     return {
         "cases_run": report.cases_run,
         "seconds": round(seconds, 2),
+        "stats": report.stats,
         "discrepancies": [
             {
                 "harness": d.harness,
@@ -123,15 +132,26 @@ def main(argv: list[str] | None = None) -> int:
         cem_cases=args.cem_cases,
         lp_cases=args.lp_cases,
         cem_vectorized_cases=args.cem_vectorized_cases,
+        cem_misleading_cases=args.cem_misleading_cases,
         minimize=not args.no_minimize,
         log=print,
     )
     for harness, count in sweep.cases_run.items():
         combined.cases_run[harness] = combined.cases_run.get(harness, 0) + count
     combined.discrepancies.extend(sweep.discrepancies)
+    combined.stats.update(sweep.stats)
 
     seconds = time.perf_counter() - start
     print(f"{combined.summary()} in {seconds:.1f}s")
+    misleading = combined.stats.get("cem_misleading")
+    if misleading:
+        print(
+            "cem_misleading: "
+            f"{misleading['enforced']} enforced at zero residual "
+            f"({misleading['infeasible']} infeasible) — "
+            f"max EMD {misleading['max_emd']:.4f}, "
+            f"mean EMD {misleading['mean_emd']:.4f} vs the true series"
+        )
     for discrepancy in combined.discrepancies:
         print(discrepancy.render())
 

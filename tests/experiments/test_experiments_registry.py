@@ -18,6 +18,7 @@ class TestRegistry:
     def test_builtins_are_registered(self):
         assert experiment_names() == [
             "replication",
+            "robustness",
             "scalability",
             "serve",
             "simulate",

@@ -1,0 +1,20 @@
+"""Fixtures for the robustness suite tests: one micro dataset."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.eval.scenarios import generate_dataset, quick_scenario
+
+
+@pytest.fixture(scope="session")
+def micro_scenario():
+    """1200 bins of the quick scenario: fast to simulate, a handful of windows."""
+    return dataclasses.replace(quick_scenario(), duration_bins=1200)
+
+
+@pytest.fixture(scope="session")
+def micro_datasets(micro_scenario):
+    return generate_dataset(micro_scenario, seed=0)

@@ -1,0 +1,109 @@
+"""The OOD sentinel: calibration, scoring, and the exceedance predicate."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.robustness.sentinel import OODSentinel, calibrate_sentinel
+
+
+class _OracleModel:
+    """A fake model that predicts the ground truth exactly.
+
+    Its pre-enforcement residuals are ~0 on every in-distribution window,
+    so calibration pins a tiny threshold and anything genuinely off the
+    constraint set must flag.
+    """
+
+    def impute_batch(self, samples):
+        return [s.target_raw.astype(float) for s in samples]
+
+
+@pytest.fixture(scope="module")
+def sentinel(micro_datasets):
+    train, _, _ = micro_datasets
+    return calibrate_sentinel(_OracleModel(), train, quantile=0.99)
+
+
+class TestCalibration:
+    def test_records_its_own_provenance(self, sentinel, micro_datasets):
+        train, _, _ = micro_datasets
+        assert sentinel.quantile == 0.99
+        assert sentinel.calibration_size == len(train)
+        assert sentinel.qlen_scale == train.scaler.qlen_scale
+        assert np.isfinite(sentinel.threshold)
+
+    def test_oracle_threshold_is_small(self, sentinel):
+        # The oracle lands on the constraint set; its calibrated
+        # exceedance threshold is numerical noise, not a real margin.
+        assert 0.0 <= sentinel.threshold < 0.1
+
+    def test_in_distribution_windows_do_not_flag(self, sentinel, micro_datasets):
+        train, _, _ = micro_datasets
+        model = _OracleModel()
+        for sample, pre in zip(train.samples[:4], model.impute_batch(train.samples[:4])):
+            score = sentinel.score(pre, None, sample, train.switch_config)
+            assert not sentinel.flags(score)
+
+    def test_quantile_validated(self, micro_datasets):
+        train, _, _ = micro_datasets
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="quantile"):
+                calibrate_sentinel(_OracleModel(), train, quantile=bad)
+
+    def test_empty_dataset_rejected(self, micro_datasets):
+        train, _, _ = micro_datasets
+        empty = dataclasses.replace(train, samples=[])
+        with pytest.raises(ValueError, match="empty"):
+            calibrate_sentinel(_OracleModel(), empty)
+
+    def test_deterministic(self, micro_datasets):
+        train, _, _ = micro_datasets
+        a = calibrate_sentinel(_OracleModel(), train, quantile=0.9)
+        b = calibrate_sentinel(_OracleModel(), train, quantile=0.9)
+        assert a == b
+
+
+class TestScoring:
+    def test_constraint_violations_flag(self, sentinel, micro_datasets):
+        train, _, _ = micro_datasets
+        sample = train.samples[0]
+        # An all-zeros prediction ignores the measurements entirely: the
+        # pre-enforcement residuals blow past the oracle-calibrated bar.
+        zeros = np.zeros_like(sample.target_raw, dtype=float)
+        score = sentinel.score(zeros, None, sample, train.switch_config)
+        assert sentinel.flags(score)
+        assert score > sentinel.threshold
+
+    def test_cem_correction_mass_raises_the_score(self, sentinel, micro_datasets):
+        train, _, _ = micro_datasets
+        sample = train.samples[0]
+        pre = sample.target_raw.astype(float)
+        base = sentinel.score(pre, None, sample, train.switch_config)
+        corrected = pre + train.scaler.qlen_scale  # one queue-scale of L1 work
+        shifted = sentinel.score(pre, corrected, sample, train.switch_config)
+        assert shifted == pytest.approx(base + 1.0)
+
+    def test_score_monotone_in_corruption(self, sentinel, micro_datasets):
+        train, _, _ = micro_datasets
+        sample = train.samples[0]
+        truth = sample.target_raw.astype(float)
+        scores = [
+            sentinel.score(truth + offset, None, sample, train.switch_config)
+            for offset in (0.0, 5.0, 50.0)
+        ]
+        assert scores == sorted(scores)
+
+    def test_sentinel_is_frozen(self, sentinel):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sentinel.threshold = 0.0
+
+    def test_flags_is_strict_exceedance(self):
+        probe = OODSentinel(
+            threshold=1.0, quantile=0.99, qlen_scale=1.0, calibration_size=1
+        )
+        assert not probe.flags(1.0)
+        assert probe.flags(1.0 + 1e-6)

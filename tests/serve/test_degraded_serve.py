@@ -1,0 +1,398 @@
+"""Graceful degradation of the serve path: policies, repair, OOD verdicts.
+
+The strict default must stay behaviour-identical (no policy object, no
+sentinel, protocol violations raise).  Opted-in degraded mode must be
+*surgical*: one switch's fault never perturbs another switch's output,
+and a ``reset`` stream is bit-identical to a fresh stream on the
+post-gap suffix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.robustness.sentinel import OODSentinel
+from repro.serve.records import records_from_telemetry
+from repro.serve.service import StreamService
+from repro.serve.windows import DegradedStreamPolicy, StreamProtocolError
+from repro.telemetry.sampling import sample_trace
+from repro.testing.stream import fleet_record_schedule, replay
+
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+def _service(model, serve_config, serve_scaler, **kwargs):
+    kwargs.setdefault("batch_windows", 4)
+    kwargs.setdefault("queue_capacity", 16)
+    return StreamService(
+        model, serve_config, serve_scaler, INTERVAL, WINDOW_INTERVALS, **kwargs
+    )
+
+
+def _switch_records(fleet_traces, switch_id):
+    trace = fleet_traces[switch_id]
+    return list(records_from_telemetry(switch_id, sample_trace(trace, INTERVAL)))
+
+
+def _by_start_interval(windows):
+    return {(w.switch_id, w.start_interval): w for w in windows.values()}
+
+
+@pytest.fixture(scope="module")
+def clean_windows(model_f64, serve_config, serve_scaler, fleet_traces):
+    """The no-fault reference run (strict service, full fleet)."""
+    service = _service(model_f64, serve_config, serve_scaler)
+    windows, _ = replay(service, fleet_record_schedule(fleet_traces, INTERVAL))
+    return windows
+
+
+class TestStrictDefault:
+    def test_no_policy_object_is_constructed(
+        self, model_f64, serve_config, serve_scaler
+    ):
+        service = _service(model_f64, serve_config, serve_scaler)
+        assert service.assembler.policy is None
+        assert service.sentinel is None
+
+    def test_from_config_default_builds_no_robustness_machinery(
+        self, model_f64, serve_scaler
+    ):
+        from repro.serve.config import ServeConfig
+
+        service = StreamService.from_config(model_f64, serve_scaler, ServeConfig())
+        assert service.assembler.policy is None
+        assert service.sentinel is None
+        assert service.ood_action == "off"
+
+    def test_from_config_opt_in_builds_the_policy(self, model_f64, serve_scaler):
+        from repro.serve.config import ServeConfig
+
+        config = dataclasses.replace(
+            ServeConfig(), on_gap="skip", repair_intervals=2
+        )
+        service = StreamService.from_config(model_f64, serve_scaler, config)
+        policy = service.assembler.policy
+        assert policy == DegradedStreamPolicy(
+            on_gap="skip", on_duplicate="raise", repair_intervals=2
+        )
+        assert not policy.is_strict
+
+    def test_gap_still_raises(self, model_f64, serve_config, serve_scaler, fleet_traces):
+        service = _service(model_f64, serve_config, serve_scaler)
+        records = _switch_records(fleet_traces, "sw0")
+        service.submit(records[0])
+        with pytest.raises(StreamProtocolError, match="expected interval 1"):
+            service.submit(records[2])
+        # The protocol error is an ordering bug, not a rejected record.
+        assert service.report().records_rejected == 0
+
+    def test_clean_run_report_has_no_degraded_lines(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        service = _service(model_f64, serve_config, serve_scaler)
+        _, report = replay(service, fleet_record_schedule(fleet_traces, INTERVAL))
+        assert not service.assembler.stats.any
+        rendered = report.render()
+        for line in ("gaps", "resyncs", "duplicates", "OOD", "rejected"):
+            assert line not in rendered
+
+
+class TestReset:
+    def test_post_gap_windows_match_a_fresh_stream_bit_for_bit(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        records = _switch_records(fleet_traces, "sw0")
+        gapped = records[:6] + records[10:]  # intervals 6-9 lost in flight
+
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            policy=DegradedStreamPolicy(on_gap="reset"),
+        )
+        degraded, report = replay(service, gapped)
+        assert report.resyncs == 1
+
+        # Reset semantics: the post-gap suffix behaves exactly like a
+        # fresh stream starting at the resync record (and fresh streams
+        # are pinned bit-identical to the offline pipeline elsewhere).
+        fresh = _service(model_f64, serve_config, serve_scaler)
+        reindexed = [
+            dataclasses.replace(r, interval_index=r.interval_index - 10)
+            for r in records[10:]
+        ]
+        reference, _ = replay(fresh, reindexed)
+
+        # One pre-gap window ([0..3]) plus the suffix windows; window
+        # identity keeps counting up across the resync.
+        pre_gap = [w for w in degraded.values() if w.start_interval < 10]
+        post_gap = sorted(
+            (w for w in degraded.values() if w.start_interval >= 10),
+            key=lambda w: w.start_interval,
+        )
+        assert len(pre_gap) == 1 and pre_gap[0].window_index == 0
+        assert [w.window_index for w in post_gap] == [1, 2, 3]
+        assert [w.start_interval for w in post_gap] == [10, 14, 18]
+        for window, key in zip(post_gap, sorted(reference)):
+            np.testing.assert_array_equal(window.values, reference[key].values)
+
+
+class TestSkip:
+    def test_one_switch_fault_is_isolated(
+        self, model_f64, serve_config, serve_scaler, fleet_traces, clean_windows
+    ):
+        # Lose sw1's interval 5; sw0 and sw2 stream cleanly throughout.
+        schedule = [
+            r
+            for r in fleet_record_schedule(fleet_traces, INTERVAL)
+            if not (r.switch_id == "sw1" and r.interval_index == 5)
+        ]
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            policy=DegradedStreamPolicy(on_gap="skip"),
+        )
+        degraded, report = replay(service, schedule)
+        assert report.gaps_skipped == 1
+        assert "gaps skipped" in report.render()
+
+        clean = _by_start_interval(clean_windows)
+        got = _by_start_interval(degraded)
+        # The other switches' windows are untouched — bit-identical.
+        for switch_id in ("sw0", "sw2"):
+            keys = [k for k in clean if k[0] == switch_id]
+            assert len(keys) == 6
+            for key in keys:
+                np.testing.assert_array_equal(got[key].values, clean[key].values)
+        # sw1 abandoned the window the gap fell into ([4..7]) and resumed
+        # on the stride grid at interval 8; surviving windows match the
+        # clean run's values exactly.
+        sw1_starts = sorted(k[1] for k in got if k[0] == "sw1")
+        assert sw1_starts == [0, 8, 12, 16, 20]
+        for start in sw1_starts:
+            np.testing.assert_array_equal(
+                got[("sw1", start)].values, clean[("sw1", start)].values
+            )
+
+
+class TestRepair:
+    def test_small_gap_heals_by_carry_forward(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        records = _switch_records(fleet_traces, "sw0")
+        lost = records[:5] + records[6:]  # interval 5 lost, gap of 1
+
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            policy=DegradedStreamPolicy(repair_intervals=2),
+        )
+        repaired, report = replay(service, lost)
+        assert report.gaps_repaired == 1
+        assert service.assembler.stats.repaired_intervals == 1
+
+        # The healed stream equals a strict stream whose interval 5 is a
+        # literal carry-forward of interval 4 — the operator fallback the
+        # degrade injectors model.
+        healed = list(records)
+        healed[5] = dataclasses.replace(records[4], interval_index=5)
+        reference, _ = replay(
+            _service(model_f64, serve_config, serve_scaler), healed
+        )
+        assert set(repaired) == set(reference)
+        for key in reference:
+            np.testing.assert_array_equal(
+                repaired[key].values, reference[key].values
+            )
+
+    def test_gap_beyond_repair_budget_falls_through_to_on_gap(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        records = _switch_records(fleet_traces, "sw0")
+        lost = records[:5] + records[8:]  # gap of 3 > repair_intervals=2
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            policy=DegradedStreamPolicy(repair_intervals=2),  # on_gap="raise"
+        )
+        for record in lost[:5]:
+            service.submit(record)
+        with pytest.raises(StreamProtocolError, match="gap in"):
+            service.submit(lost[5])
+
+
+class TestDuplicates:
+    def test_skip_drops_replayed_records_without_a_trace(
+        self, model_f64, serve_config, serve_scaler, fleet_traces, clean_windows
+    ):
+        records = _switch_records(fleet_traces, "sw0")
+        noisy = records[:7] + records[5:6] + records[7:]  # interval 5 re-sent
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            policy=DegradedStreamPolicy(on_duplicate="skip"),
+        )
+        windows, report = replay(service, noisy)
+        assert report.duplicates_dropped == 1
+        clean = {k: w for k, w in clean_windows.items() if k[0] == "sw0"}
+        assert set(windows) == set(clean)
+        for key in clean:
+            np.testing.assert_array_equal(
+                windows[key].values, clean[key].values
+            )
+
+    def test_reset_treats_a_replay_as_a_new_stream(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        records = _switch_records(fleet_traces, "sw0")
+        # The collector restarts after 10 intervals and replays from 0.
+        replayed = records[:10] + records
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            policy=DegradedStreamPolicy(on_duplicate="reset"),
+        )
+        windows, report = replay(service, replayed)
+        assert report.resyncs == 1
+        # 2 windows before the restart + the full 6 after; identity keeps
+        # counting so every emitted window has a unique key.
+        assert len(windows) == 8
+        assert sorted(w.window_index for w in windows.values()) == list(range(8))
+
+
+class TestRejectedRecords:
+    def test_malformed_record_is_counted_and_reraised(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        records = _switch_records(fleet_traces, "sw0")
+        bad = dataclasses.replace(records[0], qlen_sample=np.zeros(7))
+        service = _service(model_f64, serve_config, serve_scaler)
+        with pytest.raises(ValueError, match="per-queue arrays"):
+            service.submit(bad)
+        report = service.report()
+        assert report.records_rejected == 1
+        assert report.records == 0
+        assert "records rejected" in report.render()
+
+    def test_ragged_telemetry_names_the_switch_and_field(self, fleet_traces):
+        telemetry = sample_trace(fleet_traces["sw0"], INTERVAL)
+        ragged = dataclasses.replace(telemetry, sent=telemetry.sent[:, :-1])
+        with pytest.raises(ValueError, match=r"switch 'sw9'.*sent"):
+            list(records_from_telemetry("sw9", ragged))
+
+    def test_non_2d_telemetry_rejected(self, fleet_traces):
+        telemetry = sample_trace(fleet_traces["sw0"], INTERVAL)
+        flat = dataclasses.replace(telemetry, dropped=telemetry.dropped[0])
+        with pytest.raises(ValueError, match="dropped must be 2-D"):
+            list(records_from_telemetry("sw0", flat))
+
+
+def _sentinel(threshold):
+    return OODSentinel(
+        threshold=threshold, quantile=0.99, qlen_scale=1.0, calibration_size=1
+    )
+
+
+class TestOOD:
+    def test_flag_annotates_without_withholding(
+        self, model_f64, serve_config, serve_scaler, fleet_traces, clean_windows
+    ):
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            sentinel=_sentinel(-1.0),  # everything scores above -1
+            ood_action="flag",
+        )
+        windows, report = replay(service, fleet_record_schedule(fleet_traces, INTERVAL))
+        assert set(windows) == set(clean_windows)
+        assert report.ood_flagged == len(windows)
+        assert report.ood_quarantined == 0
+        for key, window in windows.items():
+            assert window.ood_flagged
+            assert window.ood_score is not None and window.ood_score > -1.0
+            # The verdict is provenance, never a mutation.
+            np.testing.assert_array_equal(window.values, clean_windows[key].values)
+
+    def test_unflagged_windows_still_carry_their_score(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            sentinel=_sentinel(float("inf")),
+            ood_action="flag",
+        )
+        windows, report = replay(service, fleet_record_schedule(fleet_traces, INTERVAL))
+        assert report.ood_flagged == 0
+        assert all(not w.ood_flagged for w in windows.values())
+        assert all(w.ood_score is not None for w in windows.values())
+
+    def test_quarantine_withholds_flagged_windows(
+        self, model_f64, serve_config, serve_scaler, fleet_traces, clean_windows
+    ):
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            sentinel=_sentinel(-1.0),
+            ood_action="quarantine",
+        )
+        windows, report = replay(service, fleet_record_schedule(fleet_traces, INTERVAL))
+        assert windows == {}
+        assert report.windows == 0
+        assert report.ood_quarantined == len(clean_windows)
+        held = service.quarantined()
+        assert {w.key for w in held} == set(clean_windows)
+        for window in held:
+            assert window.ood_flagged
+            np.testing.assert_array_equal(
+                window.values, clean_windows[window.key].values
+            )
+
+    def test_off_path_carries_no_score(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        service = _service(model_f64, serve_config, serve_scaler)
+        windows, _ = replay(service, fleet_record_schedule(fleet_traces, INTERVAL))
+        assert all(w.ood_score is None for w in windows.values())
+        assert all(not w.ood_flagged for w in windows.values())
+
+
+class TestValidation:
+    def test_ood_action_requires_a_sentinel(
+        self, model_f64, serve_config, serve_scaler
+    ):
+        with pytest.raises(ValueError, match="requires a calibrated sentinel"):
+            _service(model_f64, serve_config, serve_scaler, ood_action="flag")
+
+    def test_unknown_ood_action_rejected(
+        self, model_f64, serve_config, serve_scaler
+    ):
+        with pytest.raises(ValueError, match="ood_action"):
+            _service(
+                model_f64,
+                serve_config,
+                serve_scaler,
+                sentinel=_sentinel(0.0),
+                ood_action="panic",
+            )
+
+    def test_policy_validates_its_actions(self):
+        with pytest.raises(ValueError, match="on_gap"):
+            DegradedStreamPolicy(on_gap="ignore")
+        with pytest.raises(ValueError, match="on_duplicate"):
+            DegradedStreamPolicy(on_duplicate="ignore")
+        with pytest.raises(ValueError, match="repair_intervals"):
+            DegradedStreamPolicy(repair_intervals=-1)
+        assert DegradedStreamPolicy().is_strict

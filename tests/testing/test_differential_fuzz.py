@@ -173,11 +173,13 @@ class TestFuzzCli:
         code = main(
             [
                 "--engine-cases", "2", "--cem-cases", "0", "--lp-cases", "4",
-                "--cem-vectorized-cases", "3",
+                "--cem-vectorized-cases", "3", "--cem-misleading-cases", "5",
                 "--out", str(out),
             ]
         )
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["cases_run"] == {"engine": 2, "lp": 4, "cem_vectorized": 3}
+        assert payload["cases_run"] == {
+            "engine": 2, "lp": 4, "cem_vectorized": 3, "cem_misleading": 5,
+        }
         assert payload["discrepancies"] == []
