@@ -19,7 +19,11 @@ see :mod:`repro.config.__main__` and the ``config-validate`` CI job.
 """
 
 from repro.config.canonical import canonical_json, canonicalize
-from repro.config.digest import CONFIG_SCHEMA_VERSION, config_digest
+from repro.config.digest import (
+    CONFIG_SCHEMA_VERSION,
+    config_digest,
+    register_digest_neutral_default,
+)
 from repro.config.errors import ConfigError
 from repro.config.overrides import apply_overrides, parse_assignment
 from repro.config.schema import field_types, from_mapping, to_mapping, validate
@@ -40,6 +44,7 @@ __all__ = [
     "canonical_json",
     "canonicalize",
     "config_digest",
+    "register_digest_neutral_default",
     "config_from_document",
     "dumps_json",
     "dumps_toml",

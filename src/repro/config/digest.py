@@ -29,14 +29,53 @@ import json
 from typing import Any, Mapping
 
 from repro.config.canonical import canonicalize
-from repro.config.schema import to_mapping
 
-__all__ = ["CONFIG_SCHEMA_VERSION", "config_digest"]
+__all__ = [
+    "CONFIG_SCHEMA_VERSION",
+    "config_digest",
+    "register_digest_neutral_default",
+]
 
 #: Bump when the canonical encoding or payload layout changes
 #: incompatibly; every existing digest (cache keys, journal scopes,
 #: checkpoint fingerprints) then misses/mismatches at once.
 CONFIG_SCHEMA_VERSION = 1
+
+#: Fields elided from the digest while they hold their registered
+#: default, keyed by dataclass name.  This is how a config dataclass
+#: grows a new knob without orphaning every pinned digest, cache entry,
+#: and journal in the wild: the digest only moves once the knob is
+#: actually used.  Register via :func:`register_digest_neutral_default`
+#: in the module that defines the field.
+_DIGEST_NEUTRAL_DEFAULTS: dict[str, dict[str, Any]] = {}
+
+
+def register_digest_neutral_default(cls_name: str, field: str, default: Any) -> None:
+    """Declare ``cls_name.field`` digest-neutral at ``default``.
+
+    While an instance holds the (canonicalized) default value, the field
+    is omitted from the digest payload — so digests pinned before the
+    field existed stay valid.  Any other value participates normally.
+    """
+    _DIGEST_NEUTRAL_DEFAULTS.setdefault(cls_name, {})[field] = canonicalize(default)
+
+
+def _digest_body(config: Any) -> dict[str, Any]:
+    """``to_mapping`` with digest-neutral defaulted fields elided."""
+    neutral = _DIGEST_NEUTRAL_DEFAULTS.get(type(config).__name__, {})
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        if not field.init:
+            continue
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            out[field.name] = _digest_body(value)
+        else:
+            encoded = canonicalize(value)
+            if field.name in neutral and encoded == neutral[field.name]:
+                continue
+            out[field.name] = encoded
+    return out
 
 
 def config_digest(config: Any, *, kind: str | None = None) -> str:
@@ -48,7 +87,7 @@ def config_digest(config: Any, *, kind: str | None = None) -> str:
     for values with no canonical encoding (objects, callables).
     """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        body = to_mapping(config)
+        body = _digest_body(config)
         kind = kind if kind is not None else type(config).__name__
     elif isinstance(config, Mapping):
         body = canonicalize(dict(config))

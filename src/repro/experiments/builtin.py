@@ -17,6 +17,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
 
+from repro.eval.fabric_scenarios import (
+    FlowIncastConfig,
+    LeafSpineConfig,
+    RedWebsearchConfig,
+    run_flow_incast_experiment,
+    run_leaf_spine_experiment,
+    run_red_websearch_experiment,
+)
 from repro.eval.replication import ReplicationConfig
 from repro.eval.scalability import ScalabilityConfig
 from repro.eval.scenarios import ScenarioConfig, quick_scenario
@@ -182,6 +190,18 @@ def _default_robustness() -> RobustnessConfig:
     return RobustnessConfig()
 
 
+def _default_leaf_spine() -> LeafSpineConfig:
+    return LeafSpineConfig()
+
+
+def _default_red_websearch() -> RedWebsearchConfig:
+    return RedWebsearchConfig()
+
+
+def _default_flow_incast() -> FlowIncastConfig:
+    return FlowIncastConfig()
+
+
 _SELFCHECK = CliOption(
     flags=("--selfcheck",),
     dest="selfcheck",
@@ -288,6 +308,45 @@ register(
         run=run_replication_experiment,
         artifact_dir="artifacts/replication",
         summary="cross-seed Table-1 replication (mean ± std per cell)",
+    )
+)
+
+register(
+    Experiment(
+        name="leaf_spine_small",
+        config_cls=LeafSpineConfig,
+        default_config=_default_leaf_spine,
+        run=run_leaf_spine_experiment,
+        artifact_dir="artifacts/leaf_spine",
+        summary="websearch traffic across a small leaf-spine fabric, "
+        "per-(switch, queue) datasets with cross-switch features",
+        cli_options=(_SELFCHECK,),
+    )
+)
+
+register(
+    Experiment(
+        name="red_websearch",
+        config_cls=RedWebsearchConfig,
+        default_config=_default_red_websearch,
+        run=run_red_websearch_experiment,
+        artifact_dir="artifacts/red_websearch",
+        summary="the paper workload under RED early-drop admission "
+        "instead of plain Dynamic Threshold",
+        cli_options=(_SELFCHECK,),
+    )
+)
+
+register(
+    Experiment(
+        name="flow_incast",
+        config_cls=FlowIncastConfig,
+        default_config=_default_flow_incast,
+        run=run_flow_incast_experiment,
+        artifact_dir="artifacts/flow_incast",
+        summary="flow-level background traffic (sampled sizes and RTTs, "
+        "paced packets) plus incast bursts",
+        cli_options=(_SELFCHECK,),
     )
 )
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config.digest import register_digest_neutral_default
 from repro.eval.scenarios import ScenarioConfig, quick_scenario
 
 
@@ -40,6 +41,11 @@ class RobustnessConfig:
     buffer_scales: tuple[float, ...] = (1.0, 0.75, 0.5)  # x buffer_capacity
     lanz_thresholds: tuple[float, ...] = (0.0, 5.0, 20.0)  # LANZ report floor
     snmp_losses: tuple[float, ...] = (0.0, 0.2, 0.4)  # counter-poll loss rate
+    # Optional structural axes (default off, digest-neutral when empty):
+    # leaf counts of an evaluation fabric (anchor 1 = single switch) and
+    # RED max drop probabilities (anchor 0.0 = plain DT admission).
+    topology_leaves: tuple[int, ...] = ()
+    red_drop_probs: tuple[float, ...] = ()
 
     # --- evaluation budget and determinism -----------------------------
     eval_windows: int = 0  # cap evaluated windows per point (0 = all)
@@ -60,3 +66,10 @@ class RobustnessConfig:
     seed: int = 0
     dtype: str = "float32"
     fused_kernels: bool = True
+
+
+# The structural axes post-date the pinned robustness digests (trace
+# cache keys, BENCH artifacts, the examples corpus); while unused they
+# must not move any of them.
+register_digest_neutral_default("RobustnessConfig", "topology_leaves", ())
+register_digest_neutral_default("RobustnessConfig", "red_drop_probs", ())

@@ -9,13 +9,20 @@ so both quantities are small; off-distribution they grow long before
 anyone inspects the imputed series — the failure mode Geyer & Bondorf
 document for DL-predicted network models.
 
-:func:`calibrate_sentinel` fits the score's exceedance threshold as a
-quantile over held-out in-distribution windows; the resulting frozen
-:class:`OODSentinel` is handed to :class:`~repro.serve.service.
-StreamService`, which observes every window's score into the
-``serve.ood.score`` histogram and flags (or quarantines) windows above
-the threshold.  The sentinel never mutates imputed values — it is a
-verdict, not a repair.
+:func:`calibrate_sentinel` fits the score's exceedance threshold.  By
+default it is **shift-driven**: the in-distribution quantile alone says
+nothing about separation, so calibration additionally *measures* shifted
+scores — it degrades the calibration windows at the robustness grid's
+worst telemetry corruption (:data:`SHIFT_CAL_LANZ`/:data:`SHIFT_CAL_SNMP`,
+via :mod:`repro.robustness.degrade` under a fixed seed) and places the
+threshold midway between the in-distribution quantile and the median
+shifted score.  The legacy fixed-quantile behaviour stays available as
+``threshold="quantile"``, and an explicit float pins the bar directly.
+The resulting frozen :class:`OODSentinel` is handed to
+:class:`~repro.serve.service.StreamService`, which observes every
+window's score into the ``serve.ood.score`` histogram and flags (or
+quarantines) windows above the threshold.  The sentinel never mutates
+imputed values — it is a verdict, not a repair.
 """
 
 from __future__ import annotations
@@ -44,6 +51,11 @@ class OODSentinel:
     quantile: float
     qlen_scale: float
     calibration_size: int
+    # How the threshold was derived: "shift" (measured separation from
+    # degraded windows, the default), "quantile" (legacy fixed quantile),
+    # or "fixed" (caller-supplied).  Trailing with a default so existing
+    # positional constructions keep working.
+    calibration: str = "quantile"
 
     def score(
         self,
@@ -78,6 +90,15 @@ class OODSentinel:
         return score > self.threshold
 
 
+#: The telemetry corruption used to *measure* shifted scores during
+#: shift-driven calibration: the worst grid values of the robustness
+#: suite's default lanz/snmp axes.
+SHIFT_CAL_LANZ = 20.0
+SHIFT_CAL_SNMP = 0.4
+#: Seed of the degradation injector during shift-driven calibration.
+SHIFT_CAL_SEED = 0x5E17
+
+
 def calibrate_sentinel(
     model: Any,
     dataset: TelemetryDataset,
@@ -85,19 +106,38 @@ def calibrate_sentinel(
     quantile: float = 0.99,
     use_cem: bool = True,
     batch_size: int = 16,
+    threshold: float | str | None = None,
 ) -> OODSentinel:
     """Calibrate a sentinel on in-distribution windows.
 
     Scores every window of ``dataset`` (typically the validation split —
     held out from training but drawn from the training distribution) with
-    the deployed model and pins the exceedance threshold at ``quantile``
-    of those scores.  Deterministic: the model, the dataset, and the CEM
-    projection all are.
+    the deployed model.  ``threshold`` selects how the exceedance bar is
+    derived:
+
+    * ``None`` (default) — **shift-driven**: the same windows are
+      degraded at the robustness grid's worst telemetry corruption
+      (LANZ floor :data:`SHIFT_CAL_LANZ`, SNMP loss
+      :data:`SHIFT_CAL_SNMP`, fixed seed) and re-scored; the bar sits
+      midway between the in-distribution ``quantile`` score and the
+      median shifted score.  If the shift does not separate (median
+      shifted score at or below the quantile), the quantile is kept —
+      never a *lower* bar than the legacy one.
+    * ``"quantile"`` — the legacy behaviour: the bar is exactly the
+      ``quantile`` of in-distribution scores.
+    * a float — pin the bar directly, skipping the shifted re-score.
+
+    Deterministic in every mode: the model, the dataset, the CEM
+    projection, and the calibration degradation seed all are.
     """
     from repro.imputation.cem import ConstraintEnforcer
 
     if not 0.0 < quantile <= 1.0:
         raise ValueError(f"quantile must lie in (0, 1], got {quantile}")
+    if isinstance(threshold, str) and threshold != "quantile":
+        raise ValueError(
+            f'threshold must be None, "quantile", or a float, got {threshold!r}'
+        )
     if len(dataset) == 0:
         raise ValueError("cannot calibrate a sentinel on an empty dataset")
     enforcer = (
@@ -109,15 +149,51 @@ def calibrate_sentinel(
         qlen_scale=dataset.scaler.qlen_scale,
         calibration_size=0,
     )
-    scores: list[float] = []
-    for start in range(0, len(dataset.samples), batch_size):
-        chunk = dataset.samples[start : start + batch_size]
-        for sample, pre in zip(chunk, model.impute_batch(chunk)):
-            corrected = enforcer.enforce(pre, sample) if enforcer is not None else None
-            scores.append(probe.score(pre, corrected, sample, dataset.switch_config))
+
+    from repro.imputation.cem import CEMInfeasibleError
+
+    def scored(samples: list) -> list[float]:
+        out: list[float] = []
+        for start in range(0, len(samples), batch_size):
+            chunk = samples[start : start + batch_size]
+            for sample, pre in zip(chunk, model.impute_batch(chunk)):
+                try:
+                    corrected = (
+                        enforcer.enforce(pre, sample) if enforcer is not None else None
+                    )
+                except CEMInfeasibleError:
+                    # Heavily corrupted calibration windows can pin
+                    # contradictory measurements; the pre-enforcement
+                    # residuals alone already carry the shift signal.
+                    corrected = None
+                out.append(probe.score(pre, corrected, sample, dataset.switch_config))
+        return out
+
+    scores = scored(list(dataset.samples))
+    in_dist = float(np.quantile(np.asarray(scores), quantile))
+    if threshold is None:
+        from repro.robustness.degrade import degrade_dataset_samples
+
+        shifted_samples = degrade_dataset_samples(
+            list(dataset.samples),
+            dataset.scaler,
+            lanz_threshold=SHIFT_CAL_LANZ,
+            snmp_loss=SHIFT_CAL_SNMP,
+            seed=SHIFT_CAL_SEED,
+        )
+        shifted = float(np.median(np.asarray(scored(shifted_samples))))
+        value = (in_dist + shifted) / 2.0 if shifted > in_dist else in_dist
+        calibration = "shift"
+    elif threshold == "quantile":
+        value = in_dist
+        calibration = "quantile"
+    else:
+        value = float(threshold)
+        calibration = "fixed"
     return OODSentinel(
-        threshold=float(np.quantile(np.asarray(scores), quantile)),
+        threshold=value,
         quantile=float(quantile),
         qlen_scale=dataset.scaler.qlen_scale,
         calibration_size=len(scores),
+        calibration=calibration,
     )

@@ -25,11 +25,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Axis name -> stable sub-stream id for the degradation injectors.
 #: Appending an axis must not reshuffle the randomness existing axes see.
-AXIS_STREAMS = {"load": 1, "burst": 2, "buffer": 3, "lanz": 4, "snmp": 5}
+AXIS_STREAMS = {
+    "load": 1,
+    "burst": 2,
+    "buffer": 3,
+    "lanz": 4,
+    "snmp": 5,
+    "topology": 6,
+    "aqm": 7,
+}
 
 #: Axes whose shift changes the simulated workload (vs the telemetry).
 SCENARIO_AXES = ("load", "burst", "buffer")
 TELEMETRY_AXES = ("lanz", "snmp")
+#: Axes that change the *system* around the workload: the fabric the
+#: switch sits in (``topology``, leaf count) or its admission policy
+#: (``aqm``, RED max drop probability).  Evaluated by dedicated
+#: simulation paths in :mod:`repro.robustness.suite`.
+STRUCTURAL_AXES = ("topology", "aqm")
 
 
 @dataclass(frozen=True)
@@ -48,6 +61,10 @@ class ShiftPoint:
             return f"lanz thr={self.value:g}"
         if self.axis == "snmp":
             return f"snmp loss={self.value:.0%}"
+        if self.axis == "topology":
+            return f"topology leaves={int(self.value)}"
+        if self.axis == "aqm":
+            return "aqm dt" if self.value == 0 else f"aqm red p={self.value:g}"
         return f"{self.axis} x{self.value:g}"
 
     @property
@@ -78,8 +95,18 @@ def shift_grid(config: "RobustnessConfig") -> list[ShiftPoint]:
         "buffer": config.buffer_scales,
         "lanz": config.lanz_thresholds,
         "snmp": config.snmp_losses,
+        "topology": config.topology_leaves,
+        "aqm": config.red_drop_probs,
     }
-    anchors = {"load": 1.0, "burst": 1.0, "buffer": 1.0, "lanz": 0.0, "snmp": 0.0}
+    anchors = {
+        "load": 1.0,
+        "burst": 1.0,
+        "buffer": 1.0,
+        "lanz": 0.0,
+        "snmp": 0.0,
+        "topology": 1,
+        "aqm": 0.0,
+    }
     for axis, values in axes.items():
         if values and values[0] != anchors[axis]:
             raise ValueError(
@@ -130,4 +157,14 @@ def shift_grid(config: "RobustnessConfig") -> list[ShiftPoint]:
                 axis="snmp", value=float(loss), scenario=base, snmp_loss=float(loss)
             )
         )
+    for leaves in config.topology_leaves:
+        if leaves < 1:
+            raise ValueError(f"topology_leaves must be >= 1, got {leaves}")
+        points.append(
+            ShiftPoint(axis="topology", value=float(leaves), scenario=base)
+        )
+    for max_p in config.red_drop_probs:
+        if not 0.0 <= max_p <= 1.0:
+            raise ValueError(f"red_drop_probs must be in [0, 1], got {max_p}")
+        points.append(ShiftPoint(axis="aqm", value=float(max_p), scenario=base))
     return points

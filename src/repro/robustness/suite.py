@@ -41,7 +41,12 @@ import repro.obs as obs
 from repro.eval.report import format_table
 from repro.robustness.config import RobustnessConfig
 from repro.robustness.degrade import degrade_sample
-from repro.robustness.shift import SCENARIO_AXES, ShiftPoint, shift_grid
+from repro.robustness.shift import (
+    SCENARIO_AXES,
+    STRUCTURAL_AXES,
+    ShiftPoint,
+    shift_grid,
+)
 
 #: Method columns, in the paper's Table-1 order.
 METHODS = ("IterImputer", "Transformer", "Transformer+KAL", "Transformer+KAL+CEM")
@@ -219,6 +224,121 @@ def _evaluate_point(
     return results
 
 
+def _topology_eval_samples(
+    point: ShiftPoint, config: RobustnessConfig, scaler, selfcheck: bool
+):
+    """Held-out windows of one topology-axis point: a k-leaf fabric.
+
+    Leaf geometry is chosen so every leaf has exactly the training
+    switch's port/queue count (``hosts_per_leaf + spines ==
+    scenario.num_ports``) — the trained models' feature shapes carry
+    over unchanged; only the *context* (uplink traffic mixing, spine
+    back-pressure) shifts.  The anchor ``leaves=1`` is a spine-less
+    fabric, bit-identical to a single switch under the same traffic.
+    Returns ``(samples, leaf_switch_config)`` pooled over all leaves.
+    """
+    from repro.switchsim.fabric import Fabric, TopologyConfig
+    from repro.telemetry.fabric import build_fabric_datasets
+    from repro.traffic.distributions import WebsearchSizes
+    from repro.traffic.generators import PoissonFlowTraffic
+    from repro.utils.rng import spawn_generators
+
+    scenario = config.scenario
+    leaves = int(point.value)
+    spines = 1 if leaves > 1 else 0
+    if scenario.num_ports <= spines:
+        raise ValueError(
+            "topology axis needs scenario.num_ports >= 2 so a leaf can "
+            "dedicate one port to the spine uplink"
+        )
+    topology = TopologyConfig(
+        leaves=leaves,
+        spines=spines,
+        hosts_per_leaf=scenario.num_ports - spines,
+        link_delay=2,
+        queues_per_port=scenario.queues_per_port,
+        buffer_capacity=scenario.buffer_capacity,
+        alphas=scenario.alphas,
+    )
+    sizes = WebsearchSizes()
+    flows_per_step = (
+        scenario.websearch_load * topology.hosts_per_leaf / sizes.mean()
+    )
+    rngs = spawn_generators(
+        config.seed + config.eval_seed + 7919 * leaves, leaves
+    )
+    traffic = [
+        PoissonFlowTraffic(
+            num_sources=scenario.websearch_sources,
+            num_ports=topology.total_hosts,
+            flows_per_step=flows_per_step,
+            sizes=sizes,
+            seed=rngs[leaf],
+        )
+        for leaf in range(leaves)
+    ]
+    fabric = Fabric(
+        topology,
+        traffic,
+        steps_per_bin=scenario.steps_per_bin,
+        selfcheck=selfcheck,
+    )
+    fabric_trace = fabric.run(scenario.duration_bins)
+    datasets = build_fabric_datasets(
+        fabric_trace,
+        interval=scenario.interval,
+        window_intervals=scenario.window_intervals,
+        stride_intervals=None,  # each interval imputed once, as grid-wide
+        scaler=scaler,
+    )
+    samples = []
+    for leaf in range(leaves):
+        samples.extend(datasets[f"leaf{leaf}"].samples)
+    return samples, datasets["leaf0"].switch_config
+
+
+def _aqm_eval_samples(
+    point: ShiftPoint, config: RobustnessConfig, scaler, selfcheck: bool
+):
+    """Held-out windows of one aqm-axis point: RED admission at max_p.
+
+    The workload is the anchor scenario's (same traffic, same held-out
+    seed); only the admission policy changes, so any degradation is
+    attributable to the policy shifting the queue dynamics.  Runs on
+    the reference engine (the array fast path is DT-only by design).
+    """
+    import dataclasses as _dc
+
+    from repro.eval.scenarios import build_traffic
+    from repro.switchsim.aqm import AqmConfig
+    from repro.switchsim.simulation import Simulation
+    from repro.telemetry.dataset import build_dataset
+
+    scenario = config.scenario
+    aqm = AqmConfig(
+        policy="red", red_max_p=float(point.value), seed=config.degrade_seed
+    )
+    switch_config = _dc.replace(
+        scenario.switch_config(),
+        aqm_factory=aqm.factory(scenario.buffer_capacity),
+    )
+    simulation = Simulation(
+        switch_config,
+        build_traffic(scenario, seed=config.seed + config.eval_seed),
+        steps_per_bin=scenario.steps_per_bin,
+        selfcheck=selfcheck,
+    )
+    trace = simulation.run(scenario.duration_bins)
+    dataset = build_dataset(
+        trace,
+        interval=scenario.interval,
+        window_intervals=scenario.window_intervals,
+        stride_intervals=None,
+        scaler=scaler,
+    )
+    return list(dataset.samples), dataset.switch_config
+
+
 def _claims(points: list[PointResult], tolerance: float) -> list[AxisClaim]:
     claims: list[AxisClaim] = []
     axes: list[str] = []
@@ -322,8 +442,20 @@ def run_robustness(
             points: list[PointResult] = []
             eval_start = time.perf_counter()
             for point in grid:
-                dataset = eval_dataset(point)
-                samples = list(dataset.samples)
+                if point.axis == "topology":
+                    samples, point_switch_config = _topology_eval_samples(
+                        point, config, scaler, selfcheck
+                    )
+                elif point.axis == "aqm" and point.value > 0:
+                    samples, point_switch_config = _aqm_eval_samples(
+                        point, config, scaler, selfcheck
+                    )
+                else:
+                    # The aqm anchor (max_p = 0) is plain DT on the base
+                    # scenario — it shares the cached anchor simulation.
+                    dataset = eval_dataset(point)
+                    samples = list(dataset.samples)
+                    point_switch_config = dataset.switch_config
                 if config.eval_windows > 0:
                     samples = samples[: config.eval_windows]
                 if point.degrades_telemetry:
@@ -341,7 +473,7 @@ def run_robustness(
                         for sample in samples
                     ]
                 enforcer = ConstraintEnforcer(
-                    dataset.switch_config, vectorized=True
+                    point_switch_config, vectorized=True
                 )
 
                 impute_fns = {
@@ -360,7 +492,7 @@ def run_robustness(
                     "robustness.point", axis=point.axis, value=point.value
                 ):
                     results = _evaluate_point(
-                        samples, dataset.switch_config, impute_fns, batch_fns
+                        samples, point_switch_config, impute_fns, batch_fns
                     )
                 points.append(
                     PointResult(
@@ -448,4 +580,5 @@ __all__ = [
     "bench_payload",
     "table1_config_from",
     "SCENARIO_AXES",
+    "STRUCTURAL_AXES",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config.digest import register_digest_neutral_default
 from repro.eval.scenarios import ScenarioConfig, quick_scenario
 
 
@@ -57,6 +58,10 @@ class ServeConfig:
     # calibrated shift score exceeds the threshold (repro.robustness).
     ood_action: str = "off"
     ood_quantile: float = 0.99  # calibration quantile on in-distribution scores
+    # None = shift-driven calibration (measured separation from degraded
+    # windows); a float pins the exceedance bar directly.  The legacy
+    # fixed-quantile bar is calibrate_sentinel(..., threshold="quantile").
+    ood_threshold: float | None = None
 
     # --- model training (mirrors Table1Config) ------------------------
     epochs: int = 2
@@ -70,3 +75,8 @@ class ServeConfig:
     seed: int = 0
     dtype: str = "float32"  # float64 gives bit-exact stream/offline parity
     fused_kernels: bool = True
+
+
+# ``ood_threshold`` post-dates the pinned serve digests (examples corpus,
+# checkpoint fingerprints); while unset it must not move any of them.
+register_digest_neutral_default("ServeConfig", "ood_threshold", None)

@@ -84,10 +84,12 @@ def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
                         val,
                         quantile=config.ood_quantile,
                         use_cem=config.use_cem,
+                        threshold=config.ood_threshold,
                     )
                 print(
                     f"calibrated OOD sentinel on {sentinel.calibration_size} windows "
-                    f"(q{config.ood_quantile:g} threshold {sentinel.threshold:.4f})"
+                    f"({sentinel.calibration}, q{config.ood_quantile:g} "
+                    f"threshold {sentinel.threshold:.4f})"
                 )
 
             # The fleet: per-switch traces under distinct derived seeds

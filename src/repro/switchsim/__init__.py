@@ -15,8 +15,24 @@ and samples into the coarse-grained (50 ms) operator view.
 """
 
 from repro.switchsim.packet import Packet
+from repro.switchsim.aqm import (
+    AQM_ADMIT,
+    AQM_ADMIT_MARK,
+    AQM_DROP,
+    AqmConfig,
+    AqmPolicy,
+    DtPolicy,
+    EcnPolicy,
+    RedPolicy,
+)
 from repro.switchsim.buffer import SharedBuffer
 from repro.switchsim.queues import OutputQueue
+from repro.switchsim.fabric import (
+    Fabric,
+    FabricTrace,
+    TopologyConfig,
+    fabric_switch_configs,
+)
 from repro.switchsim.scheduler import (
     RoundRobinScheduler,
     Scheduler,
@@ -37,8 +53,20 @@ from repro.switchsim.voq import (
 
 __all__ = [
     "Packet",
+    "AQM_DROP",
+    "AQM_ADMIT",
+    "AQM_ADMIT_MARK",
+    "AqmPolicy",
+    "AqmConfig",
+    "DtPolicy",
+    "RedPolicy",
+    "EcnPolicy",
     "SharedBuffer",
     "OutputQueue",
+    "TopologyConfig",
+    "Fabric",
+    "FabricTrace",
+    "fabric_switch_configs",
     "Scheduler",
     "RoundRobinScheduler",
     "StrictPriorityScheduler",

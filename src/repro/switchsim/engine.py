@@ -82,6 +82,11 @@ class ArraySwitchEngine:
     """
 
     def __init__(self, config: SwitchConfig):
+        if config.aqm_factory is not None:
+            raise EngineUnsupported(
+                "array engine implements the direct Dynamic-Threshold "
+                'admission only; configs with an aqm_factory need engine="reference"'
+            )
         mode = _scheduler_mode(config)
         if mode is None:
             raise EngineUnsupported(
@@ -115,7 +120,7 @@ class ArraySwitchEngine:
     @classmethod
     def supports(cls, config: SwitchConfig) -> bool:
         """Whether this engine can run ``config`` bit-identically."""
-        return _scheduler_mode(config) is not None
+        return config.aqm_factory is None and _scheduler_mode(config) is not None
 
     def queue_lengths(self) -> np.ndarray:
         """Current lengths of all queues, in flat queue order."""

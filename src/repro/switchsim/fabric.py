@@ -1,0 +1,619 @@
+"""Multi-switch leaf-spine fabric composed from shared-buffer switches.
+
+The paper's case study is a single output-queued switch; its FM argument
+(C1–C3 hold per queue) is topology-agnostic.  This module composes the
+existing switch core into a two-tier leaf-spine fabric so the same
+telemetry/imputation pipeline can run per (switch, queue):
+
+* :class:`TopologyConfig` — the schema-facing description (primitives
+  only): ``leaves`` leaf switches with ``hosts_per_leaf`` host-facing
+  ports each, ``spines`` spine switches, every leaf linked to every
+  spine, and ``link_delay`` time steps of propagation per hop.
+* :class:`Fabric` — the driver.  Each switch runs the exact inner loop
+  of :class:`~repro.switchsim.engine.ArraySwitchEngine` (ring buffers of
+  arrival timestamps, flat Python-list state, sequential DT admission,
+  the same round-robin pointer updates), extended with a parallel ring
+  of *destination tags* so a departing packet can be forwarded to the
+  peer switch.  A 1-leaf, 0-spine fabric is therefore bit-identical to
+  the single-switch :class:`~repro.switchsim.simulation.Simulation` —
+  the differential test in ``tests/switchsim/test_fabric.py`` pins it.
+* :class:`FabricTrace` — one :class:`~repro.switchsim.simulation.
+  SimulationTrace` per switch (keyed ``leaf0..``, ``spine0..``), so all
+  downstream telemetry/dataset code applies per switch unchanged.
+
+Scheduling across switches is conservatively parallel: with a link
+delay of ``D`` steps, any packet departing during a round of ``D``
+steps arrives at its peer only in a later round, so each switch can
+process a whole round independently; rounds are processed in a fixed
+switch order (leaves, then spines) and forwarded packets are delivered
+sorted by arrival step (stable, so simultaneous arrivals keep the
+source order) — making the whole fabric deterministic.
+
+Routing is the canonical leaf-spine walk: a packet for global host
+``h`` exits its source leaf either on the local host port
+(``h % hosts_per_leaf``) or on the uplink to spine ``h % spines``;
+the spine forwards on its down-port to leaf ``h // hosts_per_leaf``,
+which delivers on the local host port.  Every hop enqueues into the
+egress port's queue of the packet's class, under that switch's own
+shared buffer and admission policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.obs as obs
+from repro.switchsim.aqm import AQM_ADMIT_MARK, AQM_DROP, AqmConfig, AqmPolicy
+from repro.switchsim.engine import EngineUnsupported, _scheduler_mode
+from repro.switchsim.simulation import SimulationTrace
+from repro.switchsim.switch import SwitchConfig
+from repro.utils.validation import check_positive
+
+#: Target number of steps per external-arrival materialisation chunk
+#: (same order as the array engine's chunking; exact value is free
+#: because ``arrivals_batch`` is split-invariant by contract).
+_FEED_CHUNK = 8192
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Static description of a leaf-spine fabric (TOML-expressible).
+
+    ``leaves == 1, spines == 0`` degenerates to a single switch — the
+    configuration the differential test pins against ``Simulation``.
+    Hosts are numbered globally: host ``h`` sits on leaf
+    ``h // hosts_per_leaf``, local port ``h % hosts_per_leaf``.
+    """
+
+    leaves: int = 2
+    spines: int = 1
+    hosts_per_leaf: int = 2
+    link_delay: int = 2
+    queues_per_port: int = 2
+    buffer_capacity: int = 80
+    alphas: tuple[float, ...] = (1.0, 0.5)
+
+    def __post_init__(self):
+        check_positive("leaves", self.leaves)
+        check_positive("hosts_per_leaf", self.hosts_per_leaf)
+        check_positive("link_delay", self.link_delay)
+        check_positive("queues_per_port", self.queues_per_port)
+        check_positive("buffer_capacity", self.buffer_capacity)
+        if self.spines < 0:
+            raise ValueError(f"spines must be >= 0, got {self.spines}")
+        if self.spines == 0 and self.leaves > 1:
+            raise ValueError("a multi-leaf fabric needs at least one spine")
+        if len(self.alphas) != self.queues_per_port:
+            raise ValueError(
+                f"need one alpha per queue class: got {len(self.alphas)} alphas "
+                f"for {self.queues_per_port} queues"
+            )
+
+    @property
+    def total_hosts(self) -> int:
+        return self.leaves * self.hosts_per_leaf
+
+    @property
+    def num_switches(self) -> int:
+        return self.leaves + self.spines
+
+    @property
+    def leaf_ports(self) -> int:
+        """Ports per leaf: host-facing first, then one uplink per spine."""
+        return self.hosts_per_leaf + self.spines
+
+    def leaf_of(self, host: int) -> int:
+        return host // self.hosts_per_leaf
+
+    def leaf_egress(self, leaf: int, host: int) -> int:
+        """Egress port at ``leaf`` for a packet addressed to ``host``."""
+        if self.leaf_of(host) == leaf:
+            return host % self.hosts_per_leaf
+        return self.hosts_per_leaf + host % self.spines
+
+    def spine_egress(self, host: int) -> int:
+        """Egress (down-)port at any spine for a packet to ``host``."""
+        return self.leaf_of(host)
+
+    def switch_names(self) -> list[str]:
+        """All switch identifiers, in processing order (leaves, spines)."""
+        return [f"leaf{i}" for i in range(self.leaves)] + [
+            f"spine{i}" for i in range(self.spines)
+        ]
+
+
+def fabric_switch_configs(
+    topology: TopologyConfig, aqm: AqmConfig | None = None
+) -> dict[str, SwitchConfig]:
+    """Per-switch :class:`SwitchConfig`, keyed by switch name.
+
+    With an :class:`~repro.switchsim.aqm.AqmConfig` whose policy is not
+    ``"dt"``, every switch gets its own policy instance; RED instances
+    are seeded per switch (``aqm.seed + switch index``) so the drop
+    streams are independent but deterministic.
+    """
+    configs: dict[str, SwitchConfig] = {}
+    for index, name in enumerate(topology.switch_names()):
+        num_ports = topology.leaf_ports if name.startswith("leaf") else topology.leaves
+        factory = None
+        if aqm is not None:
+            import dataclasses as _dc
+
+            factory = _dc.replace(aqm, seed=aqm.seed + index).factory(
+                topology.buffer_capacity
+            )
+        configs[name] = SwitchConfig(
+            num_ports=num_ports,
+            queues_per_port=topology.queues_per_port,
+            buffer_capacity=topology.buffer_capacity,
+            alphas=topology.alphas,
+            aqm_factory=factory,
+        )
+    return configs
+
+
+@dataclass
+class FabricTrace:
+    """Per-switch fine-grained ground truth of one fabric run."""
+
+    topology: TopologyConfig
+    steps_per_bin: int
+    switches: dict[str, SimulationTrace]
+
+    @property
+    def num_bins(self) -> int:
+        first = next(iter(self.switches.values()))
+        return first.num_bins
+
+    def validate(self) -> None:
+        for trace in self.switches.values():
+            trace.validate()
+
+    def total_dropped(self) -> int:
+        return int(sum(t.dropped.sum() for t in self.switches.values()))
+
+    def total_sent(self) -> int:
+        return int(sum(t.sent.sum() for t in self.switches.values()))
+
+
+class _SwitchCore:
+    """One switch's array state inside a fabric.
+
+    A transliteration of :class:`~repro.switchsim.engine.
+    ArraySwitchEngine`'s inner loop with two extensions: a parallel ring
+    of destination tags (``host * queues_per_port + qclass``) so
+    departures can be forwarded, and persistent per-bin accumulators so
+    a bin may span several conservative rounds.  Admission optionally
+    routes through a shared :class:`~repro.switchsim.aqm.AqmPolicy`;
+    ``None`` keeps the inline DT check — the engine's exact expression.
+    """
+
+    def __init__(
+        self,
+        config: SwitchConfig,
+        steps_per_bin: int,
+        num_bins: int,
+        link_ports: frozenset[int],
+    ):
+        mode = _scheduler_mode(config)
+        if mode is None:
+            raise EngineUnsupported(
+                "fabric switches support RoundRobinScheduler and "
+                "StrictPriorityScheduler only"
+            )
+        self.config = config
+        capacity = config.buffer_capacity
+        num_queues = config.num_queues
+        self.policy: AqmPolicy | None = (
+            config.aqm_factory() if config.aqm_factory is not None else None
+        )
+        self.link_ports = link_ports
+        self._rings: list[list[int]] = [[0] * capacity for _ in range(num_queues)]
+        self._tags: list[list[int]] = [[0] * capacity for _ in range(num_queues)]
+        self._heads = [0] * num_queues
+        self._tails = [0] * num_queues
+        self._lengths = [0] * num_queues
+        self._occupancy = 0
+        self._rr_next = [0] * config.num_ports
+        self._rr_mask = 1 if mode == "rr" else 0
+        self._alphas = [
+            float(config.alphas[i % config.queues_per_port]) for i in range(num_queues)
+        ]
+        self.steps_per_bin = steps_per_bin
+        # Whole-run outputs, filled one bin column at a time.
+        self.qlen = np.zeros((num_queues, num_bins), dtype=np.int64)
+        self.qlen_max = np.zeros((num_queues, num_bins), dtype=np.int64)
+        self.received = np.zeros((config.num_ports, num_bins), dtype=np.int64)
+        self.sent = np.zeros((config.num_ports, num_bins), dtype=np.int64)
+        self.dropped = np.zeros((config.num_ports, num_bins), dtype=np.int64)
+        self.delay_sum = np.zeros((config.num_ports, num_bins), dtype=np.int64)
+        self.buffer_occupancy = np.zeros(num_bins, dtype=np.int64)
+        # Per-bin accumulators persist across rounds (a bin may straddle
+        # several conservative rounds when link_delay < steps_per_bin).
+        self._bin_started = False
+        self._bin_max = [0] * num_queues
+        self._recv_b = [0] * config.num_ports
+        self._sent_b = [0] * config.num_ports
+        self._drop_b = [0] * config.num_ports
+        self._delay_b = [0] * config.num_ports
+
+    def _flush_bin(self, b: int) -> None:
+        lengths = self._lengths
+        self.qlen[:, b] = lengths
+        self.qlen_max[:, b] = self._bin_max if self._bin_started else lengths
+        self.received[:, b] = self._recv_b
+        self.sent[:, b] = self._sent_b
+        self.dropped[:, b] = self._drop_b
+        self.delay_sum[:, b] = self._delay_b
+        self.buffer_occupancy[b] = self._occupancy
+        self._bin_started = False
+        num_ports = self.config.num_ports
+        self._recv_b = [0] * num_ports
+        self._sent_b = [0] * num_ports
+        self._drop_b = [0] * num_ports
+        self._delay_b = [0] * num_ports
+
+    def run_span(
+        self, start: int, end: int, arrivals: list[tuple[int, int, int, int]]
+    ) -> list[tuple[int, int, int]]:
+        """Process steps ``[start, end)`` given ``(step, qidx, port, tag)``
+        arrivals sorted by step; returns departures ``(step, port, tag)``
+        on link ports."""
+        cfg = self.config
+        capacity = cfg.buffer_capacity
+        num_ports = cfg.num_ports
+        queues_per_port = cfg.queues_per_port
+        steps_per_bin = self.steps_per_bin
+        rings = self._rings
+        tags = self._tags
+        heads = self._heads
+        tails = self._tails
+        lengths = self._lengths
+        rr_next = self._rr_next
+        rr_mask = self._rr_mask
+        alphas = self._alphas
+        policy = self.policy
+        occ = self._occupancy
+        link_ports = self.link_ports
+        recv_b = self._recv_b
+        sent_b = self._sent_b
+        drop_b = self._drop_b
+        delay_b = self._delay_b
+        bin_max = self._bin_max
+        bin_started = self._bin_started
+        port_range = range(num_ports)
+        qclass_range = range(queues_per_port)
+
+        emissions: list[tuple[int, int, int]] = []
+        cursor = 0
+        num_packets = len(arrivals)
+        step = start
+        while step < end:
+            if occ == 0 and (cursor >= num_packets or arrivals[cursor][0] > step):
+                # Idle stretch: nothing buffered, nothing arriving yet.
+                target = end if cursor >= num_packets else min(
+                    arrivals[cursor][0], end
+                )
+                while step < target:
+                    step += 1
+                    if step % steps_per_bin == 0:
+                        self._occupancy = occ
+                        self._bin_max = bin_max
+                        self._bin_started = bin_started
+                        self._flush_bin(step // steps_per_bin - 1)
+                        bin_started = False
+                        recv_b = self._recv_b
+                        sent_b = self._sent_b
+                        drop_b = self._drop_b
+                        delay_b = self._delay_b
+                continue
+            touched: list[int] = []
+            # --- arrivals: sequential admission (DT or policy) ---
+            while cursor < num_packets and arrivals[cursor][0] == step:
+                _, qi, port, tag = arrivals[cursor]
+                recv_b[port] += 1
+                if policy is not None:
+                    decision = policy.admit(lengths[qi], alphas[qi], occ, capacity)
+                    admitted = decision != AQM_DROP
+                else:
+                    admitted = occ < capacity and lengths[qi] < alphas[qi] * (
+                        capacity - occ
+                    )
+                if admitted:
+                    tail = tails[qi]
+                    rings[qi][tail] = step
+                    tags[qi][tail] = tag
+                    tails[qi] = tail + 1 if tail + 1 < capacity else 0
+                    lengths[qi] += 1
+                    occ += 1
+                    touched.append(qi)
+                else:
+                    drop_b[port] += 1
+                cursor += 1
+            # --- departures: one packet per port at line rate ---
+            if occ:
+                for port in port_range:
+                    base = port * queues_per_port
+                    pointer = rr_next[port]
+                    for probe in qclass_range:
+                        offset = pointer + probe
+                        if offset >= queues_per_port:
+                            offset -= queues_per_port
+                        qi = base + offset
+                        if lengths[qi]:
+                            head = heads[qi]
+                            arrival = rings[qi][head]
+                            tag = tags[qi][head]
+                            heads[qi] = head + 1 if head + 1 < capacity else 0
+                            lengths[qi] -= 1
+                            occ -= 1
+                            sent_b[port] += 1
+                            delay_b[port] += step - arrival
+                            next_offset = offset + 1
+                            if next_offset >= queues_per_port:
+                                next_offset = 0
+                            rr_next[port] = next_offset * rr_mask
+                            touched.append(qi)
+                            if port in link_ports:
+                                emissions.append((step, port, tag))
+                            break
+            # --- per-bin max of the post-departure lengths ---
+            if not bin_started:
+                bin_max = lengths[:]
+                bin_started = True
+            else:
+                for qi in touched:
+                    length = lengths[qi]
+                    if length > bin_max[qi]:
+                        bin_max[qi] = length
+            step += 1
+            if step % steps_per_bin == 0:
+                self._occupancy = occ
+                self._bin_max = bin_max
+                self._bin_started = bin_started
+                self._flush_bin(step // steps_per_bin - 1)
+                bin_started = False
+                recv_b = self._recv_b
+                sent_b = self._sent_b
+                drop_b = self._drop_b
+                delay_b = self._delay_b
+
+        self._occupancy = occ
+        self._bin_max = bin_max
+        self._bin_started = bin_started
+        return emissions
+
+    def trace(self) -> SimulationTrace:
+        trace = SimulationTrace(
+            config=self.config,
+            steps_per_bin=self.steps_per_bin,
+            qlen=self.qlen,
+            qlen_max=self.qlen_max,
+            received=self.received,
+            sent=self.sent,
+            dropped=self.dropped,
+            delay_sum=self.delay_sum,
+            buffer_occupancy=self.buffer_occupancy,
+        )
+        trace.validate()
+        return trace
+
+
+class _ExternalFeed:
+    """Chunked materialisation of one leaf's external traffic.
+
+    Packets address *global hosts* (``dst_port`` in
+    ``[0, total_hosts)``); the feed resolves each to the leaf's local
+    egress queue.  Materialisation chunking cannot change the stream:
+    ``arrivals_batch`` is split-invariant by contract (and the per-step
+    fallback trivially so).
+    """
+
+    def __init__(self, traffic, topology: TopologyConfig, leaf: int, total_steps: int):
+        self._traffic = traffic
+        self._topology = topology
+        self._leaf = leaf
+        self._total_steps = total_steps
+        self._buffer: list[tuple[int, int, int, int]] = []
+        self._pos = 0
+        self._next_step = 0
+
+    def _route(self, step: int, host: int, qclass: int) -> tuple[int, int, int, int]:
+        topo = self._topology
+        if not 0 <= host < topo.total_hosts:
+            raise IndexError(
+                f"arrival out of range: dst host {host} for "
+                f"{topo.total_hosts} fabric hosts"
+            )
+        if not 0 <= qclass < topo.queues_per_port:
+            raise IndexError(
+                f"arrival out of range: qclass {qclass} for "
+                f"{topo.queues_per_port} queues"
+            )
+        port = topo.leaf_egress(self._leaf, host)
+        tag = host * topo.queues_per_port + qclass
+        return (step, port * topo.queues_per_port + qclass, port, tag)
+
+    def _materialize(self, num_steps: int) -> None:
+        start = self._next_step
+        traffic = self._traffic
+        if traffic.can_batch():
+            steps, dsts, qclasses = traffic.arrivals_batch(start, num_steps)
+            route = self._route
+            self._buffer.extend(
+                route(int(s), int(h), int(q))
+                for s, h, q in zip(steps.tolist(), dsts.tolist(), qclasses.tolist())
+            )
+        else:
+            route = self._route
+            for step in range(start, start + num_steps):
+                for packet in traffic.arrivals(step):
+                    self._buffer.append(route(step, packet.dst_port, packet.qclass))
+        self._next_step = start + num_steps
+
+    def take(self, t0: int, t1: int) -> list[tuple[int, int, int, int]]:
+        """Arrivals with step in ``[t0, t1)``, in generator order."""
+        while self._next_step < t1:
+            chunk = max(_FEED_CHUNK, t1 - self._next_step)
+            chunk = min(chunk, self._total_steps - self._next_step)
+            self._materialize(chunk)
+        if self._pos >= len(self._buffer) and self._pos:
+            self._buffer = []
+            self._pos = 0
+        out: list[tuple[int, int, int, int]] = []
+        pos = self._pos
+        buffer = self._buffer
+        size = len(buffer)
+        while pos < size and buffer[pos][0] < t1:
+            out.append(buffer[pos])
+            pos += 1
+        self._pos = pos
+        return out
+
+
+class Fabric:
+    """Runs external traffic through a leaf-spine fabric of switches.
+
+    ``leaf_traffic`` supplies one :class:`~repro.traffic.generators.
+    TrafficGenerator` per leaf whose packets address global hosts
+    (``dst_port`` in ``[0, total_hosts)``).  ``aqm`` optionally selects
+    a non-DT admission policy for every switch.  With
+    ``selfcheck=True`` each per-switch trace runs the invariant oracles
+    after the run.
+    """
+
+    def __init__(
+        self,
+        topology: TopologyConfig,
+        leaf_traffic,
+        *,
+        steps_per_bin: int = 16,
+        aqm: AqmConfig | None = None,
+        selfcheck: bool = False,
+    ):
+        check_positive("steps_per_bin", steps_per_bin)
+        if len(leaf_traffic) != topology.leaves:
+            raise ValueError(
+                f"need one traffic generator per leaf: got {len(leaf_traffic)} "
+                f"for {topology.leaves} leaves"
+            )
+        self.topology = topology
+        self.leaf_traffic = list(leaf_traffic)
+        self.steps_per_bin = int(steps_per_bin)
+        self.aqm = aqm
+        self.selfcheck = bool(selfcheck)
+        self.switch_configs = fabric_switch_configs(topology, aqm)
+
+    def run(self, num_bins: int) -> FabricTrace:
+        """Simulate ``num_bins`` fine-grained bins on every switch."""
+        check_positive("num_bins", num_bins)
+        with obs.span(
+            "switchsim.fabric.run",
+            num_bins=int(num_bins),
+            switches=self.topology.num_switches,
+        ):
+            return self._run(num_bins)
+
+    def _run(self, num_bins: int) -> FabricTrace:
+        topo = self.topology
+        spb = self.steps_per_bin
+        total_steps = num_bins * spb
+        qpp = topo.queues_per_port
+        names = topo.switch_names()
+        cores: dict[str, _SwitchCore] = {}
+        for name in names:
+            config = self.switch_configs[name]
+            if name.startswith("leaf"):
+                link_ports = frozenset(
+                    range(topo.hosts_per_leaf, topo.hosts_per_leaf + topo.spines)
+                )
+            else:
+                link_ports = frozenset(range(topo.leaves))
+            cores[name] = _SwitchCore(config, spb, num_bins, link_ports)
+
+        feeds = {
+            f"leaf{i}": _ExternalFeed(self.leaf_traffic[i], topo, i, total_steps)
+            for i in range(topo.leaves)
+        }
+        pending: dict[str, list[tuple[int, int, int, int]]] = {
+            name: [] for name in names
+        }
+        delay = topo.link_delay
+        t0 = 0
+        while t0 < total_steps:
+            t1 = min(t0 + delay, total_steps)
+            emitted: dict[str, list[tuple[int, int, int]]] = {}
+            for name in names:
+                forwarded = pending[name]
+                if name in feeds:
+                    external = feeds[name].take(t0, t1)
+                    if forwarded:
+                        # Stable by step; equal-step external precedes
+                        # forwarded (both keep their own order).
+                        arrivals = external + forwarded
+                        arrivals.sort(key=_by_step)
+                    else:
+                        arrivals = external
+                else:
+                    arrivals = forwarded
+                emitted[name] = cores[name].run_span(t0, t1, arrivals)
+            next_pending: dict[str, list[tuple[int, int, int, int]]] = {
+                name: [] for name in names
+            }
+            for src_index, name in enumerate(names):
+                is_leaf = name.startswith("leaf")
+                for dep_step, port, tag in emitted[name]:
+                    arrival = dep_step + delay
+                    if arrival >= total_steps:
+                        continue
+                    host = tag // qpp
+                    qclass = tag - host * qpp
+                    if is_leaf:
+                        peer = f"spine{port - topo.hosts_per_leaf}"
+                        out_port = topo.spine_egress(host)
+                    else:
+                        peer = f"leaf{port}"
+                        out_port = host % topo.hosts_per_leaf
+                    next_pending[peer].append(
+                        (arrival, out_port * qpp + qclass, out_port, tag)
+                    )
+            for name in names:
+                # Emissions are gathered per source in (step, port) order;
+                # the concatenation across sources needs a stable re-sort
+                # by arrival step (ties keep source order — deterministic).
+                next_pending[name].sort(key=_by_step)
+            pending = next_pending
+            t0 = t1
+
+        traces = {name: cores[name].trace() for name in names}
+        fabric_trace = FabricTrace(topology=topo, steps_per_bin=spb, switches=traces)
+        if self.selfcheck:
+            self._selfcheck(fabric_trace)
+        return fabric_trace
+
+    def _selfcheck(self, fabric_trace: FabricTrace) -> None:
+        from repro.testing.selfcheck import selfcheck_trace  # deferred: cycle
+
+        for name, trace in fabric_trace.switches.items():
+            selfcheck_trace(
+                trace,
+                repro={
+                    "engine": "fabric",
+                    "switch": name,
+                    "steps_per_bin": self.steps_per_bin,
+                    "num_bins": trace.num_bins,
+                    "topology": {
+                        "leaves": self.topology.leaves,
+                        "spines": self.topology.spines,
+                        "hosts_per_leaf": self.topology.hosts_per_leaf,
+                        "link_delay": self.topology.link_delay,
+                    },
+                    "aqm": self.aqm.policy if self.aqm is not None else "dt",
+                },
+            )
+
+
+def _by_step(record: tuple[int, int, int, int]) -> int:
+    return record[0]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro.switchsim.aqm import AQM_ADMIT_MARK, AQM_DROP, AqmPolicy
 from repro.switchsim.buffer import SharedBuffer
 from repro.switchsim.packet import Packet
 
@@ -15,19 +16,33 @@ class OutputQueue:
     ``alpha`` is the queue's Dynamic-Threshold scaling factor; queues of
     different classes may use different alphas (e.g. a smaller alpha keeps
     the low-priority queue from starving the high-priority one).
+
+    ``aqm`` optionally routes admission through an
+    :class:`~repro.switchsim.aqm.AqmPolicy` (shared across the switch's
+    queues); when ``None`` the queue keeps the original direct
+    Dynamic-Threshold check — the bit-identical default path.
     """
 
-    def __init__(self, port: int, qclass: int, buffer: SharedBuffer, alpha: float = 1.0):
+    def __init__(
+        self,
+        port: int,
+        qclass: int,
+        buffer: SharedBuffer,
+        alpha: float = 1.0,
+        aqm: Optional[AqmPolicy] = None,
+    ):
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
         self.port = port
         self.qclass = qclass
         self.alpha = alpha
+        self.aqm = aqm
         self._buffer = buffer
         self._packets: deque[Packet] = deque()
         self.total_enqueued = 0
         self.total_dropped = 0
         self.total_dequeued = 0
+        self.total_marked = 0
 
     def __len__(self) -> int:
         return len(self._packets)
@@ -47,7 +62,20 @@ class OutputQueue:
 
     def offer(self, packet: Packet) -> bool:
         """Try to enqueue ``packet``; returns False (and counts a drop) if
-        the DT threshold or buffer capacity rejects it."""
+        the admission policy — DT by default — rejects it."""
+        if self.aqm is not None:
+            decision = self.aqm.admit(
+                self.length, self.alpha, self._buffer.occupancy, self._buffer.capacity
+            )
+            if decision == AQM_DROP:
+                self.total_dropped += 1
+                return False
+            self._buffer.allocate()
+            self._packets.append(packet)
+            self.total_enqueued += 1
+            if decision == AQM_ADMIT_MARK:
+                self.total_marked += 1
+            return True
         if self._buffer.admits(self.length, self.alpha):
             self._buffer.allocate()
             self._packets.append(packet)

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.switchsim.aqm import AqmPolicy
 from repro.switchsim.buffer import SharedBuffer
 from repro.switchsim.packet import Packet
 from repro.switchsim.queues import OutputQueue
@@ -24,6 +25,11 @@ class SwitchConfig:
         alphas: per-class Dynamic-Threshold factors, one per queue class.
         scheduler_factory: builds the per-port scheduler; defaults to
             round-robin across the port's queues (work-conserving).
+        aqm_factory: optionally builds an
+            :class:`~repro.switchsim.aqm.AqmPolicy` shared by the
+            switch's queues; ``None`` (the default) keeps the original
+            direct Dynamic-Threshold admission — the bit-identical path
+            the array engine supports.
     """
 
     num_ports: int = 4
@@ -31,6 +37,7 @@ class SwitchConfig:
     buffer_capacity: int = 200
     alphas: tuple[float, ...] = (1.0, 0.5)
     scheduler_factory: Callable[[], Scheduler] = RoundRobinScheduler
+    aqm_factory: Optional[Callable[[], AqmPolicy]] = None
 
     def __post_init__(self):
         if self.num_ports <= 0:
@@ -92,11 +99,20 @@ class OutputQueuedSwitch:
     def __init__(self, config: SwitchConfig):
         self.config = config
         self.buffer = SharedBuffer(config.buffer_capacity, alpha=max(config.alphas))
+        self.aqm: Optional[AqmPolicy] = (
+            config.aqm_factory() if config.aqm_factory is not None else None
+        )
         self.queues: list[OutputQueue] = []
         for port in range(config.num_ports):
             for qclass in range(config.queues_per_port):
                 self.queues.append(
-                    OutputQueue(port, qclass, self.buffer, alpha=config.alphas[qclass])
+                    OutputQueue(
+                        port,
+                        qclass,
+                        self.buffer,
+                        alpha=config.alphas[qclass],
+                        aqm=self.aqm,
+                    )
                 )
         self.schedulers: list[Scheduler] = [
             config.scheduler_factory() for _ in range(config.num_ports)
@@ -186,6 +202,9 @@ class OutputQueuedSwitch:
             queue.total_enqueued = 0
             queue.total_dropped = 0
             queue.total_dequeued = 0
+            queue.total_marked = 0
+        if self.aqm is not None:
+            self.aqm.reset()
         self.buffer.reset()
         self.schedulers = [self.config.scheduler_factory() for _ in range(self.config.num_ports)]
         self._lengths[:] = 0

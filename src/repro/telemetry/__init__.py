@@ -18,6 +18,7 @@ from repro.telemetry.dataset import (
     TelemetryDataset,
     build_dataset,
 )
+from repro.telemetry.fabric import build_fabric_datasets, cross_switch_channels
 from repro.telemetry.noise import (
     apply_lanz_threshold,
     drop_snmp_intervals,
@@ -25,6 +26,8 @@ from repro.telemetry.noise import (
 )
 
 __all__ = [
+    "build_fabric_datasets",
+    "cross_switch_channels",
     "CoarseTelemetry",
     "sample_trace",
     "ImputationSample",

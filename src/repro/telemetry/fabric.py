@@ -1,0 +1,113 @@
+"""Per-(switch, queue) dataset assembly for multi-switch fabrics.
+
+The paper's windowing (:func:`repro.telemetry.dataset.build_dataset`)
+is defined per switch: every constraint (C1–C3) and every feature
+channel is local to one shared buffer.  A fabric therefore yields one
+:class:`~repro.telemetry.dataset.TelemetryDataset` *per switch*, built
+by the exact single-switch path — byte-identical to what a standalone
+``Simulation`` of that switch would produce, which is why none of the
+table1/serve/robustness digests move.
+
+On top of that, :func:`build_fabric_datasets` can append **cross-switch
+correlation features**: the shared-buffer coupling the paper exploits
+*within* a switch (insight 1 of §2) has a fabric-level analogue —
+congestion on a peer switch predicts arrivals here one link delay
+later.  With ``cross_switch_features=True``, every sample gains one
+extra channel per peer switch: the peer's per-interval mean periodic
+queue sample, normalised by the dataset's queue scale and expanded onto
+the fine axis (coarse telemetry only — nothing the operator would not
+have).  The flag defaults to off, keeping the single-switch feature
+layout unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.switchsim.fabric import FabricTrace
+from repro.telemetry.dataset import (
+    FeatureScaler,
+    TelemetryDataset,
+    _expand,
+    build_dataset,
+)
+
+__all__ = ["build_fabric_datasets", "cross_switch_channels"]
+
+
+def cross_switch_channels(
+    datasets: dict[str, TelemetryDataset], switch: str, sample_index: int
+) -> np.ndarray:
+    """The (T, S-1) cross-switch feature block for one window.
+
+    One channel per peer switch (iteration order of ``datasets`` minus
+    ``switch``): the peer's per-interval periodic queue samples averaged
+    over its queues, normalised by *this* dataset's queue scale, and
+    expanded to the fine axis — a coarse, operator-visible congestion
+    summary of the rest of the fabric.
+    """
+    dataset = datasets[switch]
+    sample = dataset.samples[sample_index]
+    scale = dataset.scaler.qlen_scale
+    channels: list[np.ndarray] = []
+    for name, peer in datasets.items():
+        if name == switch:
+            continue
+        peer_sample = peer.samples[sample_index]
+        if peer_sample.window_start != sample.window_start:
+            raise ValueError(
+                f"window misalignment between {switch} and {name}: "
+                f"{sample.window_start} != {peer_sample.window_start}"
+            )
+        summary = peer_sample.m_sample.mean(axis=0) / scale
+        channels.append(_expand(summary, sample.interval))
+    if not channels:
+        return np.zeros((sample.num_bins, 0))
+    return np.stack(channels, axis=1)
+
+
+def build_fabric_datasets(
+    fabric_trace: FabricTrace,
+    interval: int = 50,
+    window_intervals: int = 6,
+    stride_intervals: int | None = None,
+    scaler: FeatureScaler | None = None,
+    cross_switch_features: bool = False,
+) -> dict[str, TelemetryDataset]:
+    """Window every switch of a fabric trace into per-switch datasets.
+
+    Each switch goes through the unmodified single-switch
+    :func:`~repro.telemetry.dataset.build_dataset` (``scaler=None``
+    fits one per switch, exactly as a standalone run would; pass a
+    training scaler to evaluate a trained model).  With
+    ``cross_switch_features=True``, each sample's feature matrix is
+    extended by :func:`cross_switch_channels`.
+    """
+    datasets = {
+        name: build_dataset(
+            trace,
+            interval=interval,
+            window_intervals=window_intervals,
+            stride_intervals=stride_intervals,
+            scaler=scaler,
+        )
+        for name, trace in fabric_trace.switches.items()
+    }
+    if not cross_switch_features or len(datasets) < 2:
+        return datasets
+    augmented: dict[str, TelemetryDataset] = {}
+    for name, dataset in datasets.items():
+        samples = [
+            dataclasses.replace(
+                sample,
+                features=np.concatenate(
+                    [sample.features, cross_switch_channels(datasets, name, i)],
+                    axis=1,
+                ),
+            )
+            for i, sample in enumerate(dataset.samples)
+        ]
+        augmented[name] = dataclasses.replace(dataset, samples=samples)
+    return augmented

@@ -32,6 +32,7 @@ from repro.traffic.generators import (
     TrafficGenerator,
 )
 from repro.traffic.extra import OnOffTraffic, ReplayTraffic
+from repro.traffic.flows import FlowTrafficConfig, FlowTrafficGenerator
 
 __all__ = [
     "FlowSizeDistribution",
@@ -45,4 +46,6 @@ __all__ = [
     "ScriptedTraffic",
     "OnOffTraffic",
     "ReplayTraffic",
+    "FlowTrafficConfig",
+    "FlowTrafficGenerator",
 ]

@@ -17,6 +17,9 @@ from repro.experiments import (
 class TestRegistry:
     def test_builtins_are_registered(self):
         assert experiment_names() == [
+            "flow_incast",
+            "leaf_spine_small",
+            "red_websearch",
             "replication",
             "robustness",
             "scalability",

@@ -24,8 +24,12 @@ class _OracleModel:
 
 @pytest.fixture(scope="module")
 def sentinel(micro_datasets):
+    # The legacy fixed-quantile calibration; the shift-driven default is
+    # covered separately by TestShiftDrivenCalibration.
     train, _, _ = micro_datasets
-    return calibrate_sentinel(_OracleModel(), train, quantile=0.99)
+    return calibrate_sentinel(
+        _OracleModel(), train, quantile=0.99, threshold="quantile"
+    )
 
 
 class TestCalibration:
@@ -34,6 +38,7 @@ class TestCalibration:
         assert sentinel.quantile == 0.99
         assert sentinel.calibration_size == len(train)
         assert sentinel.qlen_scale == train.scaler.qlen_scale
+        assert sentinel.calibration == "quantile"
         assert np.isfinite(sentinel.threshold)
 
     def test_oracle_threshold_is_small(self, sentinel):
@@ -65,6 +70,46 @@ class TestCalibration:
         a = calibrate_sentinel(_OracleModel(), train, quantile=0.9)
         b = calibrate_sentinel(_OracleModel(), train, quantile=0.9)
         assert a == b
+
+    def test_bad_threshold_string_rejected(self, micro_datasets):
+        train, _, _ = micro_datasets
+        with pytest.raises(ValueError, match="threshold"):
+            calibrate_sentinel(_OracleModel(), train, threshold="median")
+
+
+class TestShiftDrivenCalibration:
+    """The default threshold is measured, not assumed."""
+
+    def test_default_is_shift_driven(self, micro_datasets):
+        train, _, _ = micro_datasets
+        shift = calibrate_sentinel(_OracleModel(), train, quantile=0.99)
+        assert shift.calibration == "shift"
+
+    def test_sits_between_quantile_and_shifted_scores(self, micro_datasets):
+        # The oracle scores ~0 in-distribution; degraded windows score
+        # strictly higher, so the measured bar opens a real margin above
+        # the legacy quantile bar while still flagging degraded traffic.
+        train, _, _ = micro_datasets
+        legacy = calibrate_sentinel(
+            _OracleModel(), train, quantile=0.99, threshold="quantile"
+        )
+        shift = calibrate_sentinel(_OracleModel(), train, quantile=0.99)
+        assert shift.threshold >= legacy.threshold
+        assert np.isfinite(shift.threshold)
+
+    def test_shift_driven_is_deterministic(self, micro_datasets):
+        train, _, _ = micro_datasets
+        a = calibrate_sentinel(_OracleModel(), train)
+        b = calibrate_sentinel(_OracleModel(), train)
+        assert a == b
+
+    def test_explicit_float_pins_the_bar(self, micro_datasets):
+        train, _, _ = micro_datasets
+        fixed = calibrate_sentinel(_OracleModel(), train, threshold=0.25)
+        assert fixed.calibration == "fixed"
+        assert fixed.threshold == 0.25
+        assert fixed.flags(0.26)
+        assert not fixed.flags(0.25)
 
 
 class TestScoring:

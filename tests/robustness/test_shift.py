@@ -116,3 +116,65 @@ class TestShiftPoint:
     def test_points_are_frozen(self, grid):
         with pytest.raises(dataclasses.FrozenInstanceError):
             grid[0].value = 9.0
+
+
+class TestStructuralAxes:
+    """topology/aqm are opt-in: absent by default, appended after snmp."""
+
+    def test_default_grid_has_no_structural_points(self, grid):
+        assert not any(p.axis in ("topology", "aqm") for p in grid)
+
+    def test_opting_in_appends_after_the_telemetry_axes(self):
+        config = dataclasses.replace(
+            RobustnessConfig(),
+            topology_leaves=(1, 2),
+            red_drop_probs=(0.0, 0.2),
+        )
+        axes = [p.axis for p in shift_grid(config)]
+        assert axes[-4:] == ["topology", "topology", "aqm", "aqm"]
+
+    def test_structural_anchors_are_validated(self):
+        config = dataclasses.replace(RobustnessConfig(), topology_leaves=(2, 1))
+        with pytest.raises(ValueError, match="anchor"):
+            shift_grid(config)
+        config = dataclasses.replace(RobustnessConfig(), red_drop_probs=(0.2,))
+        with pytest.raises(ValueError, match="anchor"):
+            shift_grid(config)
+
+    def test_structural_points_keep_the_anchor_scenario(self):
+        # The shift lives in the evaluation harness (fabric / RED switch),
+        # not in scenario arithmetic — the base scenario rides along.
+        config = dataclasses.replace(
+            RobustnessConfig(), topology_leaves=(1, 3), red_drop_probs=(0.0, 0.5)
+        )
+        base = config.scenario
+        for point in shift_grid(config):
+            if point.axis in ("topology", "aqm"):
+                assert point.scenario == base
+                assert not point.degrades_telemetry
+
+    def test_labels(self):
+        base = RobustnessConfig().scenario
+        assert ShiftPoint("topology", 2.0, base).label == "topology leaves=2"
+        assert ShiftPoint("aqm", 0.0, base).label == "aqm dt"
+        assert ShiftPoint("aqm", 0.25, base).label == "aqm red p=0.25"
+
+    def test_bad_values_rejected(self):
+        config = dataclasses.replace(RobustnessConfig(), topology_leaves=(1, 0))
+        with pytest.raises(ValueError, match="topology_leaves"):
+            shift_grid(config)
+        config = dataclasses.replace(RobustnessConfig(), red_drop_probs=(0.0, 1.5))
+        with pytest.raises(ValueError, match="red_drop_probs"):
+            shift_grid(config)
+
+    def test_empty_defaults_are_digest_neutral(self):
+        # The new fields elide from the canonical encoding at their empty
+        # defaults, so every digest pinned before they existed still holds;
+        # opting in moves the digest like any other field change.
+        from repro.config import config_digest
+
+        default = config_digest(RobustnessConfig())
+        opted_in = config_digest(
+            dataclasses.replace(RobustnessConfig(), topology_leaves=(1, 2))
+        )
+        assert default != opted_in

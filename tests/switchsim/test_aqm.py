@@ -1,0 +1,206 @@
+"""The AQM strategy seam: DT verbatim, RED and ECN inside its envelope."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.switchsim import (
+    AQM_ADMIT,
+    AQM_ADMIT_MARK,
+    AQM_DROP,
+    AqmConfig,
+    DtPolicy,
+    EcnPolicy,
+    RedPolicy,
+    Simulation,
+    SwitchConfig,
+)
+from repro.switchsim.engine import ArraySwitchEngine
+from repro.traffic.generators import PoissonFlowTraffic
+
+
+def _config(**overrides) -> SwitchConfig:
+    base = dict(
+        num_ports=2, queues_per_port=2, buffer_capacity=40, alphas=(1.0, 0.5)
+    )
+    base.update(overrides)
+    return SwitchConfig(**base)
+
+
+class TestDtPolicy:
+    @pytest.mark.parametrize(
+        ("qlen", "alpha", "occ", "capacity"),
+        [(0, 1.0, 0, 40), (5, 0.5, 10, 40), (39, 1.0, 39, 40), (0, 1.0, 40, 40)],
+    )
+    def test_matches_the_inline_dt_expression(self, qlen, alpha, occ, capacity):
+        inline = occ < capacity and qlen < alpha * (capacity - occ)
+        decision = DtPolicy().admit(qlen, alpha, occ, capacity)
+        assert decision == (AQM_ADMIT if inline else AQM_DROP)
+
+    def test_never_counts_drops_as_early(self):
+        policy = DtPolicy()
+        policy.admit(0, 1.0, 40, 40)
+        assert policy.early_drops == 0
+        assert policy.packets_marked == 0
+
+
+class TestRedPolicy:
+    def test_below_min_threshold_always_admits(self):
+        policy = RedPolicy(min_th=6, max_th=20, max_p=1.0)
+        assert all(
+            policy.admit(q, 1.0, q, 40) == AQM_ADMIT for q in range(6)
+        )
+        assert policy.early_drops == 0
+
+    def test_at_max_threshold_always_drops_early(self):
+        # alpha=2 keeps DT permissive so the refusal is RED's own.
+        policy = RedPolicy(min_th=6, max_th=20, max_p=0.1)
+        assert policy.admit(20, 2.0, 20, 40) == AQM_DROP
+        assert policy.early_drops == 1
+
+    def test_stays_inside_the_dt_envelope(self):
+        # DT refusal dominates and is never attributed to RED.
+        policy = RedPolicy(min_th=6, max_th=20, max_p=1.0)
+        assert policy.admit(0, 1.0, 40, 40) == AQM_DROP
+        assert policy.early_drops == 0
+
+    def test_ramp_drops_are_seeded_and_reset_restores_the_stream(self):
+        def stream(policy):
+            return [policy.admit(10, 1.0, 10, 40) for _ in range(64)]
+
+        a = RedPolicy(min_th=6, max_th=20, max_p=0.9, seed=3)
+        first = stream(a)
+        assert AQM_DROP in first and AQM_ADMIT in first
+        a.reset()
+        assert a.early_drops == 0
+        assert stream(a) == first
+        assert stream(RedPolicy(min_th=6, max_th=20, max_p=0.9, seed=4)) != first
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="min_th"):
+            RedPolicy(min_th=20, max_th=20, max_p=0.1)
+        with pytest.raises(ValueError, match="max_p"):
+            RedPolicy(min_th=1, max_th=2, max_p=1.5)
+
+
+class TestEcnPolicy:
+    def test_marks_at_threshold_but_admits(self):
+        policy = EcnPolicy(mark_threshold=10)
+        assert policy.admit(9, 1.0, 9, 40) == AQM_ADMIT
+        assert policy.admit(10, 1.0, 10, 40) == AQM_ADMIT_MARK
+        assert policy.packets_marked == 1
+        assert policy.early_drops == 0
+
+    def test_stays_inside_the_dt_envelope(self):
+        policy = EcnPolicy(mark_threshold=0)
+        assert policy.admit(0, 1.0, 40, 40) == AQM_DROP
+        assert policy.packets_marked == 0
+
+
+class TestAqmConfig:
+    def test_dt_factory_is_none(self):
+        assert AqmConfig().factory(40) is None
+
+    def test_red_factory_scales_thresholds_by_capacity(self):
+        config = AqmConfig(
+            policy="red", red_min_frac=0.25, red_max_frac=0.5, red_max_p=0.2
+        )
+        policy = config.factory(40)()
+        assert isinstance(policy, RedPolicy)
+        assert policy.min_th == 10.0
+        assert policy.max_th == 20.0
+        assert policy.max_p == 0.2
+
+    def test_ecn_factory_scales_mark_point(self):
+        policy = AqmConfig(policy="ecn", ecn_mark_frac=0.3).factory(40)()
+        assert isinstance(policy, EcnPolicy)
+        assert policy.mark_threshold == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            AqmConfig(policy="codel")
+        with pytest.raises(ValueError, match="red_min_frac"):
+            AqmConfig(red_min_frac=0.6, red_max_frac=0.5)
+
+
+class TestSwitchIntegration:
+    """An aqm_factory reroutes admission and disqualifies the fast path."""
+
+    def _run(self, aqm: AqmConfig, seed: int = 0):
+        config = _config(aqm_factory=aqm.factory(40))
+        simulation = Simulation(
+            config,
+            PoissonFlowTraffic(
+                num_sources=8, num_ports=2, flows_per_step=0.08, seed=seed
+            ),
+            steps_per_bin=8,
+            selfcheck=True,
+        )
+        trace = simulation.run(200)
+        return simulation, trace
+
+    def test_array_engine_refuses_aqm_configs(self):
+        config = _config(aqm_factory=AqmConfig(policy="ecn").factory(40))
+        assert not ArraySwitchEngine.supports(config)
+        assert ArraySwitchEngine.supports(_config())
+
+    def test_auto_engine_falls_back_to_reference(self):
+        simulation, _ = self._run(AqmConfig(policy="red"))
+        assert simulation.engine == "reference"
+
+    def test_red_attributes_early_drops(self):
+        simulation, trace = self._run(
+            AqmConfig(policy="red", red_min_frac=0.05, red_max_frac=0.2,
+                      red_max_p=0.9)
+        )
+        policy = simulation.switch.aqm
+        assert policy.early_drops > 0
+        assert int(trace.dropped.sum()) >= policy.early_drops
+
+    def test_ecn_marks_without_dropping_more_than_dt(self):
+        simulation, _ = self._run(AqmConfig(policy="ecn", ecn_mark_frac=0.05))
+        assert simulation.switch.aqm.packets_marked > 0
+        marked = sum(q.total_marked for q in simulation.switch.queues)
+        assert marked == simulation.switch.aqm.packets_marked
+
+    def test_dt_policy_object_reproduces_the_legacy_path(self):
+        # The strategy seam itself is bit-transparent: DtPolicy-as-object
+        # produces the exact trace the inline admission produces.
+        config_inline = _config()
+        config_policy = _config(aqm_factory=DtPolicy)
+        traces = []
+        for config in (config_inline, config_policy):
+            simulation = Simulation(
+                config,
+                PoissonFlowTraffic(
+                    num_sources=8, num_ports=2, flows_per_step=0.08, seed=5
+                ),
+                steps_per_bin=8,
+                engine="reference",
+            )
+            traces.append(simulation.run(200))
+        for field in ("qlen", "qlen_max", "received", "sent", "dropped",
+                      "delay_sum", "buffer_occupancy"):
+            np.testing.assert_array_equal(
+                getattr(traces[0], field), getattr(traces[1], field)
+            )
+
+    def test_reset_clears_policy_counters(self):
+        simulation, _ = self._run(
+            AqmConfig(policy="red", red_min_frac=0.05, red_max_frac=0.2,
+                      red_max_p=0.9)
+        )
+        assert simulation.switch.aqm.early_drops > 0
+        simulation.switch.reset()
+        assert simulation.switch.aqm.early_drops == 0
+
+
+def test_scenario_config_unchanged_by_aqm_wiring():
+    # trace_cache_params hashes ScenarioConfig via asdict; the AQM seam
+    # must not have added fields there (cache keys would all move).
+    from repro.eval.scenarios import ScenarioConfig
+
+    assert "aqm" not in {f.name for f in dataclasses.fields(ScenarioConfig)}

@@ -1,0 +1,189 @@
+"""The leaf-spine fabric: 1-switch bit-parity, routing, determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.eval.scenarios import build_traffic, generate_trace, quick_scenario
+from repro.switchsim import Fabric, TopologyConfig, fabric_switch_configs
+from repro.switchsim.packet import Packet
+from repro.testing import trace_fingerprint
+
+_TRACE_FIELDS = (
+    "qlen",
+    "qlen_max",
+    "received",
+    "sent",
+    "dropped",
+    "delay_sum",
+    "buffer_occupancy",
+)
+
+
+class TestTopologyConfig:
+    def test_defaults_validate(self):
+        topology = TopologyConfig()
+        assert topology.total_hosts == 4
+        assert topology.num_switches == 3
+        assert topology.leaf_ports == 3
+        assert topology.switch_names() == ["leaf0", "leaf1", "spine0"]
+
+    def test_multi_leaf_needs_a_spine(self):
+        with pytest.raises(ValueError, match="spine"):
+            TopologyConfig(leaves=2, spines=0)
+
+    def test_alphas_must_match_queue_classes(self):
+        with pytest.raises(ValueError, match="alpha"):
+            TopologyConfig(queues_per_port=2, alphas=(1.0,))
+
+    def test_routing_walk(self):
+        topology = TopologyConfig(leaves=2, spines=1, hosts_per_leaf=2)
+        assert topology.leaf_of(3) == 1
+        assert topology.leaf_egress(0, 1) == 1  # local delivery
+        assert topology.leaf_egress(0, 2) == 2  # uplink to spine 0
+        assert topology.spine_egress(2) == 1  # spine down-port = dst leaf
+
+    def test_switch_configs_have_fabric_geometry(self):
+        topology = TopologyConfig(leaves=2, spines=1, hosts_per_leaf=2)
+        configs = fabric_switch_configs(topology)
+        assert configs["leaf0"].num_ports == 3  # 2 hosts + 1 uplink
+        assert configs["spine0"].num_ports == 2  # one down-port per leaf
+
+
+class TestSingleSwitchParity:
+    """A 1-leaf, 0-spine fabric IS the paper's single switch, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return dataclasses.replace(quick_scenario(), duration_bins=300)
+
+    def test_bit_identical_to_simulation(self, scenario):
+        single = generate_trace(scenario, seed=0)
+        topology = TopologyConfig(
+            leaves=1,
+            spines=0,
+            hosts_per_leaf=scenario.num_ports,
+            queues_per_port=scenario.queues_per_port,
+            buffer_capacity=scenario.buffer_capacity,
+            alphas=scenario.alphas,
+        )
+        fabric = Fabric(
+            topology,
+            [build_traffic(scenario, seed=0)],
+            steps_per_bin=scenario.steps_per_bin,
+            selfcheck=True,
+        )
+        fabric_trace = fabric.run(scenario.duration_bins)
+        assert set(fabric_trace.switches) == {"leaf0"}
+        leaf = fabric_trace.switches["leaf0"]
+        for field in _TRACE_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(leaf, field), getattr(single, field), err_msg=field
+            )
+        # ... which also means the PR-2 golden fingerprint itself.
+        assert trace_fingerprint(leaf) == trace_fingerprint(single)
+
+
+class _OneShot:
+    """One packet to a fixed global host at step 0 (duck-typed traffic)."""
+
+    def __init__(self, dst_host: int, qclass: int = 0):
+        self.dst_host = dst_host
+        self.qclass = qclass
+
+    def can_batch(self) -> bool:
+        return False
+
+    def arrivals(self, step: int):
+        if step == 0:
+            return [
+                Packet(
+                    dst_port=self.dst_host,
+                    qclass=self.qclass,
+                    flow_id=0,
+                    arrival_step=0,
+                )
+            ]
+        return []
+
+
+class _Silent(_OneShot):
+    def arrivals(self, step: int):
+        return []
+
+
+class TestCrossLeafRouting:
+    def test_packet_transits_spine_to_remote_leaf(self):
+        topology = TopologyConfig(
+            leaves=2, spines=1, hosts_per_leaf=2, link_delay=2
+        )
+        fabric = Fabric(
+            topology,
+            [_OneShot(dst_host=2), _Silent(0)],
+            steps_per_bin=4,
+            selfcheck=True,
+        )
+        trace = fabric.run(4)
+        leaf0 = trace.switches["leaf0"]
+        spine = trace.switches["spine0"]
+        leaf1 = trace.switches["leaf1"]
+        # leaf0 receives on the ingress and forwards on its uplink (port 2).
+        assert int(leaf0.received.sum()) == 1
+        assert int(leaf0.sent[2].sum()) == 1
+        # One link delay later the spine forwards on down-port 1 (leaf1).
+        assert int(spine.received[1].sum()) == 1
+        assert int(spine.sent[1].sum()) == 1
+        # leaf1 delivers on local host port 0 (host 2 = leaf1, port 0).
+        assert int(leaf1.received[0].sum()) == 1
+        assert int(leaf1.sent[0].sum()) == 1
+        assert trace.total_dropped() == 0
+
+    def test_local_packet_never_leaves_its_leaf(self):
+        topology = TopologyConfig(leaves=2, spines=1, hosts_per_leaf=2)
+        fabric = Fabric(
+            topology, [_OneShot(dst_host=1), _Silent(0)], steps_per_bin=4
+        )
+        trace = fabric.run(4)
+        assert int(trace.switches["leaf0"].sent[1].sum()) == 1
+        assert int(trace.switches["spine0"].received.sum()) == 0
+        assert int(trace.switches["leaf1"].received.sum()) == 0
+
+    def test_out_of_range_host_rejected(self):
+        topology = TopologyConfig(leaves=2, spines=1, hosts_per_leaf=2)
+        fabric = Fabric(topology, [_OneShot(dst_host=4), _Silent(0)])
+        with pytest.raises(IndexError, match="host"):
+            fabric.run(1)
+
+
+class TestFabricDeterminism:
+    def _run(self, link_delay: int):
+        from repro.eval.fabric_scenarios import LeafSpineConfig, build_leaf_traffic
+
+        config = dataclasses.replace(LeafSpineConfig(), duration_bins=120)
+        config = dataclasses.replace(
+            config,
+            topology=dataclasses.replace(config.topology, link_delay=link_delay),
+        )
+        fabric = Fabric(
+            config.topology,
+            build_leaf_traffic(config, seed=7),
+            steps_per_bin=config.steps_per_bin,
+        )
+        trace = fabric.run(config.duration_bins)
+        return {
+            name: trace_fingerprint(t) for name, t in trace.switches.items()
+        }
+
+    def test_repeat_runs_are_bit_identical(self):
+        assert self._run(link_delay=2) == self._run(link_delay=2)
+
+    def test_link_delay_changes_the_traces(self):
+        # The delay is real simulated propagation, not a display knob.
+        assert self._run(link_delay=2) != self._run(link_delay=6)
+
+    def test_traffic_count_must_match_leaves(self):
+        with pytest.raises(ValueError, match="per leaf"):
+            Fabric(TopologyConfig(), [_Silent(0)])

@@ -1,0 +1,136 @@
+"""Per-(switch, queue) windowing of fabric traces + cross-switch features."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.eval.fabric_scenarios import LeafSpineConfig, build_leaf_traffic
+from repro.switchsim.fabric import Fabric
+from repro.telemetry.dataset import build_dataset
+from repro.telemetry.fabric import build_fabric_datasets, cross_switch_channels
+
+
+@pytest.fixture(scope="module")
+def fabric_trace():
+    config = dataclasses.replace(LeafSpineConfig(), duration_bins=300)
+    fabric = Fabric(
+        config.topology,
+        build_leaf_traffic(config, seed=0),
+        steps_per_bin=config.steps_per_bin,
+    )
+    return fabric.run(config.duration_bins)
+
+
+class TestPerSwitchDatasets:
+    def test_one_dataset_per_switch(self, fabric_trace):
+        datasets = build_fabric_datasets(fabric_trace, interval=25,
+                                         window_intervals=4)
+        assert set(datasets) == {"leaf0", "leaf1", "spine0"}
+
+    def test_single_switch_path_is_untouched(self, fabric_trace):
+        # Per-switch windows are exactly what the unmodified single-switch
+        # build_dataset produces on that switch's trace — feature bytes
+        # included.  This is why the table1/serve digests cannot move.
+        datasets = build_fabric_datasets(fabric_trace, interval=25,
+                                         window_intervals=4)
+        for name, trace in fabric_trace.switches.items():
+            standalone = build_dataset(trace, interval=25, window_intervals=4)
+            assert len(datasets[name].samples) == len(standalone.samples)
+            for a, b in zip(datasets[name].samples, standalone.samples):
+                np.testing.assert_array_equal(a.features, b.features)
+                np.testing.assert_array_equal(a.target_raw, b.target_raw)
+
+    def test_windows_are_aligned_across_switches(self, fabric_trace):
+        datasets = build_fabric_datasets(fabric_trace, interval=25,
+                                         window_intervals=4)
+        starts = {
+            name: [s.window_start for s in ds.samples]
+            for name, ds in datasets.items()
+        }
+        assert starts["leaf0"] == starts["leaf1"] == starts["spine0"]
+
+
+class TestCrossSwitchFeatures:
+    def test_adds_one_channel_per_peer(self, fabric_trace):
+        plain = build_fabric_datasets(fabric_trace, interval=25,
+                                      window_intervals=4)
+        augmented = build_fabric_datasets(
+            fabric_trace, interval=25, window_intervals=4,
+            cross_switch_features=True,
+        )
+        for name in plain:
+            base = plain[name].samples[0].features.shape[1]
+            wide = augmented[name].samples[0].features.shape[1]
+            assert wide == base + 2  # three switches -> two peers each
+
+    def test_original_channels_are_prefix_identical(self, fabric_trace):
+        plain = build_fabric_datasets(fabric_trace, interval=25,
+                                      window_intervals=4)
+        augmented = build_fabric_datasets(
+            fabric_trace, interval=25, window_intervals=4,
+            cross_switch_features=True,
+        )
+        for name in plain:
+            for a, b in zip(plain[name].samples, augmented[name].samples):
+                np.testing.assert_array_equal(
+                    b.features[:, : a.features.shape[1]], a.features
+                )
+
+    def test_channels_are_peer_summaries(self, fabric_trace):
+        datasets = build_fabric_datasets(fabric_trace, interval=25,
+                                         window_intervals=4)
+        block = cross_switch_channels(datasets, "leaf0", 0)
+        sample = datasets["leaf0"].samples[0]
+        assert block.shape == (sample.num_bins, 2)
+        peers = [n for n in datasets if n != "leaf0"]
+        for column, peer in enumerate(peers):
+            peer_sample = datasets[peer].samples[0]
+            expected = peer_sample.m_sample.mean(axis=0) / datasets[
+                "leaf0"
+            ].scaler.qlen_scale
+            # Expanded onto the fine axis: constant within each interval.
+            np.testing.assert_allclose(
+                block[:: sample.interval, column], expected
+            )
+
+    def test_misaligned_windows_rejected(self, fabric_trace):
+        datasets = build_fabric_datasets(fabric_trace, interval=25,
+                                         window_intervals=4)
+        shifted = dataclasses.replace(
+            datasets["leaf1"],
+            samples=[
+                dataclasses.replace(s, window_start=s.window_start + 1)
+                for s in datasets["leaf1"].samples
+            ],
+        )
+        broken = {**datasets, "leaf1": shifted}
+        with pytest.raises(ValueError, match="misalignment"):
+            cross_switch_channels(broken, "leaf0", 0)
+
+    def test_single_switch_fabric_gains_no_channels(self):
+        from repro.switchsim.fabric import TopologyConfig
+
+        config = dataclasses.replace(
+            LeafSpineConfig(),
+            topology=TopologyConfig(leaves=1, spines=0, hosts_per_leaf=2),
+            duration_bins=200,
+        )
+        fabric = Fabric(
+            config.topology,
+            build_leaf_traffic(config, seed=0),
+            steps_per_bin=config.steps_per_bin,
+        )
+        trace = fabric.run(config.duration_bins)
+        datasets = build_fabric_datasets(
+            trace, interval=25, window_intervals=4, cross_switch_features=True
+        )
+        plain = build_dataset(
+            trace.switches["leaf0"], interval=25, window_intervals=4
+        )
+        assert (
+            datasets["leaf0"].samples[0].features.shape
+            == plain.samples[0].features.shape
+        )

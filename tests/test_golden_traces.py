@@ -76,3 +76,128 @@ class TestGoldenTraces:
         doctored = dataclasses.replace(trace, sent=trace.sent.copy())
         doctored.sent[0, 0] += 1
         assert trace_fingerprint(doctored) != GOLDEN[("quick", 0)]
+
+
+# ----------------------------------------------------------------------
+# The pluggable-scenario goldens: fabric, RED admission, flow-level.
+#
+# Recorded at duration_bins=300 (micro).  To re-record after an
+# intentional behaviour change::
+#
+#     PYTHONPATH=src python -c "
+#     import dataclasses
+#     from repro.eval.fabric_scenarios import (
+#         FlowIncastConfig, LeafSpineConfig, RedWebsearchConfig,
+#         build_flow_incast_traffic, build_leaf_traffic)
+#     from repro.eval.scenarios import build_traffic
+#     from repro.switchsim.fabric import Fabric
+#     from repro.switchsim.simulation import Simulation
+#     from repro.testing import trace_fingerprint
+#     ls = dataclasses.replace(LeafSpineConfig(), duration_bins=300)
+#     ft = Fabric(ls.topology, build_leaf_traffic(ls, seed=ls.seed),
+#                 steps_per_bin=ls.steps_per_bin, aqm=ls.aqm).run(ls.duration_bins)
+#     [print('leaf_spine', n, trace_fingerprint(t)) for n, t in ft.switches.items()]
+#     rw = RedWebsearchConfig()
+#     sc = dataclasses.replace(rw.scenario, duration_bins=300)
+#     sim = Simulation(dataclasses.replace(
+#         sc.switch_config(), aqm_factory=rw.aqm.factory(sc.buffer_capacity)),
+#         build_traffic(sc, seed=rw.seed), steps_per_bin=sc.steps_per_bin)
+#     print('red_websearch', trace_fingerprint(sim.run(sc.duration_bins)))
+#     fi = FlowIncastConfig()
+#     sc = dataclasses.replace(fi.scenario, duration_bins=300)
+#     sim = Simulation(sc.switch_config(),
+#         build_flow_incast_traffic(dataclasses.replace(fi, scenario=sc), seed=fi.seed),
+#         steps_per_bin=sc.steps_per_bin)
+#     print('flow_incast', trace_fingerprint(sim.run(sc.duration_bins)))"
+# ----------------------------------------------------------------------
+GOLDEN_SCENARIOS = {
+    ("leaf_spine", "leaf0"): (
+        "517cf861a604a2cdf00d4f1f0acbe2f128e09a1b3df8766fe3fab4b63fe1e4dc"
+    ),
+    ("leaf_spine", "leaf1"): (
+        "7e02b05fe67e4809029cdbb6709183f0480607685be8fe6b6820220c068d59d2"
+    ),
+    ("leaf_spine", "spine0"): (
+        "1e751332c4893927cda6d07310f89092256059a75049170e3870c9ea82058cf6"
+    ),
+    ("red_websearch", None): (
+        "090f463ec05bf00cf0cac45d9ea217aa51c4d3fe463feca5eee3881cf31e5d5f"
+    ),
+    ("flow_incast", None): (
+        "e6fc94d4cf31b2b6235921c8861546f714cd197cf25a7416ac82fed2bf99c669"
+    ),
+}
+
+
+class TestGoldenScenarioTraces:
+    """The new pluggable scenarios are as pinned as the original one."""
+
+    @pytest.fixture(scope="class")
+    def leaf_spine_trace(self):
+        from repro.eval.fabric_scenarios import LeafSpineConfig, build_leaf_traffic
+        from repro.switchsim.fabric import Fabric
+
+        config = dataclasses.replace(LeafSpineConfig(), duration_bins=300)
+        fabric = Fabric(
+            config.topology,
+            build_leaf_traffic(config, seed=config.seed),
+            steps_per_bin=config.steps_per_bin,
+            aqm=config.aqm,
+            selfcheck=True,
+        )
+        return fabric.run(config.duration_bins)
+
+    @pytest.mark.parametrize("switch", ["leaf0", "leaf1", "spine0"])
+    def test_leaf_spine_fingerprints_pinned(self, leaf_spine_trace, switch):
+        assert (
+            trace_fingerprint(leaf_spine_trace.switches[switch])
+            == GOLDEN_SCENARIOS[("leaf_spine", switch)]
+        ), (
+            f"leaf_spine switch {switch} no longer reproduces its golden "
+            "trace; if intentional, re-record GOLDEN_SCENARIOS (see above)"
+        )
+
+    def test_red_websearch_fingerprint_pinned(self):
+        from repro.eval.fabric_scenarios import RedWebsearchConfig
+        from repro.eval.scenarios import build_traffic
+        from repro.switchsim.simulation import Simulation
+
+        config = RedWebsearchConfig()
+        scenario = dataclasses.replace(config.scenario, duration_bins=300)
+        simulation = Simulation(
+            dataclasses.replace(
+                scenario.switch_config(),
+                aqm_factory=config.aqm.factory(scenario.buffer_capacity),
+            ),
+            build_traffic(scenario, seed=config.seed),
+            steps_per_bin=scenario.steps_per_bin,
+            selfcheck=True,
+        )
+        trace = simulation.run(scenario.duration_bins)
+        assert (
+            trace_fingerprint(trace) == GOLDEN_SCENARIOS[("red_websearch", None)]
+        )
+        # RED actually dropped early somewhere, or this pin is vacuous.
+        assert simulation.switch.aqm.early_drops > 0
+
+    def test_flow_incast_fingerprint_pinned(self):
+        from repro.eval.fabric_scenarios import (
+            FlowIncastConfig,
+            build_flow_incast_traffic,
+        )
+        from repro.switchsim.simulation import Simulation
+
+        config = FlowIncastConfig()
+        scenario = dataclasses.replace(config.scenario, duration_bins=300)
+        simulation = Simulation(
+            scenario.switch_config(),
+            build_flow_incast_traffic(
+                dataclasses.replace(config, scenario=scenario), seed=config.seed
+            ),
+            steps_per_bin=scenario.steps_per_bin,
+            selfcheck=True,
+        )
+        trace = simulation.run(scenario.duration_bins)
+        assert (
+            trace_fingerprint(trace) == GOLDEN_SCENARIOS[("flow_incast", None)]
+        )
