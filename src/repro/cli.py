@@ -159,7 +159,9 @@ def cmd_serve(args) -> int:
     )
     config = _apply_overrides(config, args)
     _annotate_obs(config, experiment="serve")
-    return run_serve_experiment(config, selfcheck=args.selfcheck)
+    return run_serve_experiment(
+        config, selfcheck=args.selfcheck, slo_exit=args.slo_exit
+    )
 
 
 def cmd_scalability(args) -> int:
@@ -377,6 +379,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="cProfile each pipeline stage into DIR "
             "(default repro-profile/): .pstats + top-25 cumulative report",
         )
+        p.add_argument(
+            "--status-file",
+            dest="status_file",
+            type=Path,
+            nargs="?",
+            const=Path("repro-status.jsonl"),
+            default=None,
+            metavar="PATH",
+            help="append live status snapshots to PATH while running "
+            "(default repro-status.jsonl; tail with `repro obs top`)",
+        )
+        p.add_argument(
+            "--status-interval",
+            dest="status_interval",
+            type=float,
+            default=1.0,
+            metavar="SECONDS",
+            help="seconds between live status snapshots (default 1.0)",
+        )
+        p.add_argument(
+            "--events",
+            dest="events",
+            type=Path,
+            nargs="?",
+            const=Path("repro-events.jsonl"),
+            default=None,
+            metavar="PATH",
+            help="append structured operational events to PATH as JSONL "
+            "(respawns, backpressure, SLO breaches, checkpoint saves)",
+        )
 
     # --- repro run <experiment> ---------------------------------------
     p = sub.add_parser(
@@ -454,6 +486,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--supervised",
         action="store_true",
         help="run shards as supervised worker processes (respawn on crash)",
+    )
+    p.add_argument(
+        "--slo-exit",
+        dest="slo_exit",
+        action="store_true",
+        help="exit 4 when a configured SLO breach is sustained at end of run",
     )
     settable(p)
     selfcheckable(p)
@@ -565,7 +603,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     obs_requested = any(
         getattr(args, dest, None) is not None
-        for dest in ("trace", "metrics", "obs_profile")
+        for dest in ("trace", "metrics", "obs_profile", "status_file", "events")
     )
     if obs_requested:
         import repro.obs as obs
@@ -574,6 +612,9 @@ def main(argv: list[str] | None = None) -> int:
             trace=getattr(args, "trace", None),
             metrics=getattr(args, "metrics", None),
             profile=getattr(args, "obs_profile", None),
+            status=getattr(args, "status_file", None),
+            status_interval=getattr(args, "status_interval", 1.0),
+            events=getattr(args, "events", None),
             header={
                 "argv": list(argv) if argv is not None else sys.argv[1:],
                 "command": args.command,

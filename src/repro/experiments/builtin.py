@@ -105,11 +105,13 @@ def run_table1_experiment(
     return 0
 
 
-def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
+def run_serve_experiment(
+    config: ServeConfig, selfcheck: bool = False, slo_exit: bool = False
+) -> int:
     """Train the model, stream a replayed fleet through repro.serve."""
     from repro.serve.runner import run_serve_experiment as _run
 
-    return _run(config, selfcheck=selfcheck)
+    return _run(config, selfcheck=selfcheck, slo_exit=slo_exit)
 
 
 def run_robustness_experiment(
@@ -252,7 +254,18 @@ register(
         run=run_serve_experiment,
         artifact_dir="artifacts/serve",
         summary="stream a replayed fleet through the imputation service",
-        cli_options=(_SELFCHECK,),
+        cli_options=(
+            CliOption(
+                flags=("--slo-exit",),
+                dest="slo_exit",
+                kwargs={
+                    "action": "store_true",
+                    "help": "exit 4 when a configured SLO breach is sustained "
+                    "at end of run (run control only; digest-neutral)",
+                },
+            ),
+            _SELFCHECK,
+        ),
     )
 )
 

@@ -17,6 +17,12 @@ built on three layers:
   ``metrics.json`` document and rendered by ``repro obs summary``.
 * **profiling** (:mod:`repro.obs.profile`) — per-stage cProfile capture
   writing ``.pstats`` archives plus top-N cumulative reports.
+* **live status** (:mod:`repro.obs.live`) — periodic mid-run snapshots
+  (append-only ``status.jsonl`` + atomically-replaced
+  ``status.latest.json``) rendered by the ``repro obs top`` dashboard.
+* **events** (:mod:`repro.obs.events`) — a schema-validated JSONL log of
+  discrete operational occurrences (respawns, backpressure, SLO
+  breaches, checkpoint saves) appended to directly by every process.
 
 Everything is **off by default** and near-free when off: the module-level
 flags below gate every entry point, the disabled :func:`span` /
@@ -51,11 +57,16 @@ __all__ = [
     "histogram",
     "series",
     "profile_stage",
+    "event",
+    "live_tick",
+    "live_section",
     "child_flush",
     "enabled",
     "tracing_enabled",
     "metrics_enabled",
     "profiling_enabled",
+    "live_enabled",
+    "events_enabled",
 ]
 
 # Fast-path gates: every instrumentation entry point checks one of these
@@ -63,6 +74,8 @@ __all__ = [
 _TRACING = False
 _METRICS = False
 _PROFILING = False
+_LIVE = False
+_EVENTS = False
 
 #: Pid that called configure(); forked children see a different getpid().
 _ROOT_PID: int | None = None
@@ -169,6 +182,43 @@ def profile_stage(name: str) -> Any:
     return stage(name)
 
 
+def event(kind: str, **args: Any) -> None:
+    """Record one operational event (``kind`` from ``events.EVENT_KINDS``).
+
+    A single boolean check when the event log is off — callers pay no
+    allocation for the kwargs dict until the layer is enabled... which is
+    why hot paths should still guard payload *construction* with
+    :func:`events_enabled` when the args are expensive to build.
+    """
+    if not _EVENTS:
+        return
+    from repro.obs.events import emit
+
+    emit(kind, args)
+
+
+def live_tick() -> None:
+    """Give the live exporter a chance to flush (time-gated, parent-only)."""
+    if not _LIVE:
+        return
+    from repro.obs.live import tick
+
+    tick()
+
+
+def live_section(name: str, payload: Any) -> None:
+    """Publish a structured section into the live status snapshot.
+
+    Guard payload construction with :func:`live_enabled` on hot paths —
+    the disabled path must allocate nothing.
+    """
+    if not _LIVE:
+        return
+    from repro.obs.live import set_section
+
+    set_section(name, payload)
+
+
 # ----------------------------------------------------------------------
 # State queries
 # ----------------------------------------------------------------------
@@ -184,9 +234,17 @@ def profiling_enabled() -> bool:
     return _PROFILING
 
 
+def live_enabled() -> bool:
+    return _LIVE
+
+
+def events_enabled() -> bool:
+    return _EVENTS
+
+
 def enabled() -> bool:
     """Is any observability layer on?"""
-    return _TRACING or _METRICS or _PROFILING
+    return _TRACING or _METRICS or _PROFILING or _LIVE or _EVENTS
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +255,9 @@ def configure(
     metrics: PathLike | None = None,
     profile: PathLike | None = None,
     header: "dict[str, Any] | None" = None,
+    status: PathLike | None = None,
+    status_interval: float = 1.0,
+    events: PathLike | None = None,
 ) -> None:
     """Enable the requested layers for this process (and forked children).
 
@@ -205,15 +266,30 @@ def configure(
     ``metrics`` — path of the JSON metrics snapshot (snapshots at the
     same path accumulate: an existing document is merged, not replaced);
     ``profile`` — directory for per-stage ``.pstats`` + report files;
+    ``status`` — path of the live-status JSONL file; every
+    ``status_interval`` seconds a snapshot is appended there and
+    ``<status>.latest.json`` is atomically replaced (``repro obs top``
+    tails it).  Live status implies a metrics registry: when ``metrics``
+    is not also requested an *ephemeral* registry feeds the exporter and
+    no ``metrics.json`` is written at the end;
+    ``events`` — path of the structured operational event log (JSONL,
+    schema-validated, appended to by forked children directly);
     ``header`` — fields stamped into the trace header and metrics run
     record (the CLI adds ``argv``; :func:`annotate` adds
     ``config_digest`` once the run's config exists).
 
-    Calling with all three ``None`` resets to the disabled state.
+    Calling with every path ``None`` resets to the disabled state.
     """
-    global _TRACING, _METRICS, _PROFILING, _ROOT_PID, _ATEXIT_REGISTERED
+    global _TRACING, _METRICS, _PROFILING, _LIVE, _EVENTS
+    global _ROOT_PID, _ATEXIT_REGISTERED
     finish()  # flush any previous configuration first
-    if trace is None and metrics is None and profile is None:
+    if (
+        trace is None
+        and metrics is None
+        and profile is None
+        and status is None
+        and events is None
+    ):
         return
     _ROOT_PID = os.getpid()
     if trace is not None:
@@ -221,11 +297,29 @@ def configure(
 
         open_writer(trace, dict(header or {}))
         _TRACING = True
-    if metrics is not None:
+    if metrics is not None or status is not None:
         from repro.obs.metrics import open_registry
 
-        open_registry(metrics, dict(header or {}))
+        if metrics is not None:
+            open_registry(metrics, dict(header or {}))
+        else:
+            # Status-only run: counters must exist for the exporter to
+            # publish, but nothing should persist past finish().
+            shadow = str(status) + ".live-metrics"
+            open_registry(shadow, dict(header or {}), persist=False)
         _METRICS = True
+    if events is not None:
+        from repro.obs.events import open_log
+
+        open_log(events)
+        _EVENTS = True
+    if status is not None:
+        # Opened after the metrics registry: the exporter's first flush
+        # already publishes a (possibly empty) merged metric view.
+        from repro.obs.live import open_exporter
+
+        open_exporter(status, status_interval, dict(header or {}))
+        _LIVE = True
     if profile is not None:
         from repro.obs.profile import open_profiler
 
@@ -251,6 +345,10 @@ def annotate(**fields: Any) -> None:
         from repro.obs.metrics import annotate_run
 
         annotate_run(fields)
+    if _LIVE:
+        from repro.obs.live import annotate_header as live_annotate
+
+        live_annotate(fields)
 
 
 def finish() -> None:
@@ -261,13 +359,25 @@ def finish() -> None:
     flushes the trace file.  In a forked child it stages the child's
     contribution instead (same effect as :func:`child_flush`).
     """
-    global _TRACING, _METRICS, _PROFILING, _ROOT_PID
+    global _TRACING, _METRICS, _PROFILING, _LIVE, _EVENTS, _ROOT_PID
     in_child = _ROOT_PID is not None and os.getpid() != _ROOT_PID
     if _TRACING:
         from repro.obs.trace import close_writer
 
         close_writer()
         _TRACING = False
+    if _LIVE:
+        # Closed before the registry so the final status snapshot still
+        # sees the live metric values (children's parts included).
+        from repro.obs.live import close_exporter
+
+        close_exporter()
+        _LIVE = False
+    if _EVENTS:
+        from repro.obs.events import close_log
+
+        close_log()
+        _EVENTS = False
     if _METRICS:
         from repro.obs.metrics import close_registry
 

@@ -1,0 +1,117 @@
+"""Structured operational event log: one JSON object per line.
+
+Where metrics answer "how much" and traces answer "how long", the event
+log answers "what happened": shard respawns, backpressure stalls, gap
+repairs, OOD quarantines, SLO breaches, checkpoint saves — the discrete
+occurrences an operator greps for after (or during) an incident.
+
+Every line is a self-describing record::
+
+    {"schema_version": 1, "ts_unix": ..., "pid": ..., "kind": "respawn",
+     "args": {"shard": 1, "outcome": "crash", "attempt": 1}}
+
+``kind`` is drawn from the closed :data:`EVENT_KINDS` vocabulary — an
+unknown kind raises at emit time, so instrumentation typos fail tests
+instead of producing unvalidatable logs.  The checked-in schema
+(``tests/corpus/obs_events.schema.json``) pins the wire format and is
+enforced by ``repro obs validate --schema`` (same dependency-free
+validator dialect as the trace schema).
+
+Process model: each record is written as **one unbuffered O_APPEND
+write**, so forked children (supervisor attempts, serve shards) append
+to the same file without coordination — POSIX keeps sub-``PIPE_BUF``
+appends atomic, and every event line here is far below that.  There is
+nothing to merge and nothing to flush.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+EVENTS_SCHEMA_VERSION = 1
+
+#: The closed vocabulary of operational events.  Extending it means
+#: extending ``tests/corpus/obs_events.schema.json`` too — the schema's
+#: ``enum`` mirrors this tuple and the corpus test pins the mirror.
+EVENT_KINDS = (
+    "service_started",
+    "service_drained",
+    "respawn",
+    "shard_dead",
+    "backpressure",
+    "record_rejected",
+    "gap_repaired",
+    "gap_skipped",
+    "stream_resync",
+    "duplicate_dropped",
+    "ood_flagged",
+    "ood_quarantined",
+    "slo_breach",
+    "slo_recovered",
+    "checkpoint_saved",
+)
+
+_LOG: "_EventLog | None" = None
+
+
+class _EventLog:
+    """Append-only event sink; safe to share across forked processes."""
+
+    def __init__(self, path: Path):
+        self.path = path
+
+    def emit(self, kind: str, args: dict[str, Any]) -> None:
+        record = {
+            "schema_version": EVENTS_SCHEMA_VERSION,
+            "ts_unix": time.time(),
+            "pid": os.getpid(),
+            "kind": kind,
+            "args": args,
+        }
+        data = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        fd = os.open(str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+
+def open_log(path: "str | os.PathLike[str]") -> None:
+    global _LOG
+    resolved = Path(path)
+    resolved.parent.mkdir(parents=True, exist_ok=True)
+    _LOG = _EventLog(resolved)
+
+
+def close_log() -> None:
+    global _LOG
+    _LOG = None
+
+
+def emit(kind: str, args: dict[str, Any]) -> None:
+    if kind not in EVENT_KINDS:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known kinds: {', '.join(EVENT_KINDS)}"
+        )
+    log = _LOG
+    if log is not None:
+        log.emit(kind, args)
+
+
+def read_events(path: "str | os.PathLike[str]") -> list[dict[str, Any]]:
+    """Parse an event log; torn trailing lines (killed writer) are dropped."""
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+    return events

@@ -1,0 +1,254 @@
+"""Live status export: what a run is doing *right now*, not post-hoc.
+
+The PR-5 registry only lands ``metrics.json`` at :func:`repro.obs.
+finish`, so a long ``repro run serve`` is a black box until it exits.
+The :class:`LiveExporter` closes that gap: while the run is in flight it
+periodically writes
+
+* ``<status>``            — append-only JSONL, one snapshot per flush
+  (the full trajectory, tail-able and cheap to post-process);
+* ``<status>.latest.json`` — the most recent snapshot alone, replaced
+  atomically (``tmp`` + ``os.replace``), so ``repro obs top`` and shell
+  one-liners always read a complete, current document.
+
+Each snapshot carries a monotonically increasing ``seq``, the wall-clock
+timestamp, uptime, the *merged* metric values (live registry + any
+``.parts`` staged by forked children, folded without consuming the
+sidecar), and free-form **sections** — structured payloads registered by
+instrumented subsystems (``repro.serve`` publishes ``health`` and
+``slo`` sections).
+
+Flushes are time-gated by ``interval`` and only ever happen in the
+process that configured the exporter: forked children inherit the object
+but their :func:`tick` calls are pid-checked no-ops (their metrics reach
+the status file through the ``.parts`` sidecar the parent folds in).
+Everything here is opt-in via ``repro.obs.configure(status=...)`` — when
+live export is off, no object in this module is ever constructed and the
+dispatchers in :mod:`repro.obs` never import it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+STATUS_SCHEMA_VERSION = 1
+
+
+def latest_path_for(status_path: "str | os.PathLike[str]") -> Path:
+    """The atomically-replaced companion of an append-only status file."""
+    resolved = Path(status_path)
+    return resolved.with_name(resolved.name + ".latest.json")
+
+
+class LiveExporter:
+    """Periodic status snapshots for one run (parent process only)."""
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        interval: float = 1.0,
+        header: "dict[str, Any] | None" = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"status interval must be positive, got {interval}")
+        self.path = Path(path)
+        self.latest_path = latest_path_for(self.path)
+        self.interval = float(interval)
+        self.header = dict(header or {})
+        self.pid = os.getpid()
+        self.seq = 0
+        self.started_unix = time.time()
+        self._last_flush = -float("inf")  # first tick always flushes
+        self._sections: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def set_section(self, name: str, payload: Any) -> None:
+        """Publish a structured section (pid-checked: children no-op)."""
+        if os.getpid() != self.pid:
+            return
+        with self._lock:
+            self._sections[name] = payload
+
+    def annotate(self, fields: dict[str, Any]) -> None:
+        self.header.update(fields)
+
+    def tick(self) -> None:
+        """Flush if the interval elapsed; cheap enough for hot paths."""
+        self.flush(force=False)
+
+    def flush(self, force: bool = True) -> None:
+        if os.getpid() != self.pid:
+            return  # children contribute via the metrics .parts sidecar
+        now = time.monotonic()
+        if not force and now - self._last_flush < self.interval:
+            return
+        self._last_flush = now
+        snapshot = self._snapshot()
+        line = json.dumps(snapshot, separators=(",", ":"), sort_keys=True)
+        data = (line + "\n").encode("utf-8")
+        fd = os.open(str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        tmp = self.latest_path.with_name(self.latest_path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.latest_path)
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict[str, Any]:
+        import repro.obs as obs
+
+        metrics: dict[str, Any] = {}
+        if obs.metrics_enabled():
+            from repro.obs.metrics import live_merged_snapshot
+
+            metrics = live_merged_snapshot()
+        with self._lock:
+            sections = {name: payload for name, payload in self._sections.items()}
+        snapshot = {
+            "schema_version": STATUS_SCHEMA_VERSION,
+            "ts_unix": time.time(),
+            "pid": self.pid,
+            "seq": self.seq,
+            "uptime_seconds": time.time() - self.started_unix,
+            "run": dict(self.header),
+            "sections": sections,
+            "metrics": metrics,
+        }
+        self.seq += 1
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Module-level lifecycle (driven by repro.obs)
+# ----------------------------------------------------------------------
+_EXPORTER: "LiveExporter | None" = None
+
+
+def open_exporter(
+    path: "str | os.PathLike[str]",
+    interval: float,
+    header: dict[str, Any],
+) -> None:
+    global _EXPORTER
+    _EXPORTER = LiveExporter(path, interval, header)
+    _EXPORTER.flush(force=True)  # prove liveness before the first interval
+
+
+def close_exporter() -> None:
+    global _EXPORTER
+    exporter = _EXPORTER
+    _EXPORTER = None
+    if exporter is not None:
+        exporter.flush(force=True)  # the final snapshot is the run's epitaph
+
+
+def tick() -> None:
+    exporter = _EXPORTER
+    if exporter is not None:
+        exporter.tick()
+
+
+def set_section(name: str, payload: Any) -> None:
+    exporter = _EXPORTER
+    if exporter is not None:
+        exporter.set_section(name, payload)
+
+
+def annotate_header(fields: dict[str, Any]) -> None:
+    exporter = _EXPORTER
+    if exporter is not None:
+        exporter.annotate(fields)
+
+
+# ----------------------------------------------------------------------
+# Reading / rendering (``repro obs top``)
+# ----------------------------------------------------------------------
+def load_latest(status_path: "str | os.PathLike[str]") -> dict[str, Any]:
+    """Read the latest snapshot for a status file (raises if absent)."""
+    latest = latest_path_for(status_path)
+    document = json.loads(latest.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "seq" not in document:
+        raise ValueError(f"{latest}: not a repro live status snapshot")
+    return document
+
+
+def _render_metric(name: str, metric: dict[str, Any]) -> str:
+    kind = metric.get("type", "?")
+    if kind == "counter" or kind == "gauge":
+        value = metric.get("value")
+        text = "-" if value is None else f"{value:g}"
+    elif kind == "histogram":
+        quantiles = metric.get("quantiles", {})
+        text = (
+            f"n={metric.get('count', 0)}"
+            + "".join(
+                f" {q}={quantiles[q]:.4g}" for q in ("p50", "p99") if q in quantiles
+            )
+        )
+    elif kind == "series":
+        values = metric.get("values", [])
+        text = f"n={len(values)}" + (f" last={values[-1]:.4g}" if values else "")
+    else:  # pragma: no cover - future metric types degrade gracefully
+        text = json.dumps(metric, sort_keys=True)
+    return f"  {name:<34} {kind:<9} {text}"
+
+
+def _render_section(name: str, payload: Any) -> list[str]:
+    lines = [f"[{name}]"]
+    if isinstance(payload, dict):
+        for key in sorted(payload, key=str):
+            value = payload[key]
+            if isinstance(value, dict):
+                detail = " · ".join(
+                    f"{k}={_fmt(value[k])}" for k in sorted(value, key=str)
+                )
+            else:
+                detail = _fmt(value)
+            lines.append(f"  {str(key):<14} {detail}")
+    else:
+        lines.append(f"  {_fmt(payload)}")
+    return lines
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_status(snapshot: dict[str, Any], now: float | None = None) -> str:
+    """The ``repro obs top`` screen for one snapshot."""
+    now = time.time() if now is None else now
+    age = max(0.0, now - float(snapshot.get("ts_unix", now)))
+    lines = [
+        "repro live status",
+        f"  pid {snapshot.get('pid', '?')} · seq {snapshot.get('seq', '?')} · "
+        f"uptime {float(snapshot.get('uptime_seconds', 0.0)):.1f} s · "
+        f"updated {age:.1f} s ago",
+    ]
+    run = snapshot.get("run", {})
+    if run:
+        lines.append(
+            "  " + " · ".join(f"{k}={_fmt(run[k])}" for k in sorted(run, key=str))
+        )
+    sections = snapshot.get("sections", {})
+    for name in sorted(sections, key=str):
+        lines.extend(_render_section(str(name), sections[name]))
+    metrics = snapshot.get("metrics", {})
+    if metrics:
+        lines.append("[metrics]")
+        lines.extend(
+            _render_metric(name, metrics[name]) for name in sorted(metrics)
+        )
+    return "\n".join(lines)

@@ -63,6 +63,10 @@ _QUANTILES = (0.5, 0.9, 0.99)
 
 _REGISTRY: "MetricsRegistry | None" = None
 _ORIGIN_PID: int | None = None  # pid that called open_registry
+#: False when the registry exists only to feed the live status exporter:
+#: children still stage .parts and the live plane still merges them, but
+#: no metrics.json document is written at close (the sidecar is cleaned).
+_PERSIST = True
 
 
 class Counter:
@@ -301,12 +305,29 @@ def registry() -> MetricsRegistry:
     return reg
 
 
-def open_registry(path: "str | os.PathLike[str]", header: dict[str, Any]) -> None:
-    global _REGISTRY, _ORIGIN_PID
+def open_registry(
+    path: "str | os.PathLike[str]", header: dict[str, Any], persist: bool = True
+) -> None:
+    global _REGISTRY, _ORIGIN_PID, _PERSIST
     resolved = Path(path)
     resolved.parent.mkdir(parents=True, exist_ok=True)
     _REGISTRY = MetricsRegistry(resolved, header)
     _ORIGIN_PID = os.getpid()
+    _PERSIST = bool(persist)
+
+
+def live_merged_snapshot() -> dict[str, Any]:
+    """The current cross-process view: live registry + staged ``.parts``.
+
+    Read-only — the sidecar is folded in without being consumed, so the
+    final :func:`close_registry` merge still sees every part.  This is
+    what the live status exporter publishes mid-run.
+    """
+    reg = _REGISTRY
+    if reg is None:
+        return {}
+    merged = _load_parts(reg.parts_path)
+    return merge_snapshots(merged, reg.snapshot())
 
 
 def annotate_run(fields: dict[str, Any]) -> None:
@@ -357,6 +378,16 @@ def close_registry(final: bool) -> None:
         _REGISTRY = reg
         stage_child_parts()
         _REGISTRY = None
+        return
+
+    if not _PERSIST:
+        # Live-status-only registry: the exporter already published the
+        # merged view; leave no metrics.json behind, just the cleanup.
+        if reg.parts_path.exists():
+            try:
+                reg.parts_path.unlink()
+            except OSError:
+                pass
         return
 
     metrics = _load_parts(reg.parts_path)

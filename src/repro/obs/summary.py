@@ -19,6 +19,17 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def _run_line(run: dict[str, Any]) -> str:
+    """One run record as sorted ``key=value`` pairs (stable across runs)."""
+    parts = []
+    for key in sorted(run):
+        value = run[key]
+        if isinstance(value, (list, tuple)):
+            value = " ".join(str(v) for v in value)
+        parts.append(f"{key}={_fmt(value)}")
+    return "  " + " · ".join(parts)
+
+
 def _metric_row(name: str, snapshot: dict[str, Any]) -> list[str]:
     kind = snapshot.get("type", "?")
     if kind == "counter":
@@ -54,6 +65,10 @@ def summarize_metrics(path: "str | os.PathLike[str]") -> str:
         }
         if digests:
             lines.append("config digests: " + ", ".join(sorted(d[:16] for d in digests)))
+        # Sorted run lines (not document order): summaries of the same
+        # set of runs diff cleanly in CI artifacts regardless of the
+        # order the runs happened to finish in.
+        lines.extend(sorted(_run_line(r) for r in runs if isinstance(r, dict)))
     if not metrics:
         lines.append("(no metrics recorded)")
         return "\n".join(lines)
@@ -83,7 +98,9 @@ def summarize_trace(path: "str | os.PathLike[str]") -> str:
         lines.append("(no spans recorded)")
         return "\n".join(lines)
     rows = []
-    for name in sorted(totals, key=totals.get, reverse=True):
+    # Name tie-breaks the duration sort so equal-total spans (common in
+    # truncated test traces) render in one deterministic order.
+    for name in sorted(totals, key=lambda n: (-totals[n], n)):
         total_ms = totals[name] / 1000.0
         mean_ms = total_ms / counts[name]
         rows.append([name, str(counts[name]), f"{total_ms:.3f}", f"{mean_ms:.3f}"])

@@ -27,6 +27,8 @@ from typing import Any, Mapping, Union
 
 import numpy as np
 
+import repro.obs as obs
+
 PathLike = Union[str, Path]
 
 #: Bump when the checkpoint layout changes incompatibly.
@@ -94,6 +96,7 @@ def save_checkpoint(
         except OSError:
             pass
         raise
+    obs.event("checkpoint_saved", path=str(path), arrays=len(arrays))
     return path
 
 

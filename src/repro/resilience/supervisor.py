@@ -227,6 +227,11 @@ class Supervisor:
     it from scratch) and — together with the payloads — compatible with
     the platform's process start method (under ``fork`` anything goes;
     under ``spawn`` both must pickle).
+
+    ``on_attempt`` is called with every :class:`AttemptRecord` the moment
+    it is appended to the report — successes, retried failures, and
+    terminal failures alike — which is how the streaming service keeps
+    its per-shard health board current while a sweep is in flight.
     """
 
     def __init__(
@@ -234,10 +239,12 @@ class Supervisor:
         fn: Callable[[Any], Any],
         policy: RetryPolicy | None = None,
         workers: int | None = None,
+        on_attempt: "Callable[[AttemptRecord], None] | None" = None,
     ):
         self.fn = fn
         self.policy = policy if policy is not None else RetryPolicy()
         self.workers = workers
+        self.on_attempt = on_attempt
         self._ctx = self._context()
 
     @staticmethod
@@ -356,15 +363,16 @@ class Supervisor:
         attempt.process.join()
         if status == "ok":
             results[attempt.index] = value
-            report.attempt_log.append(
-                AttemptRecord(
-                    attempt.index,
-                    attempt.attempt,
-                    "ok",
-                    time.monotonic() - attempt.started_at,
-                )
+            record = AttemptRecord(
+                attempt.index,
+                attempt.attempt,
+                "ok",
+                time.monotonic() - attempt.started_at,
             )
+            report.attempt_log.append(record)
             obs.counter("supervisor.jobs_completed").inc()
+            if self.on_attempt is not None:
+                self.on_attempt(record)
             return
         self._record(attempt, status, str(value), report, pending, waiting)
 
@@ -381,14 +389,12 @@ class Supervisor:
             self._backoff_total[attempt.index] = (
                 self._backoff_total.get(attempt.index, 0.0) + delay
             )
-            report.attempt_log.append(
-                AttemptRecord(attempt.index, attempt.attempt, kind, seconds, delay)
-            )
+            record = AttemptRecord(attempt.index, attempt.attempt, kind, seconds, delay)
+            report.attempt_log.append(record)
             waiting.append((now + delay, attempt.index, attempt.attempt + 1))
         else:
-            report.attempt_log.append(
-                AttemptRecord(attempt.index, attempt.attempt, kind, seconds)
-            )
+            record = AttemptRecord(attempt.index, attempt.attempt, kind, seconds)
+            report.attempt_log.append(record)
             report.failures.append(
                 JobFailure(
                     attempt.index,
@@ -400,6 +406,8 @@ class Supervisor:
                 )
             )
             obs.counter("supervisor.jobs_failed").inc()
+        if self.on_attempt is not None:
+            self.on_attempt(record)
 
     @staticmethod
     def _kill(attempt: _Attempt) -> None:

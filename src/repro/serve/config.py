@@ -63,6 +63,19 @@ class ServeConfig:
     # fixed-quantile bar is calibrate_sentinel(..., threshold="quantile").
     ood_threshold: float | None = None
 
+    # --- live operation: health + SLOs (all off/neutral by default) ----
+    # A shard with no completed work for this long reads as "stale".
+    health_stale_after: float = 5.0
+    # Service-level objectives, each None = unbounded; any bound set
+    # constructs an SloTracker over rolling slo_window_seconds windows.
+    # "Sustained" breach = slo_sustain consecutive breached evaluations
+    # (what --slo-exit turns into exit code 4).
+    slo_p99_latency: float | None = None  # seconds
+    slo_backpressure_per_min: float | None = None  # events per minute
+    slo_quarantine_rate: float | None = None  # fraction of windows
+    slo_window_seconds: float = 5.0
+    slo_sustain: int = 2
+
     # --- model training (mirrors Table1Config) ------------------------
     epochs: int = 2
     batch_size: int = 8
@@ -80,3 +93,13 @@ class ServeConfig:
 # ``ood_threshold`` post-dates the pinned serve digests (examples corpus,
 # checkpoint fingerprints); while unset it must not move any of them.
 register_digest_neutral_default("ServeConfig", "ood_threshold", None)
+
+# The live-operation fields likewise post-date the pinned digests: at
+# their defaults they describe no behaviour change (no tracker, same
+# emitted windows), so they must not move cache keys either.
+register_digest_neutral_default("ServeConfig", "health_stale_after", 5.0)
+register_digest_neutral_default("ServeConfig", "slo_p99_latency", None)
+register_digest_neutral_default("ServeConfig", "slo_backpressure_per_min", None)
+register_digest_neutral_default("ServeConfig", "slo_quarantine_rate", None)
+register_digest_neutral_default("ServeConfig", "slo_window_seconds", 5.0)
+register_digest_neutral_default("ServeConfig", "slo_sustain", 2)

@@ -46,8 +46,17 @@ def fleet_switch_id(index: int) -> str:
     return f"sw{index:04d}"
 
 
-def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
-    """Train the model, replay the fleet through the service, report."""
+def run_serve_experiment(
+    config: ServeConfig, selfcheck: bool = False, slo_exit: bool = False
+) -> int:
+    """Train the model, replay the fleet through the service, report.
+
+    ``slo_exit=True`` turns a *sustained* SLO breach (``config.slo_*``
+    bounds violated for ``slo_sustain`` consecutive evaluations) into
+    exit code 4 — distinct from config errors (2) and self-check
+    violations (3), so CI can tell "the service ran but missed its
+    objectives" apart from "the service is broken".
+    """
     import repro.obs as obs
     from repro.autodiff import fused as _fused
     from repro.autodiff.runtime import large_alloc_reuse
@@ -127,4 +136,10 @@ def run_serve_experiment(config: ServeConfig, selfcheck: bool = False) -> int:
                 raise RuntimeError(
                     f"emitted {emitted} windows but report counts {report.windows}"
                 )
+            if slo_exit and report.slo_sustained:
+                print(
+                    "slo: sustained breach "
+                    f"({report.slo_breach_events} breach event(s)) — exit 4"
+                )
+                return 4
     return 0

@@ -61,9 +61,11 @@ import numpy as np
 import repro.obs as obs
 from repro.imputation.cem import ConstraintEnforcer
 from repro.serve.errors import ServeError
+from repro.serve.health import ShardHealthBoard
 from repro.serve.queueing import BoundedQueue, QueueFull
 from repro.serve.records import CoarseRecord, ImputedWindow
 from repro.serve.sharding import shard_of
+from repro.serve.slo import SloPolicy, SloTracker
 from repro.serve.windows import (
     DegradedStreamPolicy,
     StreamProtocolError,
@@ -121,6 +123,10 @@ class _ShardJob:
 
     def __call__(self, payload: tuple) -> list[_WindowResult]:
         dispatch, shard, tasks = payload
+        # Counted *inside* the job so supervised shards count in their own
+        # process: a crashed attempt's count dies with it (os._exit stages
+        # no .parts) and only the successful respawn's count merges in.
+        obs.counter("serve.shard.windows").inc(len(tasks))
         with obs.span("serve.shard", dispatch=dispatch, shard=shard, windows=len(tasks)):
             samples = [
                 task.sample(self.scaler, self.switch_config.num_queues)
@@ -190,6 +196,12 @@ class ServeReport:
     duplicates_dropped: int = 0
     ood_flagged: int = 0
     ood_quarantined: int = 0
+    # Live-operation fields: shard_health is always populated; the SLO
+    # fields stay inert (no render line) unless a policy was active.
+    shard_health: dict = field(default_factory=dict)
+    slo_active: bool = False
+    slo_breach_events: int = 0
+    slo_sustained: bool = False
 
     def render(self) -> str:
         lines = [
@@ -221,6 +233,17 @@ class ServeReport:
         lines.extend(
             f"  {name:<19} {count}" for name, count in degraded if count
         )
+        if self.shard_health:
+            states = " ".join(
+                f"{shard}:{state}" for shard, state in sorted(self.shard_health.items())
+            )
+            lines.append(f"  shard health        {states}")
+        if self.slo_active:
+            verdict = "sustained breach" if self.slo_sustained else "ok"
+            lines.append(
+                f"  slo                 {verdict} · "
+                f"breach events {self.slo_breach_events}"
+            )
         return "\n".join(lines)
 
 
@@ -262,6 +285,8 @@ class StreamService:
         policy: DegradedStreamPolicy | None = None,
         sentinel: "OODSentinel | None" = None,
         ood_action: str = "off",
+        slo: SloPolicy | None = None,
+        stale_after: float = 5.0,
     ):
         check_positive("shards", shards)
         check_positive("batch_windows", batch_windows)
@@ -291,6 +316,9 @@ class StreamService:
             model, scaler, switch_config, use_cem, selfcheck, sentinel=self.sentinel
         )
         self._dispatch_fn = job_wrapper(self._job) if job_wrapper else self._job
+        self.health = ShardHealthBoard(self.shards, stale_after=stale_after)
+        # The strict default (no objective bounded) constructs no tracker.
+        self._slo = SloTracker(slo) if slo is not None and slo.active else None
         self._emitted_keys: set[tuple[str, int]] = set()
         self._quarantined: list[ImputedWindow] = []
         self._latencies: list[float] = []
@@ -347,6 +375,8 @@ class StreamService:
             policy=policy,
             sentinel=sentinel,
             ood_action=config.ood_action,
+            slo=SloPolicy.from_config(config),
+            stale_after=config.health_stale_after,
         )
 
     # ------------------------------------------------------------------
@@ -357,6 +387,12 @@ class StreamService:
         triggered (micro-batch full, or backpressure on a full queue)."""
         if self._started_at is None:
             self._started_at = time.perf_counter()
+            obs.event(
+                "service_started",
+                shards=self.shards,
+                supervised=self.supervised,
+                batch_windows=self.batch_windows,
+            )
         try:
             tasks = self.assembler.push(record)
         except StreamProtocolError:
@@ -366,6 +402,7 @@ class StreamService:
         except ValueError:
             self._records_rejected += 1
             obs.counter("serve.records_rejected").inc()
+            obs.event("record_rejected", switch=record.switch_id)
             raise
         self._records += 1
         obs.counter("serve.records").inc()
@@ -377,12 +414,18 @@ class StreamService:
                 # Backpressure: the ingest path blocks on a synchronous
                 # dispatch before the record's window is accepted.
                 obs.counter("serve.backpressure").inc()
+                obs.event(
+                    "backpressure", switch=record.switch_id, queue=len(self.queue)
+                )
+                if self._slo is not None:
+                    self._slo.observe_backpressure()
                 emitted.extend(self._dispatch())
                 self.queue.push(task)
         if len(self.queue) >= self.batch_windows:
             emitted.extend(self._dispatch())
         obs.gauge("serve.queue_depth").set(len(self.queue))
         self._touch_clock()
+        self._publish_live()
         return emitted
 
     def drain(self) -> list[ImputedWindow]:
@@ -390,6 +433,12 @@ class StreamService:
         emitted = self._dispatch()
         obs.gauge("serve.queue_depth").set(len(self.queue))
         self._touch_clock()
+        obs.event(
+            "service_drained",
+            records=self._records,
+            windows=len(self._emitted_keys) - len(self._quarantined),
+        )
+        self._publish_live()
         return emitted
 
     # ------------------------------------------------------------------
@@ -414,9 +463,14 @@ class StreamService:
 
         with obs.span("serve.dispatch", index=dispatch, windows=len(tasks)):
             if self.supervised:
+                # Heartbeats arrive through the Supervisor's on_attempt
+                # callback as each shard attempt resolves.
                 shard_results = self._run_supervised(payloads)
             else:
-                shard_results = [self._dispatch_fn(p) for p in payloads]
+                shard_results = []
+                for payload in payloads:
+                    shard_results.append(self._dispatch_fn(payload))
+                    self.health.beat(payload[1])
 
         now = time.perf_counter()
         by_key = {(t.switch_id, t.window_index): t for t in tasks}
@@ -438,6 +492,8 @@ class StreamService:
                 self._latencies.append(latency)
                 obs.histogram("serve.latency_seconds").observe(latency)
                 obs.counter("serve.windows").inc()
+                if self._slo is not None:
+                    self._slo.observe_latency(latency)
                 flagged = False
                 if score is not None:
                     obs.histogram("serve.ood.score").observe(score)
@@ -446,6 +502,12 @@ class StreamService:
                     if flagged:
                         self._ood_flagged += 1
                         obs.counter("serve.ood.flagged").inc()
+                        obs.event(
+                            "ood_flagged",
+                            switch=switch_id,
+                            window=window_index,
+                            score=score,
+                        )
                 window = ImputedWindow(
                     switch_id=switch_id,
                     window_index=window_index,
@@ -457,12 +519,24 @@ class StreamService:
                     ood_score=score,
                     ood_flagged=flagged,
                 )
-                if flagged and self.ood_action == "quarantine":
+                quarantined = flagged and self.ood_action == "quarantine"
+                if self._slo is not None and self.sentinel is not None:
+                    self._slo.observe_window(quarantined)
+                if quarantined:
                     # Held back, not lost: inspectable via quarantined().
                     self._quarantined.append(window)
                     obs.counter("serve.ood.quarantined").inc()
+                    obs.event(
+                        "ood_quarantined",
+                        switch=switch_id,
+                        window=window_index,
+                        score=score,
+                    )
                     continue
                 emitted.append(window)
+        if self._slo is not None:
+            # One evaluation per dispatch: the unit of service progress.
+            self._slo.evaluate()
         emitted.sort(key=lambda w: w.key)
         return emitted
 
@@ -475,7 +549,35 @@ class StreamService:
             timeout=self.deadline,
             seed=self.seed,
         )
-        supervisor = Supervisor(self._dispatch_fn, policy=policy, workers=self.shards)
+
+        def on_attempt(record):
+            shard = payloads[record.index][1]
+            if record.outcome == "ok":
+                self.health.beat(shard)
+            elif record.attempt >= self.max_attempts:
+                self.health.dead(shard)
+                obs.event(
+                    "shard_dead",
+                    shard=shard,
+                    outcome=record.outcome,
+                    attempts=record.attempt,
+                )
+            else:
+                self.health.respawning(shard)
+                obs.event(
+                    "respawn",
+                    shard=shard,
+                    outcome=record.outcome,
+                    attempt=record.attempt,
+                )
+            obs.live_tick()
+
+        supervisor = Supervisor(
+            self._dispatch_fn,
+            policy=policy,
+            workers=self.shards,
+            on_attempt=on_attempt,
+        )
         sweep = supervisor.run(payloads)
         respawns = sweep.report.retries
         if respawns:
@@ -502,6 +604,30 @@ class StreamService:
     def _touch_clock(self) -> None:
         if self._started_at is not None:
             self._wall_seconds = time.perf_counter() - self._started_at
+
+    def _publish_live(self) -> None:
+        """Push the service/health/slo sections to the live exporter.
+
+        The section payloads are only *built* when live export is on —
+        the disabled path is one function call and a boolean check.
+        """
+        if not obs.live_enabled():
+            return
+        obs.live_section(
+            "serve",
+            {
+                "records": self._records,
+                "windows": len(self._emitted_keys) - len(self._quarantined),
+                "dispatches": self._dispatches,
+                "queue_depth": len(self.queue),
+                "respawns": self._respawns,
+                "wall_seconds": round(self._wall_seconds, 3),
+            },
+        )
+        obs.live_section("health", self.health.snapshot())
+        if self._slo is not None:
+            obs.live_section("slo", self._slo.snapshot())
+        obs.live_tick()
 
     def quarantined(self) -> list[ImputedWindow]:
         """Windows the sentinel held back (``ood_action="quarantine"``)."""
@@ -535,6 +661,10 @@ class StreamService:
             duplicates_dropped=stats.duplicates_dropped,
             ood_flagged=self._ood_flagged,
             ood_quarantined=len(self._quarantined),
+            shard_health=self.health.states(),
+            slo_active=self._slo is not None,
+            slo_breach_events=self._slo.breach_events if self._slo else 0,
+            slo_sustained=self._slo.sustained if self._slo else False,
         )
 
 

@@ -1,0 +1,232 @@
+"""Typed service-level objectives over rolling observation windows.
+
+An operator's contract with the streaming service is not "the mean was
+fine over the whole run" — it is "p99 window latency stays under X *right
+now*".  :class:`SloPolicy` states the contract (all objectives optional;
+the default constructs nothing) and :class:`SloTracker` evaluates it
+over a rolling ``window_seconds`` horizon:
+
+* **p99 window latency** (``p99_latency_seconds``) — 99th percentile of
+  the imputation latencies observed inside the window;
+* **backpressure rate** (``backpressure_per_minute``) — backpressure
+  dispatches per minute, extrapolated from the window;
+* **OOD-quarantine rate** (``quarantine_rate``) — fraction of windows
+  the sentinel held back, over the window.
+
+A *breach event* is the transition of one objective from ok to breached
+(counted by ``serve.slo.breaches`` and emitted as an ``slo_breach``
+event); recovery emits ``slo_recovered``.  A breach is **sustained**
+once ``sustain`` consecutive evaluations see any objective breached —
+the sticky verdict ``--slo-exit`` turns into exit code 4 (a transient
+spike that recovers within ``sustain`` evaluations does not fail the
+run, but a run that *ends* inside a long breach does).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+import repro.obs as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.config import ServeConfig
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One objective outside its bound at one evaluation."""
+
+    objective: str
+    value: float
+    bound: float
+
+    def __str__(self) -> str:
+        return f"{self.objective}: {self.value:.4g} vs bound {self.bound:.4g}"
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Which objectives are bounded, and how breach becomes "sustained"."""
+
+    p99_latency_seconds: float | None = None
+    backpressure_per_minute: float | None = None
+    quarantine_rate: float | None = None
+    window_seconds: float = 5.0
+    sustain: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.sustain < 1:
+            raise ValueError(f"sustain must be >= 1, got {self.sustain}")
+        for name in ("p99_latency_seconds", "backpressure_per_minute", "quarantine_rate"):
+            bound = getattr(self, name)
+            if bound is not None and bound < 0:
+                raise ValueError(f"{name} must be non-negative, got {bound}")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.p99_latency_seconds is not None
+            or self.backpressure_per_minute is not None
+            or self.quarantine_rate is not None
+        )
+
+    @classmethod
+    def from_config(cls, config: "ServeConfig") -> "SloPolicy | None":
+        """The policy a :class:`ServeConfig` asks for; None when it asks
+        for nothing (the strict default constructs no tracker at all)."""
+        policy = cls(
+            p99_latency_seconds=config.slo_p99_latency,
+            backpressure_per_minute=config.slo_backpressure_per_min,
+            quarantine_rate=config.slo_quarantine_rate,
+            window_seconds=config.slo_window_seconds,
+            sustain=config.slo_sustain,
+        )
+        return policy if policy.active else None
+
+
+@dataclass
+class SloTracker:
+    """Rolling-window evaluation of one :class:`SloPolicy`."""
+
+    policy: SloPolicy
+    #: (monotonic_ts, latency_seconds) for every emitted window
+    _latencies: deque = field(default_factory=deque)
+    #: monotonic_ts of every backpressure-forced dispatch
+    _backpressure: deque = field(default_factory=deque)
+    #: (monotonic_ts, quarantined) for every scored window
+    _outcomes: deque = field(default_factory=deque)
+    breach_events: int = 0
+    recoveries: int = 0
+    evaluations: int = 0
+    _consecutive: int = 0
+    _sustained: bool = False
+    _breached_now: "frozenset[str]" = frozenset()
+    _last_breaches: "tuple[SloBreach, ...]" = ()
+
+    # ------------------------------------------------------------------
+    # Observations (hot path: append + occasional prune, no allocation
+    # beyond the tuple)
+    # ------------------------------------------------------------------
+    def observe_latency(self, latency: float, now: float | None = None) -> None:
+        self._latencies.append(
+            (time.monotonic() if now is None else now, float(latency))
+        )
+
+    def observe_backpressure(self, now: float | None = None) -> None:
+        self._backpressure.append(time.monotonic() if now is None else now)
+
+    def observe_window(self, quarantined: bool, now: float | None = None) -> None:
+        self._outcomes.append(
+            (time.monotonic() if now is None else now, bool(quarantined))
+        )
+
+    # ------------------------------------------------------------------
+    def _prune(self, now: float) -> None:
+        horizon = now - self.policy.window_seconds
+        for series in (self._latencies, self._outcomes):
+            while series and series[0][0] < horizon:
+                series.popleft()
+        while self._backpressure and self._backpressure[0] < horizon:
+            self._backpressure.popleft()
+
+    def evaluate(self, now: float | None = None) -> "list[SloBreach]":
+        """Compare the rolling window against every bound; update state."""
+        now = time.monotonic() if now is None else now
+        self._prune(now)
+        policy = self.policy
+        breaches: list[SloBreach] = []
+
+        if policy.p99_latency_seconds is not None and self._latencies:
+            p99 = float(
+                np.percentile([lat for _, lat in self._latencies], 99)
+            )
+            if p99 > policy.p99_latency_seconds:
+                breaches.append(
+                    SloBreach("p99_latency_seconds", p99, policy.p99_latency_seconds)
+                )
+        if policy.backpressure_per_minute is not None:
+            per_minute = len(self._backpressure) * 60.0 / policy.window_seconds
+            if per_minute > policy.backpressure_per_minute:
+                breaches.append(
+                    SloBreach(
+                        "backpressure_per_minute",
+                        per_minute,
+                        policy.backpressure_per_minute,
+                    )
+                )
+        if policy.quarantine_rate is not None and self._outcomes:
+            rate = sum(1 for _, q in self._outcomes if q) / len(self._outcomes)
+            if rate > policy.quarantine_rate:
+                breaches.append(
+                    SloBreach("quarantine_rate", rate, policy.quarantine_rate)
+                )
+
+        self.evaluations += 1
+        obs.counter("serve.slo.evaluations").inc()
+        breached = frozenset(b.objective for b in breaches)
+        for breach in breaches:
+            if breach.objective not in self._breached_now:
+                # ok → breached transition: one breach *event*, however
+                # many evaluations the condition persists for.
+                self.breach_events += 1
+                obs.counter("serve.slo.breaches").inc()
+                obs.event(
+                    "slo_breach",
+                    objective=breach.objective,
+                    value=breach.value,
+                    bound=breach.bound,
+                )
+        for objective in self._breached_now - breached:
+            self.recoveries += 1
+            obs.counter("serve.slo.recoveries").inc()
+            obs.event("slo_recovered", objective=objective)
+        self._breached_now = breached
+        self._last_breaches = tuple(breaches)
+
+        if breaches:
+            self._consecutive += 1
+            if self._consecutive >= policy.sustain and not self._sustained:
+                self._sustained = True
+                obs.counter("serve.slo.sustained").inc()
+        else:
+            self._consecutive = 0
+        obs.gauge("serve.slo.breached_objectives").set(len(breached))
+        return breaches
+
+    # ------------------------------------------------------------------
+    @property
+    def sustained(self) -> bool:
+        """Sticky: did any breach persist for ``sustain`` evaluations?"""
+        return self._sustained
+
+    @property
+    def breached(self) -> "tuple[SloBreach, ...]":
+        return self._last_breaches
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view for the live ``slo`` section."""
+        policy = self.policy
+        objectives: dict[str, Any] = {}
+        if policy.p99_latency_seconds is not None:
+            objectives["p99_latency_seconds"] = policy.p99_latency_seconds
+        if policy.backpressure_per_minute is not None:
+            objectives["backpressure_per_minute"] = policy.backpressure_per_minute
+        if policy.quarantine_rate is not None:
+            objectives["quarantine_rate"] = policy.quarantine_rate
+        return {
+            "objectives": objectives,
+            "breached": sorted(self._breached_now),
+            "breach_events": self.breach_events,
+            "recoveries": self.recoveries,
+            "evaluations": self.evaluations,
+            "sustained": self._sustained,
+        }

@@ -274,6 +274,11 @@ class WindowAssembler:
             if action == "skip":
                 self.stats.duplicates_dropped += 1
                 obs.counter("serve.degraded.duplicates_dropped").inc()
+                obs.event(
+                    "duplicate_dropped",
+                    switch=record.switch_id,
+                    interval=record.interval_index,
+                )
                 return []
             return self._resync(record, state)
 
@@ -296,6 +301,9 @@ class WindowAssembler:
             self.stats.repaired_intervals += gap
             obs.counter("serve.degraded.gaps_repaired").inc()
             obs.counter("serve.degraded.repaired_intervals").inc(gap)
+            obs.event(
+                "gap_repaired", switch=record.switch_id, intervals=gap
+            )
             tasks.extend(self._accept(record, state))
             return tasks
         action = policy.on_gap
@@ -312,6 +320,9 @@ class WindowAssembler:
                 state.next_window_start += strides * self.stride_intervals
             self.stats.gaps_skipped += 1
             obs.counter("serve.degraded.gaps_skipped").inc()
+            obs.event(
+                "gap_skipped", switch=record.switch_id, intervals=gap
+            )
             return self._accept(record, state)
         return self._resync(record, state)
 
@@ -328,6 +339,11 @@ class WindowAssembler:
         state.next_window_start = record.interval_index
         self.stats.resyncs += 1
         obs.counter("serve.degraded.resyncs").inc()
+        obs.event(
+            "stream_resync",
+            switch=record.switch_id,
+            interval=record.interval_index,
+        )
         return self._accept(record, state)
 
     def _accept(self, record: CoarseRecord, state: _SwitchState) -> list[WindowTask]:

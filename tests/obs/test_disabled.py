@@ -32,6 +32,11 @@ class TestDisabledIsNoop:
         obs.histogram("x").observe(1.0)
         obs.series("x").append(1.0)
         obs.gauge("x").set(1.0)
+        # The live-plane dispatchers are plain no-op returns when off.
+        assert obs.event("backpressure", shard=0) is None
+        assert obs.live_tick() is None
+        assert obs.live_section("health", {"0": "live"}) is None
+        assert not obs.live_enabled() and not obs.events_enabled()
 
     def test_import_repro_never_imports_obs_submodules(self):
         # Run in a fresh interpreter: importing the package and every
@@ -46,6 +51,10 @@ class TestDisabledIsNoop:
             "import repro.eval.table1\n"
             "import repro.eval.parallel\n"
             "import repro.smt.solver\n"
+            "import repro.obs\n"
+            "repro.obs.event('backpressure', shard=0)\n"
+            "repro.obs.live_tick()\n"
+            "repro.obs.live_section('health', {})\n"
             "loaded = [m for m in sys.modules if m.startswith('repro.obs.')]\n"
             "assert not loaded, f'eagerly imported: {loaded}'\n"
         )

@@ -205,3 +205,33 @@ class TestAttemptReporting:
         assert "wall clock" not in str(failure)
         record = AttemptRecord(0, 1, "ok", 0.5)
         assert record.backoff_seconds == 0.0
+
+
+class TestOnAttemptCallback:
+    def test_callback_sees_every_attempt_as_it_resolves(self, tmp_path):
+        seen = []
+        fn = FailOnce(_square, tmp_path)
+        sweep = Supervisor(
+            fn,
+            policy=RetryPolicy(backoff_base=0.01),
+            on_attempt=seen.append,
+        ).run([5])
+        assert sweep.results == [25]
+        # Exactly the attempt_log, delivered live in the same order.
+        assert seen == sweep.report.attempt_log
+        assert [(a.outcome, a.attempt) for a in seen] == [("error", 1), ("ok", 2)]
+
+    def test_callback_sees_terminal_failures(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.01)
+        sweep = Supervisor(_always_raises, policy=policy, on_attempt=seen.append).run(
+            [7]
+        )
+        assert not sweep.ok
+        assert [(a.outcome, a.attempt) for a in seen] == [("error", 1), ("error", 2)]
+        # The terminal record schedules no further backoff.
+        assert seen[-1].backoff_seconds == 0.0
+
+    def test_no_callback_is_the_default(self):
+        sweep = Supervisor(_square).run([2])
+        assert sweep.results == [4]

@@ -60,3 +60,50 @@ def test_run_serve_supervised_micro(capsys):
     assert main(["run", "serve", *MICRO, "--set", "supervised=true"]) == 0
     out = capsys.readouterr().out
     assert "shard respawns      0" in out
+
+
+def test_run_serve_sustained_slo_breach_exits_4_with_slo_exit(
+    tmp_path, monkeypatch, capsys
+):
+    import repro.obs as obs
+    from repro.cli import main
+    from repro.obs.events import read_events
+    from repro.obs.live import load_latest
+
+    monkeypatch.chdir(tmp_path)
+    status = tmp_path / "obs" / "status.jsonl"
+    events = tmp_path / "obs" / "events.jsonl"
+    rc = main(
+        [
+            "run", "serve", *MICRO,
+            "--slo-exit",
+            "--set", "slo_p99_latency=1e-9",
+            "--set", "slo_sustain=1",
+            "--status-file", str(status),
+            "--status-interval", "0.05",
+            "--events", str(events),
+        ]
+    )
+    obs.finish()
+    assert rc == 4
+    out = capsys.readouterr().out
+    assert "sustained breach" in out
+    assert "exit 4" in out
+    # The live plane ran alongside: status snapshots, a valid event log.
+    assert load_latest(status)["sections"]["serve"]["windows"] > 0
+    kinds = {e["kind"] for e in read_events(events)}
+    assert {"service_started", "slo_breach", "service_drained"} <= kinds
+
+
+def test_run_serve_breach_without_slo_exit_still_exits_0(capsys):
+    from repro.cli import main
+
+    rc = main(
+        [
+            "run", "serve", *MICRO,
+            "--set", "slo_p99_latency=1e-9",
+            "--set", "slo_sustain=1",
+        ]
+    )
+    assert rc == 0
+    assert "sustained breach" in capsys.readouterr().out

@@ -1,0 +1,244 @@
+"""The live operational plane wired through the streaming service.
+
+What must hold with health/SLO/events on: shard health tracks the
+supervisor's attempts (respawn events land in the log, terminal failure
+shows ``dead``); SLO verdicts surface in the report; the fork-aware
+metrics merge counts every window exactly once across a crash-respawn
+(the crashed attempt's counts die with the worker — ``os._exit`` stages
+no parts); the streamed output stays bit-identical to the offline
+pipeline with the whole plane enabled; and enabling it costs <5% on an
+inline micro replay.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.events import read_events
+from repro.obs.live import load_latest
+from repro.obs.metrics import load_snapshot
+from repro.resilience.faults import CrashOnce
+from repro.serve.errors import ServeError
+from repro.serve.service import StreamService
+from repro.serve.slo import SloPolicy
+from repro.testing.stream import (
+    assert_stream_matches_offline,
+    fleet_record_schedule,
+    offline_windows,
+    replay,
+)
+
+INTERVAL = 25
+WINDOW_INTERVALS = 4
+
+
+@pytest.fixture(autouse=True)
+def reset_obs():
+    """Every test here leaves observability disabled, pass or fail."""
+    yield
+    obs.finish()
+
+
+def _service(model, serve_config, serve_scaler, **kwargs):
+    kwargs.setdefault("batch_windows", 4)
+    kwargs.setdefault("queue_capacity", 16)
+    kwargs.setdefault("shards", 2)
+    return StreamService(
+        model, serve_config, serve_scaler, INTERVAL, WINDOW_INTERVALS, **kwargs
+    )
+
+
+class TestShardHealth:
+    def test_clean_inline_run_reports_all_live(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        service = _service(model_f64, serve_config, serve_scaler)
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        _, report = replay(service, records)
+        assert report.shard_health == {0: "live", 1: "live"}
+        assert "shard health        0:live 1:live" in report.render()
+        # No SLO configured: the report stays inert and renders no line.
+        assert not report.slo_active
+        assert "slo" not in report.render()
+
+    def test_crash_respawn_heartbeats_and_events(
+        self, tmp_path, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        obs.configure(events=tmp_path / "events.jsonl")
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            supervised=True,
+            job_wrapper=lambda job: CrashOnce(
+                job, tmp_path / "faults", selector=lambda payload: payload[0] == 0
+            ),
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        _, report = replay(service, records)
+        obs.finish()
+
+        assert report.respawns >= 1
+        # The respawned shards completed their retries: live at the end.
+        assert set(report.shard_health.values()) == {"live"}
+        kinds = [e["kind"] for e in read_events(tmp_path / "events.jsonl")]
+        assert kinds[0] == "service_started"
+        assert kinds[-1] == "service_drained"
+        assert kinds.count("respawn") == report.respawns
+        respawn = next(
+            e for e in read_events(tmp_path / "events.jsonl") if e["kind"] == "respawn"
+        )
+        assert respawn["args"]["outcome"] == "crash"
+        assert respawn["args"]["shard"] in (0, 1)
+
+    def test_terminal_shard_failure_is_dead_on_the_board(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        def poisoned(job):
+            def always_fails(payload):
+                raise RuntimeError("injected permanent shard failure")
+
+            return always_fails
+
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            supervised=True,
+            max_attempts=1,
+            job_wrapper=poisoned,
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        with pytest.raises(ServeError):
+            replay(service, records)
+        assert "dead" in service.health.states().values()
+
+
+class TestCrashAwareMetricsMerge:
+    def test_window_counts_merge_exactly_once_across_a_crash(
+        self, tmp_path, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        """Satellite pin: supervised shards count windows in their own
+        process; a crashed attempt's count dies with the worker, so the
+        parts-merged total equals the emitted windows — not one more."""
+        metrics = tmp_path / "metrics.json"
+        obs.configure(metrics=metrics)
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            supervised=True,
+            job_wrapper=lambda job: CrashOnce(
+                job, tmp_path / "faults", selector=lambda payload: payload[0] == 0
+            ),
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        _, report = replay(service, records)
+        obs.finish()
+
+        assert report.respawns >= 1, "the injected crash never fired"
+        merged = load_snapshot(metrics)["metrics"]
+        assert merged["serve.shard.windows"]["value"] == report.windows
+        assert merged["serve.respawns"]["value"] == report.respawns
+        # The parent's own counters merged alongside the children's.
+        assert merged["serve.records"]["value"] == report.records
+        assert not metrics.with_name(metrics.name + ".parts").exists()
+
+
+class TestSlo:
+    def test_breached_slo_surfaces_in_the_report(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            slo=SloPolicy(p99_latency_seconds=1e-9, sustain=1),
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        _, report = replay(service, records)
+        assert report.slo_active
+        assert report.slo_breach_events >= 1
+        assert report.slo_sustained
+        assert "slo                 sustained breach" in report.render()
+
+    def test_satisfied_slo_renders_ok(
+        self, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            slo=SloPolicy(p99_latency_seconds=3600.0),
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        _, report = replay(service, records)
+        assert report.slo_active and not report.slo_sustained
+        assert report.slo_breach_events == 0
+        assert "slo                 ok · breach events 0" in report.render()
+
+    def test_inactive_policy_constructs_no_tracker(
+        self, model_f64, serve_config, serve_scaler
+    ):
+        service = _service(
+            model_f64, serve_config, serve_scaler, slo=SloPolicy()
+        )
+        assert service._slo is None
+
+
+class TestParityAndOverhead:
+    def test_stream_parity_is_bit_identical_with_live_plane_on(
+        self, tmp_path, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        status = tmp_path / "status.jsonl"
+        obs.configure(
+            status=status, status_interval=1e-9, events=tmp_path / "events.jsonl"
+        )
+        service = _service(
+            model_f64,
+            serve_config,
+            serve_scaler,
+            slo=SloPolicy(p99_latency_seconds=3600.0),
+        )
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+        streamed, report = replay(service, records)
+        obs.finish()
+
+        offline = offline_windows(
+            model_f64, fleet_traces, INTERVAL, WINDOW_INTERVALS, serve_scaler
+        )
+        assert set(streamed) == set(offline)
+        assert_stream_matches_offline(streamed, offline, exact=True)
+        # The exporter saw the service's sections while the stream ran.
+        latest = load_latest(status)
+        assert latest["sections"]["serve"]["windows"] == report.windows
+        assert set(latest["sections"]["health"]) == {"0", "1"}
+        assert latest["sections"]["slo"]["evaluations"] >= 1
+
+    def test_live_plane_overhead_under_5_percent(
+        self, tmp_path, model_f64, serve_config, serve_scaler, fleet_traces
+    ):
+        records = fleet_record_schedule(fleet_traces, INTERVAL)
+
+        def run_replay():
+            service = _service(model_f64, serve_config, serve_scaler)
+            start = time.perf_counter()
+            replay(service, records)
+            return time.perf_counter() - start
+
+        def best_of(k):
+            return min(run_replay() for _ in range(k))
+
+        plain = best_of(3)
+        obs.configure(
+            status=tmp_path / "status.jsonl",
+            status_interval=0.05,
+            events=tmp_path / "events.jsonl",
+        )
+        live = best_of(3)
+        obs.finish()
+        # <5% relative, with a small absolute floor against timer noise.
+        assert live <= plain * 1.05 + 0.05, (plain, live)

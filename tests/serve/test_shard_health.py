@@ -1,0 +1,65 @@
+"""The shard health board: heartbeat bookkeeping and derived staleness."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve.health import HEALTH_STATES, ShardHealthBoard
+
+
+class TestStateMachine:
+    def test_shards_start_live(self):
+        board = ShardHealthBoard(3)
+        assert board.states() == {0: "live", 1: "live", 2: "live"}
+
+    def test_stale_is_derived_from_the_last_beat(self):
+        board = ShardHealthBoard(1, stale_after=5.0)
+        now = time.monotonic()
+        assert board.state_of(0, now=now + 4.0) == "live"
+        assert board.state_of(0, now=now + 6.0) == "stale"
+        # A beat revives it without any explicit transition.
+        board.beat(0)
+        assert board.state_of(0) == "live"
+
+    def test_respawning_then_beat_returns_to_live(self):
+        board = ShardHealthBoard(2)
+        board.respawning(1)
+        assert board.states()[1] == "respawning"
+        board.beat(1)
+        assert board.states()[1] == "live"
+        assert board.respawn_counts() == {0: 0, 1: 1}
+
+    def test_dead_is_terminal(self):
+        board = ShardHealthBoard(1)
+        board.dead(0)
+        board.beat(0)
+        board.respawning(0)
+        assert board.state_of(0) == "dead"
+
+    def test_every_reported_state_is_in_the_vocabulary(self):
+        board = ShardHealthBoard(4, stale_after=0.001)
+        board.respawning(1)
+        board.dead(2)
+        board.beat(3)
+        time.sleep(0.01)
+        assert set(board.states().values()) <= set(HEALTH_STATES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stale_after"):
+            ShardHealthBoard(1, stale_after=0.0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self):
+        board = ShardHealthBoard(2)
+        board.beat(0)
+        board.beat(0)
+        board.respawning(1)
+        snapshot = board.snapshot()
+        assert set(snapshot) == {"0", "1"}
+        assert snapshot["0"]["state"] == "live" and snapshot["0"]["beats"] == 2
+        assert snapshot["1"]["state"] == "respawning"
+        assert snapshot["1"]["respawns"] == 1
+        assert snapshot["0"]["seconds_since_beat"] >= 0.0

@@ -1,0 +1,111 @@
+"""SLO policy and tracker semantics, driven with explicit clocks.
+
+Every evaluation here passes ``now`` (and stamps observations) by hand,
+so breach events, recoveries, pruning, and the sustained verdict are
+deterministic — no sleeping, no real clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.serve.config import ServeConfig
+from repro.serve.slo import SloPolicy, SloTracker
+
+
+def _tracker(**bounds) -> SloTracker:
+    return SloTracker(SloPolicy(**bounds))
+
+
+class TestPolicy:
+    def test_default_policy_is_inactive(self):
+        assert not SloPolicy().active
+        assert SloPolicy(p99_latency_seconds=0.1).active
+        assert SloPolicy(backpressure_per_minute=5.0).active
+        assert SloPolicy(quarantine_rate=0.2).active
+
+    def test_from_config_returns_none_on_the_strict_default(self):
+        assert SloPolicy.from_config(ServeConfig()) is None
+        bounded = dataclasses.replace(ServeConfig(), slo_p99_latency=0.25)
+        policy = SloPolicy.from_config(bounded)
+        assert policy is not None and policy.p99_latency_seconds == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            SloPolicy(window_seconds=0.0)
+        with pytest.raises(ValueError, match="sustain"):
+            SloPolicy(sustain=0)
+        with pytest.raises(ValueError, match="p99_latency_seconds"):
+            SloPolicy(p99_latency_seconds=-1.0)
+
+
+class TestTracker:
+    def test_latency_breach_and_recovery_are_transition_events(self):
+        tracker = _tracker(p99_latency_seconds=0.1, window_seconds=5.0)
+        tracker.observe_latency(0.5, now=10.0)
+        # Breached for three consecutive evaluations: ONE breach event.
+        for now in (10.1, 10.2, 10.3):
+            breaches = tracker.evaluate(now=now)
+            assert [b.objective for b in breaches] == ["p99_latency_seconds"]
+        assert tracker.breach_events == 1
+        assert tracker.recoveries == 0
+        # The slow window ages out of the horizon: one recovery.
+        tracker.observe_latency(0.01, now=16.0)
+        assert tracker.evaluate(now=16.0) == []
+        assert tracker.recoveries == 1
+        assert tracker.evaluations == 4
+
+    def test_backpressure_rate_is_extrapolated_per_minute(self):
+        tracker = _tracker(backpressure_per_minute=30.0, window_seconds=5.0)
+        # 2 events in a 5 s window -> 24/min: under the bound.
+        tracker.observe_backpressure(now=1.0)
+        tracker.observe_backpressure(now=2.0)
+        assert tracker.evaluate(now=3.0) == []
+        # A third makes it 36/min: breached.
+        tracker.observe_backpressure(now=2.5)
+        (breach,) = tracker.evaluate(now=3.0)
+        assert breach.objective == "backpressure_per_minute"
+        assert breach.value == pytest.approx(36.0)
+
+    def test_quarantine_rate_over_scored_windows(self):
+        tracker = _tracker(quarantine_rate=0.25, window_seconds=100.0)
+        for quarantined in (False, False, False, True):
+            tracker.observe_window(quarantined, now=1.0)
+        assert tracker.evaluate(now=1.0) == []  # exactly at the bound
+        tracker.observe_window(True, now=1.0)
+        (breach,) = tracker.evaluate(now=1.0)
+        assert breach.objective == "quarantine_rate"
+        assert breach.value == pytest.approx(0.4)
+
+    def test_sustained_requires_consecutive_breaches_and_is_sticky(self):
+        tracker = _tracker(p99_latency_seconds=0.1, window_seconds=5.0, sustain=2)
+        tracker.observe_latency(0.5, now=0.0)
+        tracker.evaluate(now=0.1)
+        assert not tracker.sustained  # one breached evaluation is not enough
+        # Recovery resets the consecutive counter.
+        tracker.observe_latency(0.01, now=6.0)
+        tracker.evaluate(now=6.0)
+        tracker.observe_latency(0.5, now=6.1)
+        tracker.evaluate(now=6.2)
+        assert not tracker.sustained
+        tracker.evaluate(now=6.3)  # second consecutive breached evaluation
+        assert tracker.sustained
+        # Sticky: a later recovery does not clear the verdict.
+        tracker.observe_latency(0.01, now=20.0)
+        tracker.evaluate(now=20.0)
+        assert tracker.sustained
+
+    def test_snapshot_shape(self):
+        tracker = _tracker(p99_latency_seconds=0.1, quarantine_rate=0.5)
+        tracker.observe_latency(0.5, now=0.0)
+        tracker.evaluate(now=0.1)
+        snapshot = tracker.snapshot()
+        assert snapshot["objectives"] == {
+            "p99_latency_seconds": 0.1, "quarantine_rate": 0.5,
+        }
+        assert snapshot["breached"] == ["p99_latency_seconds"]
+        assert snapshot["breach_events"] == 1
+        assert snapshot["evaluations"] == 1
+        assert snapshot["sustained"] is False
